@@ -1,0 +1,81 @@
+"""Ablation (Sec. IX): Gram-eigensolver vs direct-SVD factor computation.
+
+The paper's conclusion section proposes computing singular vectors directly
+(rather than via the Gram matrix) for accuracies near sqrt(machine eps),
+estimating "roughly twice the cost".  Both methods are implemented; this
+bench measures:
+
+* wall-clock cost ratio on a proxy dataset (expect SVD within ~1-6x);
+* identical results at loose tolerances;
+* the accuracy cliff: at eps = 1e-6 on strongly compressible data, the
+  Gram path saturates at full rank while the SVD path still truncates.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import sthosvd
+
+from .conftest import table
+
+
+def test_svd_vs_gram_accuracy_cliff(benchmark, datasets):
+    _, x_sp = datasets["SP"]
+    # A tensor whose truncatable tail (relative singular values ~1e-9) sits
+    # below the Gram path's resolution — forming Y Y^T squares the spectrum,
+    # burying 1e-18-relative eigenvalues under ~1e-15 roundoff — while the
+    # direct SVD still resolves it.  This is exactly the regime the paper's
+    # Sec. IX improvement targets ("errors near the square root of machine
+    # precision").
+    from repro.tensor import low_rank_tensor
+
+    x_cliff = low_rank_tensor((24, 24, 24), (4, 4, 4), seed=21, noise=1e-9)
+    eps_tight = 1e-8
+
+    def run():
+        out = {}
+        for method in ("gram", "svd"):
+            t0 = time.perf_counter()
+            res = sthosvd(x_sp, tol=1e-3, method=method)
+            out[("sp", method)] = (
+                res.decomposition.compression_ratio,
+                res.decomposition.relative_error(x_sp),
+                time.perf_counter() - t0,
+            )
+            res = sthosvd(x_cliff, tol=eps_tight, method=method)
+            out[("cliff", method)] = (
+                res.decomposition.compression_ratio,
+                res.decomposition.relative_error(x_cliff),
+                0.0,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (case, method), (c, err, elapsed) in sorted(results.items()):
+        label = "SP @1e-3" if case == "sp" else f"cliff @{eps_tight:.0e}"
+        rows.append([label, method, c, err, elapsed])
+    table(
+        "Sec. IX ablation: Gram vs direct SVD",
+        ["case", "method", "C", "true err", "seconds"],
+        rows,
+    )
+
+    # Loose tolerance: both methods agree on compression and meet budget.
+    assert results[("sp", "gram")][0] == pytest.approx(
+        results[("sp", "svd")][0], rel=0.1
+    )
+    assert results[("sp", "gram")][1] <= 1e-3
+    assert results[("sp", "svd")][1] <= 1e-3
+    # At eps near sqrt(machine eps): the SVD still honours the budget while
+    # the Gram path's rank selection works from roundoff-level eigenvalues
+    # and *breaches* it — the failure mode Sec. IX's improvement removes.
+    assert results[("cliff", "svd")][1] <= eps_tight
+    assert results[("cliff", "gram")][1] > eps_tight
+    # Cost ratio at loose tolerance: SVD costs more, within an order of
+    # magnitude (paper estimate: ~2x with a QR preprocessing step).
+    ratio = results[("sp", "svd")][2] / max(results[("sp", "gram")][2], 1e-9)
+    assert ratio < 20

@@ -1,0 +1,99 @@
+"""Fig. 6: mode-wise contributions to the error bound per dataset.
+
+The paper plots, for each mode, the normalized truncation error
+``sqrt(sum_{i>R} lambda_i^(n)) / ||X||`` against rank R; where each curve
+crosses ``eps / sqrt(N)`` bounds that mode's reduced dimension.  Claims
+reproduced here:
+
+* every curve is monotone decreasing;
+* for TJLR the species and time curves never cross eps/sqrt(N) at
+  eps = 1e-3 (those modes do not truncate — Table II);
+* SP's curves cross at much smaller rank fractions than HCCI's, which
+  cross at smaller fractions than TJLR's spatial modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import modewise_error_curves
+
+from .conftest import table
+
+EPS = 1e-3
+
+# Paper reduced dimensions at eps=1e-3 (Table II), as fractions of dims.
+PAPER_FRACTIONS = {
+    "HCCI": (297 / 672, 279 / 672, 29 / 33, 153 / 627),
+    "TJLR": (306 / 460, 232 / 700, 239 / 360, 35 / 35, 16 / 16),
+    "SP": (81 / 500, 129 / 500, 127 / 500, 7 / 11, 32 / 50),
+}
+
+
+def _crossing(curve, threshold):
+    """Smallest rank R where the mode-wise error falls below threshold."""
+    below = np.nonzero(curve <= threshold)[0]
+    return int(below[0]) if below.size else len(curve) - 1
+
+
+@pytest.mark.parametrize("name", ["HCCI", "TJLR", "SP"])
+def test_fig6_modewise_curves(benchmark, datasets, name):
+    ds, x = datasets[name]
+    n_modes = x.ndim
+    threshold = EPS / np.sqrt(n_modes)
+
+    curves = benchmark.pedantic(
+        lambda: modewise_error_curves(x), rounds=1, iterations=1
+    )
+
+    rows = []
+    crossings = []
+    for n, curve in enumerate(curves):
+        assert np.all(np.diff(curve) <= 1e-12), f"mode {n} curve not monotone"
+        r = _crossing(curve, threshold)
+        crossings.append(r)
+        rows.append(
+            [
+                f"mode {n}",
+                ds.shape[n],
+                r,
+                r / ds.shape[n],
+                PAPER_FRACTIONS[name][n],
+            ]
+        )
+    table(
+        f"Fig. 6{'abc'[list(PAPER_FRACTIONS).index(name)]}: {name} mode-wise "
+        f"error curves, crossing at eps/sqrt(N) = {threshold:.1e}",
+        ["mode", "I_n", "R_n", "measured frac", "paper frac"],
+        rows,
+    )
+
+    if name == "TJLR":
+        # Species and time modes never truncate (paper: R = I).
+        assert crossings[3] >= ds.shape[3] - 1
+        assert crossings[4] >= ds.shape[4] - 1
+
+
+def test_fig6_cross_dataset_ordering(benchmark, datasets):
+    """Spatial-mode crossings order as SP < HCCI < TJLR (fractions)."""
+
+    def spatial_fraction(name):
+        ds, x = datasets[name]
+        threshold = EPS / np.sqrt(x.ndim)
+        curve = modewise_error_curves(x)[0]
+        return _crossing(curve, threshold) / ds.shape[0]
+
+    fractions = benchmark.pedantic(
+        lambda: {n: spatial_fraction(n) for n in ("HCCI", "TJLR", "SP")},
+        rounds=1,
+        iterations=1,
+    )
+    table(
+        "Fig. 6: first-spatial-mode truncation fraction at eps=1e-3",
+        ["dataset", "measured", "paper"],
+        [
+            ["SP", fractions["SP"], 81 / 500],
+            ["HCCI", fractions["HCCI"], 297 / 672],
+            ["TJLR", fractions["TJLR"], 306 / 460],
+        ],
+    )
+    assert fractions["SP"] < fractions["HCCI"] < fractions["TJLR"]

@@ -1,0 +1,59 @@
+"""Fig. 7: compression ratio vs max normalized RMS error, all datasets.
+
+Paper claims reproduced:
+
+* at every tolerance, SP compresses most and TJLR least;
+* TJLR spans roughly 2 -> 37 over eps in [1e-6, 1e-2] (an order of
+  magnitude), SP spans three orders of magnitude;
+* all curves are monotone in eps.
+"""
+
+import pytest
+
+from repro.core import sthosvd
+
+from .conftest import table
+
+EPSILONS = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+PAPER_RANGE = {  # (C at 1e-6, C at 1e-2) from Fig. 7
+    "HCCI": (3.0, 1000.0),
+    "TJLR": (2.0, 37.0),
+    "SP": (5.0, 5600.0),
+}
+
+
+def test_fig7_all_datasets(benchmark, datasets):
+    def sweep():
+        out = {}
+        for name in ("HCCI", "TJLR", "SP"):
+            _, x = datasets[name]
+            out[name] = [
+                sthosvd(x, tol=eps, method="svd").decomposition.compression_ratio
+                for eps in EPSILONS
+            ]
+        return out
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("HCCI", "TJLR", "SP"):
+        rows.append([name] + [float(c) for c in ratios[name]])
+    table(
+        "Fig. 7: compression ratio vs max normalized RMS error",
+        ["dataset"] + [f"{e:.0e}" for e in EPSILONS],
+        rows,
+    )
+    print(f"paper ranges over the same eps span: "
+          f"TJLR {PAPER_RANGE['TJLR']}, SP {PAPER_RANGE['SP']}")
+
+    # Monotone per dataset.
+    for series in ratios.values():
+        assert all(b > a for a, b in zip(series, series[1:]))
+    # Dataset ordering at every eps.
+    for i in range(len(EPSILONS)):
+        assert ratios["SP"][i] > ratios["HCCI"][i] > ratios["TJLR"][i]
+    # Dynamic range: TJLR spans ~1 order of magnitude, SP much more.
+    tjlr_span = ratios["TJLR"][-1] / ratios["TJLR"][0]
+    sp_span = ratios["SP"][-1] / ratios["SP"][0]
+    assert 3 < tjlr_span < 100
+    assert sp_span > tjlr_span

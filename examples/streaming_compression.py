@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Streaming compression of a running simulation's output.
+
+The paper compresses completed datasets; its motivating scenario — a
+simulation emitting time steps one at a time — calls for an *incremental*
+compressor that never holds the full tensor.  This example feeds the HCCI
+proxy to :class:`repro.core.StreamingTucker` slab by slab, tracks basis
+growth and memory, and compares the final decomposition against batch
+ST-HOSVD on the same data.
+
+Run:  python examples/streaming_compression.py
+"""
+
+import numpy as np
+
+from repro.core import StreamingTucker, normalized_rms, sthosvd
+from repro.data import center_and_scale, hcci_proxy
+
+TOL = 1e-2
+CHUNK = 5
+
+
+def main() -> None:
+    ds = hcci_proxy()
+    x, _ = center_and_scale(ds.tensor, ds.species_mode)
+    spatial, n_steps = x.shape[:-1], x.shape[-1]
+    print(f"dataset: {ds.name} {x.shape}, streamed in chunks of {CHUNK} "
+          f"time steps (tol = {TOL:g})\n")
+
+    streamer = StreamingTucker(spatial, tol=TOL)
+    print(f"{'steps':>6s}{'spatial ranks':>22s}{'core MB':>9s}{'full MB':>9s}")
+    for t0 in range(0, n_steps, CHUNK):
+        streamer.update(x[..., t0 : t0 + CHUNK])
+        core_words = int(np.prod(streamer.current_ranks)) * streamer.n_steps
+        print(f"{streamer.n_steps:>6d}{str(streamer.current_ranks):>22s}"
+              f"{core_words * 8 / 1e6:>9.2f}"
+              f"{np.prod(spatial) * streamer.n_steps * 8 / 1e6:>9.1f}")
+
+    streamed = streamer.finalize()
+    batch = sthosvd(x, tol=TOL).decomposition
+
+    print(f"\n{'':12s}{'streamed':>14s}{'batch':>14s}")
+    print(f"{'ranks':12s}{str(streamed.ranks):>14s}{str(batch.ranks):>14s}")
+    print(f"{'compression':12s}{streamed.compression_ratio:>13.1f}x"
+          f"{batch.compression_ratio:>13.1f}x")
+    print(f"{'error':12s}{normalized_rms(x, streamed.reconstruct()):>14.2e}"
+          f"{normalized_rms(x, batch.reconstruct()):>14.2e}")
+    print("\nthe streamer held at most one slab plus the running core in "
+          "memory, yet meets\nthe same error tolerance as the batch "
+          "algorithm on the full tensor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Baseline compression methods the paper positions Tucker against.
+
+The paper's introduction notes prior compression attempts for combustion
+data based on PCA (ref [23]) and that Tucker generalizes PCA / truncated
+SVD to all modes at once (Sec. I).  These baselines make that comparison
+concrete:
+
+* :class:`PcaCompressor` — truncated SVD of a single matricization (PCA on
+  one mode), the two-way method of the prior work;
+* :class:`Tucker1Compressor` — truncation in a single tensor mode (the
+  "Tucker1" special case, Sec. II-B).
+
+Both implement the same ``compress / reconstruct / storage`` interface as
+the Tucker pipeline, so the benchmark harness can compare compression at
+equal error.
+"""
+
+from repro.baselines.pca import PcaCompressed, PcaCompressor
+from repro.baselines.tucker1 import Tucker1Compressed, Tucker1Compressor
+
+__all__ = [
+    "PcaCompressor",
+    "PcaCompressed",
+    "Tucker1Compressor",
+    "Tucker1Compressed",
+]

@@ -1,0 +1,58 @@
+"""The paper's primary contribution: Tucker decomposition for compression.
+
+Sequential reference implementations of the paper's algorithms:
+
+* :func:`sthosvd` — sequentially-truncated HOSVD (Alg. 1), the paper's
+  initialization and, in practice, its complete compression method.
+* :func:`hooi` — higher-order orthogonal iteration (Alg. 2), the iterative
+  refinement.
+* :func:`hosvd` — truncated HOSVD (T-HOSVD) baseline.
+* :class:`TuckerTensor` — the compressed object: core + factor matrices,
+  with full and *partial* (subtensor) reconstruction (paper Sec. II-C) and
+  compression accounting (Sec. VII-B).
+* :mod:`repro.core.errors` — normalized RMS error, the mode-wise error
+  curves of Fig. 6, and the T-HOSVD error bound, eq. (3).
+
+The distributed counterparts live in :mod:`repro.distributed` and are tested
+for exact agreement with these references.
+"""
+
+from repro.core.tucker import TuckerTensor
+from repro.core.sthosvd import (
+    SthosvdResult,
+    greedy_flops_order,
+    greedy_ratio_order,
+    sthosvd,
+)
+from repro.core.hooi import HooiResult, hooi
+from repro.core.hosvd import hosvd
+from repro.core.errors import (
+    compression_ratio,
+    error_bound,
+    max_abs_error,
+    modewise_error_curves,
+    normalized_rms,
+    relative_error,
+)
+from repro.core.diagnostics import ValidationReport, validate_tucker
+from repro.core.streaming import StreamingTucker
+
+__all__ = [
+    "TuckerTensor",
+    "SthosvdResult",
+    "sthosvd",
+    "greedy_flops_order",
+    "greedy_ratio_order",
+    "HooiResult",
+    "hooi",
+    "hosvd",
+    "normalized_rms",
+    "relative_error",
+    "max_abs_error",
+    "modewise_error_curves",
+    "error_bound",
+    "compression_ratio",
+    "ValidationReport",
+    "validate_tucker",
+    "StreamingTucker",
+]

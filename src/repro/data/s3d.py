@@ -1,0 +1,210 @@
+"""Synthetic proxies for the paper's three S3D combustion datasets.
+
+Paper Sec. VII-A describes (all proprietary, all far beyond this machine):
+
+* **HCCI** — 672 x 672 x 33 x 627 (2-D grid, species, time), 70 GB.
+  Autoignition of an ethanol/air premixture; temporally evolving,
+  moderately compressible (C = 25 at eps = 1e-3).
+* **TJLR** — 460 x 700 x 360 x 35 x 16 (3-D grid, variables, time), 520 GB.
+  DME jet flame, heavily *downsampled* output — the least compressible
+  dataset (C = 7 at eps = 1e-3; species and time modes barely truncate).
+* **SP** — 500 x 500 x 500 x 11 x 50 (3-D grid, variables, time), 550 GB.
+  *Statistically steady* premixed flame — the most compressible
+  (C = 231 at eps = 1e-3, up to ~5600 at eps = 1e-2).
+
+Each proxy is a scaled-down :func:`~repro.data.fields.multiway_field` whose
+per-mode spectral decay is tuned to reproduce the datasets' *relative*
+compressibility and mode-wise error-curve shapes (Fig. 6): TJLR's species
+and time modes are nearly flat (no truncation possible), SP's time mode
+decays fast (statistical steadiness), spatial modes sit in between.  Paper
+reference numbers are attached so benchmarks can print paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.fields import decay_profile, multiway_field
+from repro.util.validation import check_shape_like, prod
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A synthetic dataset plus the paper's reference figures for it."""
+
+    name: str
+    tensor: np.ndarray
+    species_mode: int
+    description: str
+    paper_shape: tuple[int, ...]
+    paper_ranks_eps1e3: tuple[int, ...]
+    paper_compression_eps1e3: float
+    paper_rms_eps1e3: float
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.tensor.shape
+
+    @property
+    def n_elements(self) -> int:
+        return prod(self.tensor.shape)
+
+
+def _build(
+    name: str,
+    shape: tuple[int, ...],
+    efolds: tuple[float, ...],
+    floors: tuple[float, ...],
+    smooth: tuple[bool, ...],
+    species_mode: int,
+    noise: float,
+    seed: int,
+    description: str,
+    paper_shape: tuple[int, ...],
+    paper_ranks: tuple[int, ...],
+    paper_c: float,
+    paper_rms: float,
+) -> Dataset:
+    """Construct a proxy with exponential per-mode spectral decay.
+
+    ``efolds[n]`` is the number of natural-log units the component
+    *amplitude* falls across mode ``n`` (so the Gram spectrum spans
+    ``2 * efolds[n]`` nats).  Parameterizing in e-folds rather than
+    absolute rates makes the mode-wise error curves scale-invariant: a
+    proxy at any resolution truncates at the same *fraction* of each mode,
+    which is what lets a 48^2 proxy stand in for a 672^2 dataset.
+    """
+    shape = check_shape_like(shape, "shape")
+    profiles = [
+        decay_profile(s, kind="exp", rate=e / s, floor=f)
+        for s, e, f in zip(shape, efolds, floors)
+    ]
+    tensor = multiway_field(
+        shape, profiles, seed=seed, noise=noise, smooth_modes=list(smooth)
+    )
+    return Dataset(
+        name=name,
+        tensor=tensor,
+        species_mode=species_mode,
+        description=description,
+        paper_shape=paper_shape,
+        paper_ranks_eps1e3=paper_ranks,
+        paper_compression_eps1e3=paper_c,
+        paper_rms_eps1e3=paper_rms,
+    )
+
+
+def hcci_proxy(
+    shape: tuple[int, ...] = (48, 48, 33, 40), seed: int = 101
+) -> Dataset:
+    """HCCI proxy: 2-D grid x species x time, moderately compressible.
+
+    Spatial modes decay at a moderate power law (turbulent 2-D fields with
+    large-scale coherence), the species mode decays slowly (33 strongly
+    coupled scalars, the paper keeps 29 of 33 at eps=1e-3), time decays
+    faster (autoignition has a dominant temporal progression).
+    """
+    if len(shape) != 4:
+        raise ValueError(f"HCCI is a 4-way dataset, got shape {shape}")
+    # e-folds chosen so the eps=1e-3 truncation keeps roughly the paper's
+    # per-mode rank fractions (0.44, 0.42, 0.88, 0.24 of each dimension).
+    return _build(
+        name="HCCI",
+        shape=shape,
+        efolds=(17.5, 18.0, 8.8, 32.0),
+        floors=(1e-9, 1e-9, 1e-8, 1e-9),
+        smooth=(True, True, False, True),
+        species_mode=2,
+        noise=1e-7,
+        seed=seed,
+        description="autoignitive ethanol/air premixture (HCCI mode), "
+        "2-D grid x species x time",
+        paper_shape=(672, 672, 33, 627),
+        paper_ranks=(297, 279, 29, 153),
+        paper_c=25.0,
+        paper_rms=9.259e-4,
+    )
+
+
+def tjlr_proxy(
+    shape: tuple[int, ...] = (24, 30, 18, 35, 16), seed: int = 202
+) -> Dataset:
+    """TJLR proxy: 3-D grid x variables x time, the least compressible.
+
+    The real dataset is heavily downsampled, so little redundancy remains:
+    spatial modes decay slowly and the species/time modes have essentially
+    flat spectra (the paper truncates neither: R = I in both).
+    """
+    if len(shape) != 5:
+        raise ValueError(f"TJLR is a 5-way dataset, got shape {shape}")
+    # Slow spatial decay (fractions ~0.67/0.33/0.66 at eps=1e-3) and
+    # near-flat species/time spectra with a high floor: those two modes do
+    # not truncate at all at eps=1e-3, exactly as in Table II (R = I).
+    return _build(
+        name="TJLR",
+        shape=shape,
+        efolds=(11.5, 23.5, 11.7, 2.0, 1.5),
+        floors=(1e-8, 1e-8, 1e-8, 2e-3, 2e-3),
+        smooth=(True, True, True, False, True),
+        species_mode=3,
+        noise=1e-6,
+        seed=seed,
+        description="temporally-evolving planar DME slot jet flame, "
+        "downsampled; 3-D grid x variables x time",
+        paper_shape=(460, 700, 360, 35, 16),
+        paper_ranks=(306, 232, 239, 35, 16),
+        paper_c=7.0,
+        paper_rms=7.617e-4,
+    )
+
+
+def sp_proxy(
+    shape: tuple[int, ...] = (32, 32, 32, 11, 20), seed: int = 303
+) -> Dataset:
+    """SP proxy: 3-D grid x variables x time, the most compressible.
+
+    Statistically steady turbulence: the time mode is highly redundant and
+    spatial spectra decay fast (the paper compresses 500 -> ~100 per
+    spatial mode at eps = 1e-3, and reaches C ~ 5600 at eps = 1e-2).
+    """
+    if len(shape) != 5:
+        raise ValueError(f"SP is a 5-way dataset, got shape {shape}")
+    # Fast decay everywhere (fractions ~0.16/0.26/0.25/0.64/0.64 at
+    # eps=1e-3): the statistically steady flame is the paper's most
+    # compressible dataset by an order of magnitude.
+    return _build(
+        name="SP",
+        shape=shape,
+        efolds=(48.0, 30.0, 31.0, 12.0, 12.0),
+        floors=(1e-10, 1e-10, 1e-10, 1e-10, 1e-10),
+        smooth=(True, True, True, False, True),
+        species_mode=3,
+        noise=1e-8,
+        seed=seed,
+        description="statistically steady planar turbulent premixed "
+        "methane-air flame; 3-D grid x variables x time",
+        paper_shape=(500, 500, 500, 11, 50),
+        paper_ranks=(81, 129, 127, 7, 32),
+        paper_c=231.0,
+        paper_rms=8.663e-4,
+    )
+
+
+#: Registry of the three paper datasets by name.
+DATASETS = {
+    "HCCI": hcci_proxy,
+    "TJLR": tjlr_proxy,
+    "SP": sp_proxy,
+}
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Load a proxy dataset by its paper name (case-insensitive)."""
+    key = name.upper()
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return DATASETS[key](**kwargs)

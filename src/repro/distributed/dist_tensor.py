@@ -1,0 +1,182 @@
+"""Block-distributed dense tensors (paper Sec. IV-A, IV-C).
+
+A :class:`DistTensor` couples a :class:`~repro.mpi.cart.CartGrid` with this
+rank's local block of a global tensor.  Unfolding the distributed tensor is
+purely logical: the local portion of the global mode-n unfolding *is* the
+mode-n unfolding of the local block (Sec. IV-C), so no distributed method
+here ever redistributes tensor data — the property the paper's design is
+built around.
+
+Construction helpers cover the two situations that matter in practice:
+``from_global`` (every rank slices its block from a replicated array —
+convenient in tests), ``scatter`` (root holds the array and scatters blocks,
+the realistic ingest path), and ``from_local_factory`` (each rank generates
+its own block, allowing simulated tensors larger than any single rank would
+want to hold).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.distributed.layout import local_block, local_shape
+from repro.mpi.cart import CartGrid
+from repro.mpi.errors import CommunicatorError
+from repro.mpi.reduce_ops import SUM
+from repro.tensor.dense import unfold
+from repro.util.validation import check_shape_like
+
+
+class DistTensor:
+    """One rank's view of a block-distributed global tensor."""
+
+    def __init__(
+        self,
+        grid: CartGrid,
+        global_shape: Sequence[int],
+        local: np.ndarray,
+    ):
+        global_shape = check_shape_like(global_shape, "global_shape")
+        if len(global_shape) != grid.ndim:
+            raise ValueError(
+                f"tensor order {len(global_shape)} does not match grid order "
+                f"{grid.ndim}"
+            )
+        for j, p in zip(global_shape, grid.dims):
+            if p > j:
+                raise ValueError(
+                    f"grid {grid.dims} has more processors than elements in "
+                    f"some mode of shape {global_shape}"
+                )
+        expected = local_shape(global_shape, grid.dims, grid.coords)
+        if tuple(local.shape) != expected:
+            raise ValueError(
+                f"local block shape {local.shape} does not match expected "
+                f"{expected} at coords {grid.coords}"
+            )
+        self._grid = grid
+        self._global_shape = global_shape
+        self._local = np.asfortranarray(np.asarray(local, dtype=np.float64))
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_global(cls, grid: CartGrid, array: np.ndarray) -> "DistTensor":
+        """Each rank slices its own block from a replicated global array."""
+        array = np.asarray(array, dtype=np.float64)
+        slices = local_block(array.shape, grid.dims, grid.coords)
+        return cls(grid, array.shape, np.array(array[slices], copy=True))
+
+    @classmethod
+    def scatter(
+        cls,
+        grid: CartGrid,
+        array: np.ndarray | None,
+        root: int = 0,
+    ) -> "DistTensor":
+        """Root rank scatters blocks of ``array`` to all ranks.
+
+        ``array`` is only required on ``root``; its shape is broadcast.
+        """
+        comm = grid.comm
+        shape = comm.bcast(
+            None if array is None else tuple(np.asarray(array).shape), root=root
+        )
+        if shape is None:
+            raise CommunicatorError("scatter root passed array=None")
+        if comm.rank == root:
+            arr = np.asarray(array, dtype=np.float64)
+            blocks = [
+                np.array(arr[local_block(shape, grid.dims, grid.coords_of(r))],
+                         copy=True)
+                for r in range(comm.size)
+            ]
+        else:
+            blocks = None
+        local = comm.scatter(blocks, root=root)
+        return cls(grid, shape, local)
+
+    @classmethod
+    def from_local_factory(
+        cls,
+        grid: CartGrid,
+        global_shape: Sequence[int],
+        factory: Callable[[tuple[slice, ...]], np.ndarray],
+    ) -> "DistTensor":
+        """Each rank builds its block from its global slices (no global array)."""
+        global_shape = check_shape_like(global_shape, "global_shape")
+        slices = local_block(global_shape, grid.dims, grid.coords)
+        return cls(grid, global_shape, factory(slices))
+
+    # -- geometry ------------------------------------------------------------------
+
+    @property
+    def grid(self) -> CartGrid:
+        return self._grid
+
+    @property
+    def comm(self):
+        return self._grid.comm
+
+    @property
+    def global_shape(self) -> tuple[int, ...]:
+        return self._global_shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._global_shape)
+
+    @property
+    def local(self) -> np.ndarray:
+        """This rank's block (Fortran-ordered)."""
+        return self._local
+
+    @property
+    def local_slices(self) -> tuple[slice, ...]:
+        return local_block(self._global_shape, self._grid.dims, self._grid.coords)
+
+    def local_unfolding(self, mode: int) -> np.ndarray:
+        """Mode-``mode`` unfolding of the local block (logical, Sec. IV-C)."""
+        return unfold(self._local, mode)
+
+    # -- global reductions -------------------------------------------------------------
+
+    def norm_sq(self) -> float:
+        """``||X||^2`` via local sum-of-squares + all-reduce."""
+        local = float(np.dot(self._local.reshape(-1), self._local.reshape(-1)))
+        self.comm.add_flops(2 * self._local.size)
+        return float(self.comm.allreduce(local, SUM))
+
+    def norm(self) -> float:
+        return float(np.sqrt(self.norm_sq()))
+
+    def to_global(self) -> np.ndarray:
+        """Assemble the full tensor on every rank (test/analysis helper).
+
+        Costs an all-gather of the entire tensor; fine at simulation scale,
+        never used inside the decomposition algorithms.
+        """
+        comm = self.comm
+        pieces = comm.allgather((self._grid.coords, self._local))
+        out = np.zeros(self._global_shape, order="F")
+        for coords, block in pieces:
+            out[local_block(self._global_shape, self._grid.dims, coords)] = block
+        return out
+
+    def with_local(
+        self, local: np.ndarray, global_shape: Sequence[int] | None = None
+    ) -> "DistTensor":
+        """New DistTensor on the same grid with a replaced local block."""
+        return DistTensor(
+            self._grid,
+            self._global_shape if global_shape is None else global_shape,
+            local,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistTensor(global={self._global_shape}, grid={self._grid.dims}, "
+            f"local={self._local.shape})"
+        )

@@ -1,0 +1,119 @@
+"""Parallel Gram matrix — Alg. 4 of the paper.
+
+Computes ``S = Y_(n) Y_(n)^T`` for a block-distributed tensor without any
+tensor redistribution.  Ranks in the same mode-``n`` processor column own
+the same columns of the unfolding but different row blocks; the local
+tensors are passed around that column in a ring ((P_n - 1) shifts), each
+step contributing one ``(my rows) x (peer rows)`` block of this column's
+contribution to ``S``.  Summing contributions across the mode-``n``
+processor row (an all-reduce) yields this rank's *block row* ``S[rows, :]``
+of the Gram matrix, replicated across its processor row — exactly the
+input distribution Alg. 5 expects.
+
+When ``P_n == 1`` the ring disappears: one symmetric local Gram (dsyrk-
+style, exploiting symmetry) followed by the all-reduce, the fully-symmetric
+fast path the paper highlights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.dist_tensor import DistTensor
+from repro.distributed.layout import block_ranges
+from repro.mpi.reduce_ops import SUM
+from repro.util.validation import check_axis
+
+
+def _unfold_peer(w, mode: int) -> np.ndarray:
+    """Mode-``mode`` unfolding of a received peer tensor block."""
+    arr = np.asarray(w)
+    return np.reshape(
+        np.moveaxis(arr, mode, 0), (arr.shape[mode], -1), order="F"
+    )
+
+
+def dist_gram(
+    dt: DistTensor, mode: int, exploit_symmetry: bool = False
+) -> np.ndarray:
+    """Parallel ``S = Y_(n) Y_(n)^T`` (Alg. 4).
+
+    Returns this rank's block row ``S[my mode-n rows, :]`` of the global
+    ``J_n x J_n`` Gram matrix (identical on all ranks sharing the same
+    mode-``n`` grid coordinate).
+
+    ``exploit_symmetry=True`` enables the optimization the paper leaves as
+    future work ("up to a factor of two could be saved by exploiting
+    symmetry of S"): each off-diagonal block pair ``(p, k)/(k, p)`` is
+    multiplied once and the transpose is shipped to the symmetric partner
+    — halving the ring length and the off-diagonal flops at the price of
+    one extra (small) block exchange per retained ring step.
+    """
+    mode = check_axis(mode, dt.ndim)
+    col = dt.grid.mode_column(mode)
+    row = dt.grid.mode_row(mode)
+    pn, my_pn = col.size, col.rank
+    jn = dt.global_shape[mode]
+    ranges = block_ranges(jn, pn)
+    my_unf = dt.local_unfolding(mode)  # (my rows) x (local columns)
+
+    blocks: list[np.ndarray | None] = [None] * pn
+    if pn == 1:
+        # Fully symmetric local Gram (half the flops of the general case).
+        s_local = my_unf @ my_unf.T
+        s_local = (s_local + s_local.T) * 0.5
+        dt.comm.add_flops(my_unf.shape[0] * (my_unf.shape[0] + 1) * my_unf.shape[1])
+        blocks[0] = s_local
+    elif not exploit_symmetry:
+        blocks[my_pn] = my_unf @ my_unf.T
+        dt.comm.add_flops(2 * my_unf.shape[0] ** 2 * my_unf.shape[1])
+        # Ring exchange (Alg. 4 lines 6-12): at step i send the local tensor
+        # i hops "down" the column and receive from i hops "up"; sendrecv
+        # avoids the blocking-order deadlock.
+        for i in range(1, pn):
+            j = (my_pn - i) % pn  # destination (Alg. 4 line 7)
+            k = (my_pn + i) % pn  # source (Alg. 4 line 8)
+            w = col.sendrecv(dt.local, dest=j, source=k, tag=i)
+            w_unf = _unfold_peer(w, mode)
+            blocks[k] = my_unf @ w_unf.T
+            dt.comm.add_flops(2 * my_unf.shape[0] * w_unf.shape[0] * my_unf.shape[1])
+    else:
+        # Diagonal block with symmetric flop count.
+        diag = my_unf @ my_unf.T
+        blocks[my_pn] = (diag + diag.T) * 0.5
+        dt.comm.add_flops(my_unf.shape[0] * (my_unf.shape[0] + 1) * my_unf.shape[1])
+        half = (pn - 1) // 2
+        for i in range(1, half + 1):
+            j = (my_pn - i) % pn
+            k = (my_pn + i) % pn
+            w = col.sendrecv(dt.local, dest=j, source=k, tag=("sym", i))
+            w_unf = _unfold_peer(w, mode)
+            blocks[k] = my_unf @ w_unf.T
+            dt.comm.add_flops(2 * my_unf.shape[0] * w_unf.shape[0] * my_unf.shape[1])
+            # Ship block (my, k) to rank k, whose (k, my) block is its
+            # transpose; receive my (my, j) block from rank j in return.
+            received = col.sendrecv(blocks[k], dest=k, source=j, tag=("symT", i))
+            blocks[j] = np.asarray(received).T
+        if pn % 2 == 0:
+            # The antipodal pair: only the lower-coordinate rank multiplies.
+            i = pn // 2
+            k = (my_pn + i) % pn
+            w = col.sendrecv(dt.local, dest=k, source=k, tag=("symA", i))
+            if my_pn < k:
+                w_unf = _unfold_peer(w, mode)
+                blocks[k] = my_unf @ w_unf.T
+                dt.comm.add_flops(
+                    2 * my_unf.shape[0] * w_unf.shape[0] * my_unf.shape[1]
+                )
+                col.send(blocks[k], dest=k, tag=("symAT", i))
+            else:
+                blocks[k] = np.asarray(col.recv(source=k, tag=("symAT", i))).T
+
+    # Assemble the (my rows) x J_n slab, ordering peer blocks by their global
+    # row ranges, then sum contributions over the processor row.
+    slab = np.empty((my_unf.shape[0], jn))
+    for k, (start, stop) in enumerate(ranges):
+        slab[:, start:stop] = blocks[k]
+    # M_GRAM live set: local tensor + one in-flight peer tensor + V + S.
+    dt.comm.note_memory(2 * dt.local.size + 2 * slab.size)
+    return np.asarray(row.allreduce(slab, SUM))

@@ -1,0 +1,80 @@
+"""Block data distributions (paper Sec. IV).
+
+A tensor of shape ``J_1 x ... x J_N`` on a ``P_1 x ... x P_N`` grid is
+*block distributed*: the processor at grid coordinates ``(p_1, ..., p_N)``
+owns the subtensor covering index range ``block_range(J_n, P_n, p_n)`` in
+every mode.  The paper assumes ``P_n`` divides ``J_n`` for presentation;
+like the paper's implementation, we support uneven division with balanced
+blocks (the first ``J mod P`` blocks are one element longer).
+
+Factor matrices use the redundant distribution of Sec. IV-B: for mode ``n``
+the ``I_n x R_n`` matrix ``U^(n)`` is split into ``P_n`` block *rows*, and
+the processor with mode-``n`` grid coordinate ``p_n`` stores block row
+``p_n`` — identically on every processor sharing that coordinate (i.e.
+replicated ``P / P_n`` times).
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+
+def block_range(total: int, n_blocks: int, index: int) -> tuple[int, int]:
+    """Half-open index range ``[start, stop)`` of block ``index``.
+
+    Balanced partition of ``total`` items into ``n_blocks`` blocks: block
+    sizes differ by at most one, larger blocks first.  ``n_blocks`` may
+    exceed ``total`` only if the block is allowed to be empty — we forbid
+    that because an empty tensor block would make local unfoldings
+    degenerate; callers validate grids against shapes up front.
+    """
+    check_positive_int(total, "total")
+    check_positive_int(n_blocks, "n_blocks")
+    if not 0 <= index < n_blocks:
+        raise ValueError(f"block index {index} out of range [0, {n_blocks})")
+    if n_blocks > total:
+        raise ValueError(
+            f"cannot split {total} items into {n_blocks} non-empty blocks"
+        )
+    base, rem = divmod(total, n_blocks)
+    if index < rem:
+        start = index * (base + 1)
+        return start, start + base + 1
+    start = rem * (base + 1) + (index - rem) * base
+    return start, start + base
+
+
+def block_size(total: int, n_blocks: int, index: int) -> int:
+    """Length of block ``index`` in the balanced partition."""
+    start, stop = block_range(total, n_blocks, index)
+    return stop - start
+
+
+def block_ranges(total: int, n_blocks: int) -> list[tuple[int, int]]:
+    """All block ranges of the balanced partition, in order."""
+    return [block_range(total, n_blocks, i) for i in range(n_blocks)]
+
+
+def local_block(
+    shape: tuple[int, ...], grid: tuple[int, ...], coords: tuple[int, ...]
+) -> tuple[slice, ...]:
+    """The sub-tensor slices owned by the processor at ``coords``.
+
+    One slice per mode, per the Cartesian block distribution of Sec. IV-A.
+    """
+    if not len(shape) == len(grid) == len(coords):
+        raise ValueError(
+            f"shape {shape}, grid {grid}, coords {coords} differ in order"
+        )
+    return tuple(
+        slice(*block_range(j, p, c)) for j, p, c in zip(shape, grid, coords)
+    )
+
+
+def local_shape(
+    shape: tuple[int, ...], grid: tuple[int, ...], coords: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Shape of the local block at ``coords``."""
+    return tuple(
+        block_size(j, p, c) for j, p, c in zip(shape, grid, coords)
+    )

@@ -1,0 +1,278 @@
+"""Distributed streaming Tucker compression (in-situ scenario).
+
+The paper's motivating use case is a *running parallel simulation* whose
+output outgrows storage (Sec. I).  The natural deployment is in situ: each
+rank holds its block of every new time slab, and compression happens on the
+simulation's own processor grid without ever gathering a slab.  This module
+runs the :class:`repro.core.streaming.StreamingTucker` recipe on the
+distributed substrate:
+
+* spatial bases live in the paper's redundant block-row distribution
+  (each rank stores its ``I_n``-rows slice, Sec. IV-B);
+* slab projection is a chain of distributed TTMs (Alg. 3) — no
+  redistribution;
+* basis growth runs a distributed ST-HOSVD (Algs. 3-5) on the *residual*
+  slab;
+* the accumulated core — the compressed stream itself, small by
+  construction — is kept *replicated* on every rank (gathering each
+  projected slab costs one all-gather of core-slab size; keeping it
+  replicated avoids redistributing accumulated slabs whenever a basis
+  grows and block boundaries move); :meth:`finalize` recompresses it and
+  returns an ordinary :class:`~repro.core.tucker.TuckerTensor` on every
+  rank.
+
+The grid covers the spatial modes only; time is the append axis.  The error
+budget argument is identical to the sequential streamer (see
+:mod:`repro.core.streaming`), and tests pin the two implementations to the
+same results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sthosvd import sthosvd
+from repro.core.tucker import TuckerTensor
+from repro.distributed.dist_tensor import DistTensor
+from repro.distributed.layout import local_block
+from repro.distributed.sthosvd import dist_sthosvd
+from repro.distributed.ttm import dist_ttm
+from repro.mpi.cart import CartGrid
+from repro.mpi.reduce_ops import SUM
+from repro.util.validation import check_shape_like
+
+
+class DistStreamingTucker:
+    """Incrementally compress distributed time slabs on a processor grid.
+
+    Parameters
+    ----------
+    grid:
+        Cartesian grid over the *spatial* modes plus the time mode with
+        extent 1 (time is never partitioned while streaming).
+    spatial_shape:
+        Global shape of the non-time modes.
+    tol:
+        Relative error tolerance for the final decomposition.
+    """
+
+    def __init__(
+        self,
+        grid: CartGrid,
+        spatial_shape: tuple[int, ...] | list[int],
+        tol: float,
+    ):
+        self._spatial_shape = check_shape_like(spatial_shape, "spatial_shape")
+        if tol <= 0:
+            raise ValueError(f"tol must be positive, got {tol}")
+        n_spatial = len(self._spatial_shape)
+        if grid.ndim != n_spatial + 1:
+            raise ValueError(
+                f"grid order {grid.ndim} must be spatial order + 1 "
+                f"({n_spatial + 1}); the last grid mode is time"
+            )
+        if grid.dims[-1] != 1:
+            raise ValueError(
+                f"time mode must not be partitioned while streaming; got "
+                f"grid {grid.dims}"
+            )
+        self._grid = grid
+        self._tol = float(tol)
+        self._n_spatial = n_spatial
+        #: per spatial mode, this rank's block rows of the basis (or None)
+        self._bases_local: list[np.ndarray | None] = [None] * n_spatial
+        #: replicated global core slabs (the compressed stream), time last
+        self._core_slabs: list[np.ndarray] = []
+        self._energy = 0.0
+        self._n_steps = 0
+        self._pending_zero = 0
+        self._finalized = False
+
+    # -- helpers -----------------------------------------------------------------
+
+    @property
+    def comm(self):
+        return self._grid.comm
+
+    @property
+    def n_steps(self) -> int:
+        return self._n_steps
+
+    @property
+    def current_ranks(self) -> tuple[int, ...]:
+        return tuple(
+            0 if b is None else b.shape[1] for b in self._bases_local
+        )
+
+    def _slab_dist(self, local_slab: np.ndarray) -> DistTensor:
+        t = local_slab.shape[-1]
+        return DistTensor(
+            self._grid, self._spatial_shape + (t,), local_slab
+        )
+
+    def _project(self, slab: DistTensor) -> DistTensor:
+        """Distributed ``slab x {U^(n)T}`` over the spatial modes."""
+        y = slab
+        for n in range(self._n_spatial):
+            # Basis width is global: identical on all ranks because the
+            # bases are replicated row-blocks of one global matrix.
+            y = dist_ttm(
+                y, self._bases_local[n].T.copy(), n,
+                self._bases_local[n].shape[1],
+            )
+        return y
+
+    def _back_project(self, core_slab: DistTensor) -> DistTensor:
+        """Distributed ``core x {U^(n)}`` back to physical space."""
+        from repro.distributed.layout import block_range
+
+        y = core_slab
+        for n in range(self._n_spatial):
+            col = self._grid.mode_column(n)
+            pieces = col.allgather(self._bases_local[n])
+            u_full = np.vstack(pieces)
+            start, stop = block_range(
+                y.global_shape[n], self._grid.dims[n], self._grid.coords[n]
+            )
+            y = dist_ttm(
+                y, u_full[:, start:stop].copy(), n, u_full.shape[0]
+            )
+        return y
+
+    # -- streaming ----------------------------------------------------------------
+
+    def update(self, local_slab: np.ndarray) -> None:
+        """Ingest this rank's block of one or more time steps (collective).
+
+        ``local_slab`` has this rank's spatial block shape plus a trailing
+        time axis (a single step may omit it).
+        """
+        if self._finalized:
+            raise RuntimeError("cannot update a finalized streamer")
+        arr = np.asarray(local_slab, dtype=np.float64)
+        expected = tuple(
+            s.stop - s.start
+            for s in local_block(
+                self._spatial_shape,
+                self._grid.dims[:-1],
+                self._grid.coords[:-1],
+            )
+        )
+        if arr.shape == expected:
+            arr = arr.reshape(expected + (1,))
+        if arr.shape[:-1] != expected:
+            raise ValueError(
+                f"local slab shape {arr.shape} does not match this rank's "
+                f"block {expected} (+ time axis)"
+            )
+        slab = self._slab_dist(np.asfortranarray(arr))
+        slab_energy = slab.norm_sq()
+        self._energy += slab_energy
+        self._n_steps += arr.shape[-1]
+        if slab_energy == 0.0:
+            if all(b is not None for b in self._bases_local):
+                self._core_slabs.append(
+                    np.zeros(self.current_ranks + (arr.shape[-1],))
+                )
+            else:
+                self._pending_zero += arr.shape[-1]
+            return
+
+        budget = (self._tol**2) * slab_energy / 2.0
+
+        if any(b is None for b in self._bases_local):
+            res = dist_sthosvd(
+                slab,
+                tol=float(np.sqrt(budget / slab_energy)),
+            )
+            for n in range(self._n_spatial):
+                self._bases_local[n] = res.factors_local[n]
+            if self._pending_zero:
+                self._core_slabs.append(
+                    np.zeros(self.current_ranks + (self._pending_zero,))
+                )
+                self._pending_zero = 0
+            self._core_slabs.append(self._project(slab).to_global())
+            return
+
+        projected = self._project(slab)
+        residual_energy = slab_energy - projected.norm_sq()
+        if residual_energy > budget:
+            self._expand(slab, projected, budget)
+            projected = self._project(slab)
+        self._core_slabs.append(projected.to_global())
+
+    def _expand(
+        self, slab: DistTensor, projected: DistTensor, budget: float
+    ) -> None:
+        back = self._back_project(projected)
+        residual = slab.with_local(slab.local - back.local)
+        res_norm_sq = residual.norm_sq()
+        if res_norm_sq == 0.0:
+            return
+        res = dist_sthosvd(
+            residual, tol=float(np.sqrt(budget / res_norm_sq))
+        )
+        grew = False
+        for n in range(self._n_spatial):
+            old = self._bases_local[n]
+            new_dirs = res.factors_local[n]
+            # Orthogonalize against the existing basis: needs the *global*
+            # inner products, identical on all ranks of a mode column; the
+            # QR of the extra block must also be global — do it on the
+            # gathered matrices (small: I_n x r).
+            col = self._grid.mode_column(n)
+            old_full = np.vstack(col.allgather(old))
+            new_full = np.vstack(col.allgather(new_dirs))
+            extra = new_full - old_full @ (old_full.T @ new_full)
+            q, r = np.linalg.qr(extra)
+            keep = np.abs(np.diag(r)) > 1e-12 * max(
+                1.0, float(np.sqrt(res_norm_sq))
+            )
+            q = q[:, keep]
+            max_growth = self._spatial_shape[n] - old_full.shape[1]
+            q = q[:, :max_growth]
+            if q.shape[1] == 0:
+                continue
+            from repro.distributed.layout import block_range
+
+            start, stop = block_range(
+                self._spatial_shape[n],
+                self._grid.dims[n],
+                self._grid.coords[n],
+            )
+            self._bases_local[n] = np.hstack([old, q[start:stop]])
+            grew = True
+        if not grew:
+            return
+        # Zero-pad the accumulated (replicated) core slabs into the new
+        # basis: new basis = [old, extra], so old coefficients keep their
+        # global positions exactly.
+        new_ranks = self.current_ranks
+        for i, slab_global in enumerate(self._core_slabs):
+            padded = np.zeros(new_ranks + (slab_global.shape[-1],))
+            padded[tuple(slice(0, s) for s in slab_global.shape)] = slab_global
+            self._core_slabs[i] = padded
+
+    # -- output ------------------------------------------------------------------------
+
+    def finalize(self) -> TuckerTensor:
+        """Gather the core, recompress, return the decomposition (collective)."""
+        if self._n_steps == 0:
+            raise RuntimeError("no data was streamed")
+        if not self._core_slabs:
+            raise ValueError(
+                "streamed data is identically zero; nothing to decompose"
+            )
+        self._finalized = True
+        core = np.concatenate(self._core_slabs, axis=-1)
+        inner = sthosvd(core, tol=self._tol / np.sqrt(2.0))
+        factors = []
+        for n in range(self._n_spatial):
+            col = self._grid.mode_column(n)
+            u_full = np.vstack(col.allgather(self._bases_local[n]))
+            factors.append(u_full @ inner.decomposition.factors[n])
+        factors.append(inner.decomposition.factors[self._n_spatial])
+        return TuckerTensor(
+            core=inner.decomposition.core, factors=tuple(factors)
+        )

@@ -1,0 +1,161 @@
+"""Parallel tensor-times-matrix — Alg. 3 of the paper.
+
+Computes ``Z = Y x_n V`` for a block-distributed ``Y`` and a factor matrix
+``V`` in the redundant distribution of Sec. IV-B: each rank passes
+``v_local``, its ``K x (local J_n)`` block of ``V`` — the columns matching
+its local mode-``n`` rows.  For the decomposition direction ``V = U^(n)T``
+this is exactly ``U_local.T`` where ``U_local`` is the rank's block row of
+the factor matrix, so no communication is ever needed to stage ``V``.
+
+Two strategies, as in the paper (Sec. V-B):
+
+* ``"blocked"``: loop over the ``P_n`` block rows of ``V``; each iteration
+  computes a partial product and reduces it to the ``l``-th member of the
+  mode-``n`` processor column.  The intermediate never exceeds the local
+  result size.
+* ``"reduce_scatter"``: when ``K <= J_n / P_n`` (the intermediate fits), a
+  single local multiply followed by one reduce-scatter — fewer messages,
+  same bandwidth and flops.
+
+``strategy="auto"`` picks the fast path when the memory condition holds and
+the block sizes divide evenly (our reduce-scatter requires equal blocks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.dist_tensor import DistTensor
+from repro.distributed.layout import block_range, block_ranges
+from repro.mpi.reduce_ops import SUM
+from repro.tensor.ttm import ttm_blocked
+from repro.util.validation import check_axis
+
+
+def _expected_local_cols(dt: DistTensor, mode: int) -> int:
+    start, stop = block_range(
+        dt.global_shape[mode], dt.grid.dims[mode], dt.grid.coords[mode]
+    )
+    return stop - start
+
+
+def dist_ttm(
+    dt: DistTensor,
+    v_local: np.ndarray,
+    mode: int,
+    new_dim: int,
+    strategy: str = "auto",
+) -> DistTensor:
+    """Parallel ``Z = Y x_n V`` (Alg. 3).
+
+    Parameters
+    ----------
+    dt:
+        The distributed input tensor ``Y``.
+    v_local:
+        This rank's ``K x (local J_n)`` block of ``V`` (the block column of
+        ``V`` matching the rank's mode-``n`` index range).
+    mode:
+        The contraction mode ``n``.
+    new_dim:
+        The global output dimension ``K`` (needed because ``v_local`` only
+        shows the local column count).
+    strategy:
+        ``"blocked"``, ``"reduce_scatter"``, or ``"auto"``.
+
+    Returns
+    -------
+    DistTensor
+        ``Z``, block distributed on the same grid: the output's mode-``n``
+        dimension ``K`` is partitioned over the same ``P_n`` processors.
+    """
+    mode = check_axis(mode, dt.ndim)
+    v_local = np.asarray(v_local, dtype=np.float64)
+    if v_local.ndim != 2:
+        raise ValueError(f"v_local must be a matrix, got ndim={v_local.ndim}")
+    if v_local.shape[0] != new_dim:
+        raise ValueError(
+            f"v_local has {v_local.shape[0]} rows but new_dim={new_dim}"
+        )
+    local_cols = _expected_local_cols(dt, mode)
+    if v_local.shape[1] != local_cols:
+        raise ValueError(
+            f"v_local has {v_local.shape[1]} columns but this rank owns "
+            f"{local_cols} mode-{mode} indices"
+        )
+    pn = dt.grid.dims[mode]
+    if new_dim < pn:
+        raise ValueError(
+            f"output dimension {new_dim} smaller than grid extent {pn} in "
+            f"mode {mode}; choose a smaller grid"
+        )
+
+    if strategy == "auto":
+        even = new_dim % pn == 0
+        fits = new_dim <= max(1, dt.global_shape[mode] // pn)
+        strategy = "reduce_scatter" if (even and fits) else "blocked"
+    if strategy == "reduce_scatter":
+        return _ttm_reduce_scatter(dt, v_local, mode, new_dim)
+    if strategy == "blocked":
+        return _ttm_blocked(dt, v_local, mode, new_dim)
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def _out_shape(dt: DistTensor, mode: int, new_dim: int) -> tuple[int, ...]:
+    shape = list(dt.global_shape)
+    shape[mode] = new_dim
+    return tuple(shape)
+
+
+def _ttm_blocked(
+    dt: DistTensor, v_local: np.ndarray, mode: int, new_dim: int
+) -> DistTensor:
+    """Alg. 3 verbatim: P_n iterations of (local TTM block row, reduce)."""
+    col = dt.grid.mode_column(mode)
+    pn, my_pn = col.size, col.rank
+    local = dt.local
+    z_local: np.ndarray | None = None
+    for ell, (start, stop) in enumerate(block_ranges(new_dim, pn)):
+        # Local mode-n TTM with the ell-th block row of V (layout-respecting
+        # dgemms, Sec. IV-C).
+        w = ttm_blocked(local, v_local[start:stop], mode)
+        dt.comm.add_flops(2 * (stop - start) * local.size)
+        # M_TTM live set: local input + factor block + temporary + result.
+        dt.comm.note_memory(
+            local.size
+            + v_local.size
+            + w.size
+            + (z_local.size if z_local is not None else w.size)
+        )
+        reduced = col.reduce(w, SUM, root=ell)
+        if ell == my_pn:
+            assert reduced is not None
+            z_local = reduced
+    assert z_local is not None
+    return DistTensor(dt.grid, _out_shape(dt, mode, new_dim), z_local)
+
+
+def _ttm_reduce_scatter(
+    dt: DistTensor, v_local: np.ndarray, mode: int, new_dim: int
+) -> DistTensor:
+    """Sec. V-B fast path: one local multiply + one reduce-scatter.
+
+    Requires ``P_n | K``.  The full-K intermediate is formed locally (the
+    memory condition ``K <= J_n / P_n`` guarantees it is no larger than the
+    local input tensor), then reduce-scattered down the processor column.
+    """
+    col = dt.grid.mode_column(mode)
+    pn = col.size
+    if new_dim % pn != 0:
+        raise ValueError(
+            f"reduce_scatter strategy requires {pn} | {new_dim}; use 'blocked'"
+        )
+    local = dt.local
+    w = ttm_blocked(local, v_local, mode)
+    dt.comm.add_flops(2 * new_dim * local.size)
+    # Reduce-scatter along the mode axis: move mode to front so equal blocks
+    # along axis 0 correspond to the K partition.
+    w_front = np.ascontiguousarray(np.moveaxis(w, mode, 0))
+    z_front = col.reduce_scatter_block(w_front, SUM)
+    z_local = np.moveaxis(z_front, 0, mode)
+    return DistTensor(dt.grid, _out_shape(dt, mode, new_dim), z_local)

@@ -1,0 +1,52 @@
+"""Simulated distributed-memory message-passing runtime.
+
+This package replaces MPI for the reproduction: ranks are threads in one
+process, messages are NumPy-buffer copies through an in-process transport,
+and every operation charges an alpha-beta-gamma cost ledger so that modeled
+runtimes of real executions can be reported (see DESIGN.md, substitution
+table).
+
+Public surface:
+
+* :func:`run_spmd` — launch an SPMD function on N ranks.
+* :class:`Communicator` — mpi4py-flavoured point-to-point + collectives.
+* :class:`CartGrid` — N-way Cartesian processor grids with mode row/column
+  sub-communicators (paper Sec. IV).
+* :data:`SUM`/:data:`MAX`/:data:`MIN`/:data:`PROD` — reduction operators.
+* :class:`CostLedger` — per-rank modeled time / flops / words accounting.
+"""
+
+from repro.mpi.comm import Communicator, Request
+from repro.mpi.cart import CartGrid
+from repro.mpi.executor import SpmdResult, run_spmd
+from repro.mpi.ledger import CostLedger, RankCosts
+from repro.mpi.reduce_ops import MAX, MIN, PROD, SUM, ReduceOp
+from repro.mpi.transport import Transport
+from repro.mpi.errors import (
+    BufferMismatchError,
+    CommunicatorError,
+    DeadlockError,
+    MpiError,
+    SpmdError,
+)
+
+__all__ = [
+    "Communicator",
+    "Request",
+    "CartGrid",
+    "SpmdResult",
+    "run_spmd",
+    "CostLedger",
+    "RankCosts",
+    "ReduceOp",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "Transport",
+    "MpiError",
+    "DeadlockError",
+    "BufferMismatchError",
+    "CommunicatorError",
+    "SpmdError",
+]

@@ -1,0 +1,526 @@
+"""Simulated MPI communicator.
+
+The API mirrors mpi4py where practical (``Get_rank``, ``Send``/``Recv`` for
+NumPy buffers, lowercase object variants, ``allreduce``, ``split``...), so
+the distributed algorithms read like ordinary MPI code.  Differences:
+
+* Ranks are threads inside one process; messages move by copy through an
+  in-process :class:`~repro.mpi.transport.Transport`.
+* Every operation *charges* a :class:`~repro.mpi.ledger.CostLedger` with the
+  alpha-beta-gamma cost from the paper's Table I, enabling modeled-time
+  measurements of the very runs the tests execute.
+* Collectives are implemented over point-to-point messages for simplicity;
+  their *charged* cost is the closed-form tree cost, not the cost of the
+  naive implementation used to move the bytes.
+
+Determinism: reductions fold contributions in group-rank order, so repeated
+runs give bitwise-identical floating-point results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.mpi.errors import BufferMismatchError, CommunicatorError
+from repro.mpi.ledger import CostLedger
+from repro.mpi.reduce_ops import SUM, ReduceOp
+from repro.mpi.transport import Transport
+from repro.perfmodel import collectives as cc
+
+
+def _words_of(obj: Any) -> int:
+    """Modeled message size in 8-byte words."""
+    if isinstance(obj, np.ndarray):
+        return max(1, math.ceil(obj.nbytes / 8))
+    if isinstance(obj, (list, tuple)):
+        return max(1, sum(_words_of(x) for x in obj))
+    return 1
+
+
+def _copy_payload(obj: Any) -> Any:
+    """Copy mutable payloads so sender and receiver never alias."""
+    if isinstance(obj, np.ndarray):
+        return np.array(obj, copy=True)
+    return obj
+
+
+class Request:
+    """Handle for a nonblocking operation (already satisfied or deferred)."""
+
+    def __init__(self, wait_fn: Callable[[], Any]):
+        self._wait_fn = wait_fn
+        self._done = False
+        self._value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._wait_fn()
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        """Whether :meth:`wait` has completed.  (No true background progress.)"""
+        return self._done
+
+
+class Communicator:
+    """A group of simulated ranks with point-to-point and collective ops."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        ledger: CostLedger,
+        comm_id: Hashable,
+        members: Sequence[int],
+        world_rank: int,
+    ):
+        members = tuple(members)
+        if len(set(members)) != len(members):
+            raise CommunicatorError(f"duplicate members in group: {members}")
+        if world_rank not in members:
+            raise CommunicatorError(
+                f"world rank {world_rank} is not a member of group {members}"
+            )
+        self._transport = transport
+        self._ledger = ledger
+        self._comm_id = comm_id
+        self._members = members
+        self._world_rank = world_rank
+        self._rank = members.index(world_rank)
+        self._coll_seq = 0
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return len(self._members)
+
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    @property
+    def world_rank(self) -> int:
+        return self._world_rank
+
+    @property
+    def ledger(self) -> CostLedger:
+        return self._ledger
+
+    def section(self, label: str):
+        """Attribute subsequent charges (this thread) to ``label``."""
+        return self._ledger.section(label)
+
+    def add_flops(self, flops: int) -> None:
+        """Charge local compute to this rank's modeled clock."""
+        self._ledger.charge_flops(self._world_rank, flops)
+
+    def note_memory(self, words: int) -> None:
+        self._ledger.note_memory(self._world_rank, words)
+
+    def _check_peer(self, peer: int, name: str) -> int:
+        if not 0 <= peer < self.size:
+            raise CommunicatorError(
+                f"{name}={peer} out of range for communicator of size {self.size}"
+            )
+        return peer
+
+    # -- raw (uncharged) point-to-point -------------------------------------
+
+    def _key(self, src: int, dst: int, tag: Hashable) -> Hashable:
+        return (self._comm_id, src, dst, tag)
+
+    def _put_raw(self, dst: int, tag: Hashable, payload: Any) -> None:
+        self._transport.put(self._key(self._rank, dst, tag), payload)
+
+    def _get_raw(self, src: int, tag: Hashable) -> Any:
+        return self._transport.get(self._key(src, self._rank, tag))
+
+    # -- charged point-to-point ---------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a Python object or array; charges ``alpha + beta W``."""
+        self._check_peer(dest, "dest")
+        words = _words_of(obj)
+        self._ledger.charge_message(
+            self._world_rank, words, cc.send_recv_cost(words, self._ledger.machine)
+        )
+        self._put_raw(dest, ("p2p", tag), _copy_payload(obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Receive an object sent by :meth:`send`; charges ``alpha + beta W``."""
+        self._check_peer(source, "source")
+        obj = self._transport.get(self._key(source, self._rank, ("p2p", tag)))
+        words = _words_of(obj)
+        self._ledger.charge_message(
+            self._world_rank, words, cc.send_recv_cost(words, self._ledger.machine)
+        )
+        return obj
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send.  Delivery is immediate; returns a no-op request."""
+        self.send(obj, dest, tag)
+        req = Request(lambda: None)
+        req.wait()
+        return req
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Nonblocking receive; the message is consumed at ``wait()``."""
+        return Request(lambda: self.recv(source, tag))
+
+    def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer send (mpi4py-style uppercase): NumPy arrays only."""
+        if not isinstance(array, np.ndarray):
+            raise TypeError("Send requires a numpy.ndarray; use send() for objects")
+        self.send(array, dest, tag)
+
+    def Recv(self, buf: np.ndarray, source: int, tag: int = 0) -> None:
+        """Receive into a preallocated buffer; shape/dtype must be compatible."""
+        if not isinstance(buf, np.ndarray):
+            raise TypeError("Recv requires a preallocated numpy.ndarray buffer")
+        data = self.recv(source, tag)
+        if not isinstance(data, np.ndarray):
+            raise BufferMismatchError(
+                f"Recv expected an ndarray message, got {type(data).__name__}"
+            )
+        if data.dtype != buf.dtype:
+            raise BufferMismatchError(
+                f"dtype mismatch: message {data.dtype} vs buffer {buf.dtype}"
+            )
+        if data.size != buf.size:
+            raise BufferMismatchError(
+                f"size mismatch: message {data.shape} ({data.size} elems) vs "
+                f"buffer {buf.shape} ({buf.size} elems)"
+            )
+        buf.reshape(-1)[:] = data.reshape(-1)
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Simultaneous send+receive (safe against the blocking-order deadlock)."""
+        self._check_peer(dest, "dest")
+        self._check_peer(source, "source")
+        words = _words_of(obj)
+        cost = cc.send_recv_cost(words, self._ledger.machine)
+        self._ledger.charge_message(self._world_rank, words, cost)
+        self._put_raw(dest, ("p2p", tag), _copy_payload(obj))
+        received = self._transport.get(self._key(source, self._rank, ("p2p", tag)))
+        self._ledger.charge_message(self._world_rank, _words_of(received), cost)
+        return received
+
+    # -- collectives ---------------------------------------------------------
+
+    def _next_coll_tag(self, phase: int = 0) -> Hashable:
+        """Reserve a tag for one collective call (same on all ranks by SPMD)."""
+        tag = ("coll", self._coll_seq, phase)
+        return tag
+
+    def _advance_coll(self) -> int:
+        seq = self._coll_seq
+        self._coll_seq += 1
+        return seq
+
+    def _charge_all(self, seconds: float, words: int = 0, messages: int = 0) -> None:
+        """Charge this rank's share of a collective (every member charges once)."""
+        if messages:
+            self._ledger.charge_message(self._world_rank, words, seconds)
+        else:
+            self._ledger.charge_time(self._world_rank, seconds)
+
+    def barrier(self) -> None:
+        """Synchronize all members; charged as one zero-byte all-reduce."""
+        seq = self._advance_coll()
+        self._fan_in_fan_out(seq, token=None)
+        self._charge_all(cc.allreduce_cost(self.size, 1, self._ledger.machine))
+
+    def _fan_in_fan_out(self, seq: int, token: Any) -> Any:
+        """Gather a token at group rank 0, then broadcast a token back."""
+        if self.size == 1:
+            return token
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        if self._rank == 0:
+            for src in range(1, self.size):
+                self._transport.get(self._key(src, 0, tag_in))
+            for dst in range(1, self.size):
+                self._transport.put(self._key(0, dst, tag_out), token)
+            return token
+        self._transport.put(self._key(self._rank, 0, tag_in), None)
+        return self._transport.get(self._key(0, self._rank, tag_out))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to all members."""
+        self._check_peer(root, "root")
+        seq = self._advance_coll()
+        tag = ("coll", seq, 0)
+        if self.size > 1:
+            if self._rank == root:
+                payload = _copy_payload(obj)
+                for dst in range(self.size):
+                    if dst != root:
+                        self._transport.put(self._key(root, dst, tag), payload)
+                result = obj
+            else:
+                result = _copy_payload(
+                    self._transport.get(self._key(root, self._rank, tag))
+                )
+        else:
+            result = obj
+        words = _words_of(result)
+        self._charge_all(
+            cc.bcast_cost(self.size, words, self._ledger.machine),
+            words=words,
+            messages=1 if self.size > 1 else 0,
+        )
+        return result
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank to ``root`` (returns None elsewhere)."""
+        self._check_peer(root, "root")
+        seq = self._advance_coll()
+        tag = ("coll", seq, 0)
+        words = _words_of(value) * self.size
+        self._charge_all(
+            cc.allgather_cost(self.size, words, self._ledger.machine),
+            words=words,
+            messages=1 if self.size > 1 else 0,
+        )
+        if self._rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = _copy_payload(value)
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self._transport.get(self._key(src, root, tag))
+            return out
+        self._put_raw(root, tag, _copy_payload(value))
+        return None
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather one value per rank onto every rank."""
+        seq = self._advance_coll()
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        words = _words_of(value) * self.size
+        self._charge_all(
+            cc.allgather_cost(self.size, words, self._ledger.machine),
+            words=words,
+            messages=1 if self.size > 1 else 0,
+        )
+        if self.size == 1:
+            return [_copy_payload(value)]
+        if self._rank == 0:
+            out = [None] * self.size
+            out[0] = _copy_payload(value)
+            for src in range(1, self.size):
+                out[src] = self._transport.get(self._key(src, 0, tag_in))
+            for dst in range(1, self.size):
+                # Fresh copies per destination: the root may mutate its own
+                # result list before receivers drain their mailboxes.
+                self._transport.put(
+                    self._key(0, dst, tag_out), [_copy_payload(v) for v in out]
+                )
+            return list(out)
+        self._put_raw(0, tag_in, _copy_payload(value))
+        return self._transport.get(self._key(0, self._rank, tag_out))
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter one value per rank from ``root``."""
+        self._check_peer(root, "root")
+        seq = self._advance_coll()
+        tag = ("coll", seq, 0)
+        if self._rank == root:
+            if values is None or len(values) != self.size:
+                raise CommunicatorError(
+                    f"scatter root needs exactly {self.size} values, got "
+                    f"{None if values is None else len(values)}"
+                )
+            my_value = _copy_payload(values[root])
+            total_words = sum(_words_of(v) for v in values)
+            for dst in range(self.size):
+                if dst != root:
+                    self._transport.put(
+                        self._key(root, dst, tag), _copy_payload(values[dst])
+                    )
+        else:
+            my_value = self._transport.get(self._key(root, self._rank, tag))
+            total_words = _words_of(my_value) * self.size
+        self._charge_all(
+            cc.bcast_cost(self.size, total_words, self._ledger.machine),
+            words=total_words,
+            messages=1 if self.size > 1 else 0,
+        )
+        return my_value
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any | None:
+        """Reduce values to ``root`` with ``op`` (rank-ordered, deterministic)."""
+        self._check_peer(root, "root")
+        seq = self._advance_coll()
+        tag = ("coll", seq, 0)
+        words = _words_of(value)
+        self._charge_all(
+            cc.reduce_cost(self.size, words, self._ledger.machine),
+            words=words,
+            messages=1 if self.size > 1 else 0,
+        )
+        if self._rank == root:
+            contributions: list[Any] = [None] * self.size
+            contributions[root] = value
+            for src in range(self.size):
+                if src != root:
+                    contributions[src] = self._transport.get(
+                        self._key(src, root, tag)
+                    )
+            acc = _copy_payload(contributions[0])
+            for src in range(1, self.size):
+                acc = op(acc, contributions[src])
+            return acc
+        self._put_raw(root, tag, _copy_payload(value))
+        return None
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce-then-broadcast; every rank gets the reduction."""
+        seq = self._advance_coll()
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        words = _words_of(value)
+        self._charge_all(
+            cc.allreduce_cost(self.size, words, self._ledger.machine),
+            words=words,
+            messages=1 if self.size > 1 else 0,
+        )
+        if self.size == 1:
+            return _copy_payload(value)
+        if self._rank == 0:
+            acc = _copy_payload(value)
+            received = []
+            for src in range(1, self.size):
+                received.append(self._transport.get(self._key(src, 0, tag_in)))
+            for contribution in received:
+                acc = op(acc, contribution)
+            for dst in range(1, self.size):
+                self._transport.put(self._key(0, dst, tag_out), _copy_payload(acc))
+            return acc
+        self._put_raw(0, tag_in, _copy_payload(value))
+        return self._transport.get(self._key(0, self._rank, tag_out))
+
+    def reduce_scatter_block(
+        self, array: np.ndarray, op: ReduceOp = SUM
+    ) -> np.ndarray:
+        """Reduce an array then scatter equal blocks along axis 0.
+
+        ``array.shape[0]`` must be divisible by the communicator size.  Used
+        by the non-blocked TTM fast path (paper Sec. V-B).
+        """
+        if not isinstance(array, np.ndarray):
+            raise TypeError("reduce_scatter_block requires a numpy.ndarray")
+        if array.shape[0] % self.size != 0:
+            raise CommunicatorError(
+                f"axis 0 of shape {array.shape} not divisible by size {self.size}"
+            )
+        seq = self._advance_coll()
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        words = _words_of(array)
+        self._charge_all(
+            cc.reduce_scatter_cost(self.size, words, self._ledger.machine),
+            words=words,
+            messages=1 if self.size > 1 else 0,
+        )
+        block = array.shape[0] // self.size
+        if self.size == 1:
+            return np.array(array, copy=True)
+        if self._rank == 0:
+            acc = np.array(array, copy=True)
+            for src in range(1, self.size):
+                acc = op(acc, self._transport.get(self._key(src, 0, tag_in)))
+            for dst in range(1, self.size):
+                self._transport.put(
+                    self._key(0, dst, tag_out),
+                    np.array(acc[dst * block : (dst + 1) * block], copy=True),
+                )
+            return np.array(acc[:block], copy=True)
+        self._put_raw(0, tag_in, _copy_payload(array))
+        return _copy_payload(self._transport.get(self._key(0, self._rank, tag_out)))
+
+    def alltoall(self, values: Sequence[Any]) -> list[Any]:
+        """Exchange ``values[j]`` with rank ``j`` for all j simultaneously."""
+        if len(values) != self.size:
+            raise CommunicatorError(
+                f"alltoall needs exactly {self.size} values, got {len(values)}"
+            )
+        seq = self._advance_coll()
+        tag = ("coll", seq, 0)
+        words = sum(_words_of(v) for v in values)
+        # Pairwise-exchange cost: (P-1) messages of W/P words each.
+        p = self.size
+        cost = (p - 1) * cc.send_recv_cost(
+            words / p if p else 0, self._ledger.machine
+        )
+        self._charge_all(cost, words=words, messages=1 if p > 1 else 0)
+        out: list[Any] = [None] * p
+        out[self._rank] = _copy_payload(values[self._rank])
+        for dst in range(p):
+            if dst != self._rank:
+                self._transport.put(
+                    self._key(self._rank, dst, tag), _copy_payload(values[dst])
+                )
+        for src in range(p):
+            if src != self._rank:
+                out[src] = self._transport.get(self._key(src, self._rank, tag))
+        return out
+
+    # -- communicator construction -------------------------------------------
+
+    def split(self, color: int | None, key: int | None = None) -> "Communicator | None":
+        """Partition the communicator by ``color``; order new ranks by ``key``.
+
+        Ranks passing ``color=None`` (MPI's ``MPI_UNDEFINED``) receive ``None``.
+        """
+        seq = self._advance_coll()
+        # Exchange (color, key, rank) without charging: communicator setup is
+        # out of band in the paper's model.
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        triple = (color, self._rank if key is None else key, self._rank)
+        if self.size == 1:
+            triples = [triple]
+        elif self._rank == 0:
+            triples = [triple] + [
+                self._transport.get(self._key(src, 0, tag_in))
+                for src in range(1, self.size)
+            ]
+            triples.sort(key=lambda t: t[2])
+            for dst in range(1, self.size):
+                self._transport.put(self._key(0, dst, tag_out), triples)
+        else:
+            self._put_raw(0, tag_in, triple)
+            triples = self._transport.get(self._key(0, self._rank, tag_out))
+        if color is None:
+            return None
+        group = sorted(
+            (t for t in triples if t[0] == color),
+            key=lambda t: (t[1], t[2]),
+        )
+        members = tuple(self._members[t[2]] for t in group)
+        child_id = (self._comm_id, seq, color)
+        return Communicator(
+            self._transport, self._ledger, child_id, members, self._world_rank
+        )
+
+    def dup(self) -> "Communicator":
+        """Duplicate the communicator with a fresh tag space."""
+        child = self.split(color=0, key=self._rank)
+        assert child is not None
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Communicator(id={self._comm_id!r}, rank={self._rank}/{self.size})"
+        )

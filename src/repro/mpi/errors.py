@@ -1,0 +1,43 @@
+"""Exception hierarchy for the simulated MPI runtime."""
+
+from __future__ import annotations
+
+
+class MpiError(RuntimeError):
+    """Base class for all simulated-MPI failures."""
+
+
+class DeadlockError(MpiError):
+    """A blocking receive or collective waited past its timeout.
+
+    In an SPMD program this almost always means a mismatched send/recv pair,
+    a collective invoked by only a subset of the communicator, or mismatched
+    collective ordering between ranks.
+    """
+
+
+class BufferMismatchError(MpiError):
+    """A received message did not match the posted receive buffer.
+
+    Raised when dtype or shape (element count) of an incoming message is
+    incompatible with the buffer supplied to ``Recv``.
+    """
+
+
+class CommunicatorError(MpiError):
+    """Invalid communicator construction or usage (bad rank, bad split...)."""
+
+
+class SpmdError(MpiError):
+    """One or more ranks of an SPMD section raised an exception.
+
+    Carries the per-rank exceptions so tests can assert on the root cause.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"rank {rank}: {type(exc).__name__}: {exc}"
+            for rank, exc in sorted(self.failures.items())
+        )
+        super().__init__(f"{len(self.failures)} rank(s) failed: {detail}")

@@ -1,0 +1,121 @@
+"""SPMD executor: run one function on N simulated MPI ranks.
+
+Each rank runs in its own Python thread against a shared
+:class:`~repro.mpi.transport.Transport` and
+:class:`~repro.mpi.ledger.CostLedger`.  NumPy releases the GIL inside BLAS,
+so local linear algebra on different ranks genuinely overlaps; everything
+else is interleaved by the GIL, which is fine because correctness never
+depends on timing (all synchronization is explicit message passing).
+
+If any rank raises, the transport is poisoned so sibling ranks blocked on
+receives fail fast, and the whole run raises
+:class:`~repro.mpi.errors.SpmdError` carrying every rank's exception.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.mpi.comm import Communicator
+from repro.mpi.errors import DeadlockError, SpmdError
+from repro.mpi.ledger import CostLedger
+from repro.mpi.transport import Transport
+from repro.perfmodel.machine import EDISON, MachineSpec
+
+
+@dataclass
+class SpmdResult:
+    """Return values of all ranks plus the run's cost ledger."""
+
+    values: list[Any]
+    ledger: CostLedger
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.values[rank]
+
+    @property
+    def modeled_time(self) -> float:
+        return self.ledger.modeled_time()
+
+
+def run_spmd(
+    n_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    machine: MachineSpec = EDISON,
+    timeout: float = 120.0,
+    rank_args: Sequence[tuple] | None = None,
+) -> SpmdResult:
+    """Execute ``fn(comm, *args)`` on ``n_ranks`` simulated MPI ranks.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of ranks (threads) to launch.
+    fn:
+        The SPMD program.  Receives a world :class:`Communicator` as its
+        first argument, then ``args`` (identical on every rank) and, if
+        ``rank_args`` is given, that rank's extra tuple appended.
+    machine:
+        Machine constants used by the cost ledger (default: Edison core).
+    timeout:
+        Deadlock-detection timeout for blocking receives, in seconds.
+    rank_args:
+        Optional per-rank argument tuples, e.g. per-rank data blocks.
+
+    Returns
+    -------
+    SpmdResult
+        Per-rank return values (rank order) and the shared cost ledger.
+
+    Raises
+    ------
+    SpmdError
+        If any rank raised; carries all per-rank exceptions.
+    """
+    if n_ranks <= 0:
+        raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+    if rank_args is not None and len(rank_args) != n_ranks:
+        raise ValueError(
+            f"rank_args has {len(rank_args)} entries for {n_ranks} ranks"
+        )
+    transport = Transport(timeout=timeout)
+    ledger = CostLedger(n_ranks, machine)
+    values: list[Any] = [None] * n_ranks
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = Communicator(transport, ledger, "world", tuple(range(n_ranks)), rank)
+        try:
+            extra = rank_args[rank] if rank_args is not None else ()
+            values[rank] = fn(comm, *args, *extra)
+        except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
+            with failures_lock:
+                failures[rank] = exc
+            transport.abort(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+        for rank in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        # Deadlock cascades: report only the original failures, not the
+        # DeadlockErrors induced on innocent ranks by the abort.
+        primary = {
+            rank: exc
+            for rank, exc in failures.items()
+            if not isinstance(exc, DeadlockError)
+        }
+        raise SpmdError(primary or failures)
+    return SpmdResult(values=values, ledger=ledger)

@@ -1,0 +1,53 @@
+"""Reduction operators for the simulated MPI collectives.
+
+Operators work on NumPy arrays (elementwise) and on Python scalars.  They
+are associative, and the collectives apply them in a fixed rank order so
+floating-point results are deterministic run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named associative binary operator used by reduce/allreduce.
+
+    ``fn(acc, value)`` must return the reduction of its two arguments and
+    must not mutate either argument.
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, acc: Any, value: Any) -> Any:
+        return self.fn(acc, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReduceOp({self.name})"
+
+
+def _sum(a: Any, b: Any) -> Any:
+    return np.add(a, b) if isinstance(a, np.ndarray) else a + b
+
+
+def _prod(a: Any, b: Any) -> Any:
+    return np.multiply(a, b) if isinstance(a, np.ndarray) else a * b
+
+
+def _max(a: Any, b: Any) -> Any:
+    return np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b)
+
+
+def _min(a: Any, b: Any) -> Any:
+    return np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b)
+
+
+SUM = ReduceOp("SUM", _sum)
+PROD = ReduceOp("PROD", _prod)
+MAX = ReduceOp("MAX", _max)
+MIN = ReduceOp("MIN", _min)

@@ -1,0 +1,75 @@
+"""In-process message transport for the simulated MPI runtime.
+
+Messages are delivered through per-(communicator, source, destination, tag)
+mailboxes guarded by a single condition variable.  Delivery is FIFO per
+mailbox, which matches MPI's non-overtaking guarantee for messages sent on
+the same (source, destination, tag, communicator) tuple.
+
+Blocking receives time out after ``timeout`` seconds and raise
+:class:`~repro.mpi.errors.DeadlockError`; an SPMD program that deadlocks in
+real MPI hangs forever, but a test suite should fail fast instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from typing import Any, Hashable
+
+from repro.mpi.errors import DeadlockError
+
+
+class Transport:
+    """Mailbox-based message store shared by all ranks of one SPMD run."""
+
+    def __init__(self, timeout: float = 60.0):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._boxes: dict[Hashable, deque[Any]] = defaultdict(deque)
+        self._cond = threading.Condition()
+        self._aborted: BaseException | None = None
+
+    def abort(self, exc: BaseException) -> None:
+        """Poison the transport: wake all waiters and make them re-raise.
+
+        Called by the executor when any rank dies, so sibling ranks blocked
+        on a receive from the dead rank fail promptly instead of timing out.
+        """
+        with self._cond:
+            self._aborted = exc
+            self._cond.notify_all()
+
+    def put(self, key: Hashable, payload: Any) -> None:
+        """Deposit a message (non-blocking; mailboxes are unbounded)."""
+        with self._cond:
+            self._boxes[key].append(payload)
+            self._cond.notify_all()
+
+    def get(self, key: Hashable) -> Any:
+        """Block until a message is available at ``key`` and pop it."""
+        with self._cond:
+            while True:
+                if self._aborted is not None:
+                    raise DeadlockError(
+                        f"transport aborted while waiting on {key!r}: "
+                        f"{self._aborted!r}"
+                    )
+                box = self._boxes.get(key)
+                if box:
+                    payload = box.popleft()
+                    if not box:
+                        # Keep the dict small across long runs.
+                        del self._boxes[key]
+                    return payload
+                if not self._cond.wait(self.timeout):
+                    raise DeadlockError(
+                        f"receive on {key!r} timed out after "
+                        f"{self.timeout:g}s (likely mismatched send/recv or "
+                        f"collective ordering)"
+                    )
+
+    def pending(self) -> int:
+        """Number of undelivered messages (should be 0 at the end of a run)."""
+        with self._cond:
+            return sum(len(box) for box in self._boxes.values())

@@ -1,0 +1,251 @@
+"""Scaling-experiment predictors that regenerate the paper's Figs. 8-9.
+
+These helpers wrap the algorithm cost models with the experimental designs
+of Sec. VIII:
+
+* :func:`grid_sweep` — Fig. 8a: fixed problem and P, vary the processor grid,
+  report the per-kernel runtime breakdown.
+* :func:`mode_order_sweep` — Fig. 8b: fixed problem and grid, vary the order
+  in which ST-HOSVD processes modes.
+* :func:`strong_scaling_curve` — Fig. 9a: fixed problem, double P, take the
+  best time over a set of candidate grids for each P.
+* :func:`weak_scaling_curve` — Fig. 9b: grow problem and P together, report
+  GFLOPS per core.
+* :func:`enumerate_grids` / :func:`candidate_grids` — processor-grid
+  factorizations, used both here and by the distributed driver's auto-grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.perfmodel.algorithms import (
+    AlgorithmCost,
+    hooi_iteration_cost,
+    sthosvd_cost,
+)
+from repro.perfmodel.machine import MachineSpec
+from repro.util.validation import check_shape_like, prod
+
+
+def enumerate_grids(p: int, n_modes: int) -> list[tuple[int, ...]]:
+    """All ordered factorizations of ``p`` into ``n_modes`` positive factors.
+
+    The count grows quickly with the divisor structure of ``p``; for the
+    paper's experiments (powers of two times small cofactors, N <= 5) it
+    stays in the low thousands.
+    """
+    if p <= 0 or n_modes <= 0:
+        raise ValueError("p and n_modes must be positive")
+    if n_modes == 1:
+        return [(p,)]
+    grids: list[tuple[int, ...]] = []
+    for d in sorted(_divisors(p)):
+        for rest in enumerate_grids(p // d, n_modes - 1):
+            grids.append((d,) + rest)
+    return grids
+
+
+def _divisors(p: int) -> list[int]:
+    small, large = [], []
+    d = 1
+    while d * d <= p:
+        if p % d == 0:
+            small.append(d)
+            if d != p // d:
+                large.append(p // d)
+        d += 1
+    return small + large[::-1]
+
+
+def candidate_grids(
+    p: int,
+    shape: Sequence[int],
+    max_candidates: int = 50,
+) -> list[tuple[int, ...]]:
+    """A pruned set of sensible grids for ``p`` ranks and the given shape.
+
+    Drops grids with more processors than elements in any mode, then keeps
+    the ``max_candidates`` grids with the most balanced local blocks
+    (minimal max local-dimension ratio).  Used by auto-grid selection and by
+    the strong-scaling tuner (the paper tunes over 3-4 heuristic grids).
+    """
+    shape = check_shape_like(shape, "shape")
+    feasible = [
+        g
+        for g in enumerate_grids(p, len(shape))
+        if all(pn <= s for pn, s in zip(g, shape))
+    ]
+    if not feasible:
+        raise ValueError(f"no feasible grid for P={p} on shape {tuple(shape)}")
+
+    def balance(grid: tuple[int, ...]) -> tuple[float, int]:
+        locals_ = [s / pn for s, pn in zip(shape, grid)]
+        return (max(locals_) / min(locals_), grid[0])
+
+    feasible.sort(key=balance)
+    return feasible[:max_candidates]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep with its modeled cost breakdown."""
+
+    label: str
+    grid: tuple[int, ...]
+    cost: AlgorithmCost
+
+    @property
+    def time(self) -> float:
+        return self.cost.time
+
+    def breakdown(self) -> dict[str, float]:
+        return {k: self.cost.kernel_time(k) for k in ("gram", "evecs", "ttm")}
+
+
+def grid_sweep(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    grids: Iterable[Sequence[int]],
+    machine: MachineSpec,
+) -> list[SweepPoint]:
+    """Fig. 8a: modeled ST-HOSVD cost for each processor grid."""
+    points = []
+    for grid in grids:
+        grid = tuple(grid)
+        cost = sthosvd_cost(shape, ranks, grid, machine)
+        label = "x".join(str(g) for g in grid)
+        points.append(SweepPoint(label=label, grid=grid, cost=cost))
+    return points
+
+
+def mode_order_sweep(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    grid: Sequence[int],
+    machine: MachineSpec,
+    orders: Iterable[Sequence[int]] | None = None,
+) -> list[SweepPoint]:
+    """Fig. 8b: modeled ST-HOSVD cost for each mode-processing order."""
+    if orders is None:
+        orders = itertools.permutations(range(len(tuple(shape))))
+    points = []
+    for order in orders:
+        order = tuple(order)
+        cost = sthosvd_cost(shape, ranks, grid, machine, mode_order=order)
+        label = "".join(str(m + 1) for m in order)
+        points.append(SweepPoint(label=label, grid=tuple(grid), cost=cost))
+    return points
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One processor count of a scaling study."""
+
+    n_procs: int
+    grid: tuple[int, ...]
+    sthosvd_time: float
+    hooi_time: float
+    sthosvd_flops: float
+    hooi_flops: float
+
+    def gflops_per_core(self, algorithm: str = "sthosvd") -> float:
+        """Aggregate useful flops per core per second, in GFLOPS."""
+        if algorithm == "sthosvd":
+            time, flops = self.sthosvd_time, self.sthosvd_flops
+        elif algorithm == "hooi":
+            time, flops = self.hooi_time, self.hooi_flops
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        if time == 0:
+            return 0.0
+        # KernelCost flops are per-processor; flops/time is per-core rate.
+        return flops / time / 1e9
+
+
+def _best_over_grids(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    p: int,
+    machine: MachineSpec,
+    grids: Sequence[Sequence[int]] | None,
+    max_candidates: int,
+) -> ScalingPoint:
+    grid_list = (
+        [tuple(g) for g in grids]
+        if grids is not None
+        else candidate_grids(p, shape, max_candidates=max_candidates)
+    )
+    best: ScalingPoint | None = None
+    for grid in grid_list:
+        if prod(grid) != p:
+            raise ValueError(f"grid {grid} does not use P={p} processors")
+        st = sthosvd_cost(shape, ranks, grid, machine)
+        ho = hooi_iteration_cost(shape, ranks, grid, machine)
+        point = ScalingPoint(
+            n_procs=p,
+            grid=tuple(grid),
+            sthosvd_time=st.time,
+            hooi_time=ho.time,
+            sthosvd_flops=st.flops,
+            hooi_flops=ho.flops,
+        )
+        if best is None or point.sthosvd_time < best.sthosvd_time:
+            best = point
+    assert best is not None
+    return best
+
+
+def strong_scaling_curve(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    proc_counts: Sequence[int],
+    machine: MachineSpec,
+    grids_by_p: dict[int, Sequence[Sequence[int]]] | None = None,
+    max_candidates: int = 30,
+) -> list[ScalingPoint]:
+    """Fig. 9a: best modeled time over candidate grids for each P."""
+    return [
+        _best_over_grids(
+            shape,
+            ranks,
+            p,
+            machine,
+            grids_by_p.get(p) if grids_by_p else None,
+            max_candidates,
+        )
+        for p in proc_counts
+    ]
+
+
+def weak_scaling_curve(
+    k_values: Sequence[int],
+    machine: MachineSpec,
+    base_dim: int = 200,
+    base_rank: int = 20,
+    cores_per_node: int = 24,
+) -> list[ScalingPoint]:
+    """Fig. 9b: weak scaling with the paper's exact configuration.
+
+    For each ``k``: tensor ``(base_dim * k)^4``, core ``(base_rank * k)^4``,
+    ``cores_per_node * k^4`` processors, best of the paper's three grid
+    shapes ``1 x 1 x 4k^2 x 6k^2``, ``k x k x 4k x 6k``, ``k x 2k x 3k x 4k``.
+    """
+    points = []
+    for k in k_values:
+        if k <= 0:
+            raise ValueError(f"k values must be positive, got {k}")
+        shape = (base_dim * k,) * 4
+        ranks = (base_rank * k,) * 4
+        p = cores_per_node * k**4
+        grids = [
+            (1, 1, 4 * k * k, 6 * k * k),
+            (k, k, 4 * k, 6 * k),
+            (k, 2 * k, 3 * k, 4 * k),
+        ]
+        points.append(
+            _best_over_grids(shape, ranks, p, machine, grids, max_candidates=1)
+        )
+    return points

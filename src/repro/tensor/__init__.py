@@ -1,0 +1,38 @@
+"""Dense tensor algebra substrate.
+
+Implements the tensor notation of paper Sec. II-A: mode-n unfoldings in the
+paper's layout convention (the mode-1 unfolding of a stored tensor is
+column-major), the tensor-times-matrix (TTM) product, mode-n Gram matrices,
+and the truncated symmetric eigensolver used for factor-matrix computation.
+Everything here is sequential; the distributed algorithms in
+:mod:`repro.distributed` call these kernels on per-rank local blocks.
+"""
+
+from repro.tensor.dense import Tensor, fold, unfold
+from repro.tensor.ttm import multi_ttm, ttm, ttm_blocked
+from repro.tensor.gram import gram, gram_blocked
+from repro.tensor.eig import (
+    EigResult,
+    eigendecompose,
+    leading_eigenvectors,
+    rank_from_tolerance,
+)
+from repro.tensor.random import low_rank_tensor, random_factor, random_tensor
+
+__all__ = [
+    "Tensor",
+    "fold",
+    "unfold",
+    "ttm",
+    "ttm_blocked",
+    "multi_ttm",
+    "gram",
+    "gram_blocked",
+    "EigResult",
+    "eigendecompose",
+    "leading_eigenvectors",
+    "rank_from_tolerance",
+    "low_rank_tensor",
+    "random_factor",
+    "random_tensor",
+]

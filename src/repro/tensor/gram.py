@@ -1,0 +1,51 @@
+"""Mode-n Gram matrices ``S = X_(n) X_(n)^T`` (paper Algs. 1-2, line "S <- ...").
+
+The Gram matrix is the workhorse of both ST-HOSVD and HOOI: its leading
+eigenvectors are the factor matrices, and its eigenvalue tails drive the
+epsilon-based rank selection.  Two implementations:
+
+* :func:`gram` — single syrk-equivalent (``A @ A.T``) on the unfolding.
+* :func:`gram_blocked` — layout-respecting variant accumulating one
+  contiguous sub-block at a time (the multiple-dsyrk-call strategy the paper
+  uses for interior modes, Sec. V-C), avoiding the permuted copy of the full
+  unfolding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.dense import Tensor, as_ndarray, unfold
+from repro.util.validation import check_axis, prod
+
+
+def gram(x: "Tensor | np.ndarray", mode: int) -> np.ndarray:
+    """Gram matrix of the mode-``mode`` unfolding (``I_n x I_n``, symmetric PSD)."""
+    arr = as_ndarray(x)
+    mode = check_axis(mode, arr.ndim)
+    mat = unfold(arr, mode)
+    s = mat @ mat.T
+    # Enforce exact symmetry: dgemm output can differ in the last ulp across
+    # the diagonal, which would leak into eigensolver determinism.
+    return (s + s.T) * 0.5
+
+
+def gram_blocked(x: "Tensor | np.ndarray", mode: int) -> np.ndarray:
+    """Gram matrix accumulated sub-block by sub-block (paper Sec. V-C).
+
+    For a Fortran-stored tensor, the mode-n unfolding consists of
+    ``prod_{m > n} I_m`` contiguous ``I_n x prod_{m < n} I_m`` blocks; the
+    Gram matrix is the sum of per-block outer products, each one a dsyrk.
+    """
+    arr = as_ndarray(x)
+    mode = check_axis(mode, arr.ndim)
+    shape = arr.shape
+    lead = prod(shape[:mode])
+    trail = prod(shape[mode + 1 :])
+    flat = np.reshape(np.asfortranarray(arr), (lead, shape[mode], trail), order="F")
+    n = shape[mode]
+    s = np.zeros((n, n))
+    for b in range(trail):
+        block = flat[:, :, b]  # lead x I_n; the unfolding block is its transpose
+        s += block.T @ block
+    return (s + s.T) * 0.5

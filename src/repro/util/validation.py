@@ -1,0 +1,56 @@
+"""Argument validation helpers used across the library.
+
+All validators raise ``ValueError``/``TypeError`` with messages that name the
+offending argument, so call sites can stay terse.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def prod(values: Iterable[int]) -> int:
+    """Integer product of an iterable (empty product is 1).
+
+    ``math.prod`` exists but this wrapper documents intent (tensor sizes are
+    exact integers, never floats) and is patch-friendly in tests.
+    """
+    return math.prod(values)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_axis(axis: int, ndim: int, name: str = "mode") -> int:
+    """Validate a mode index against a tensor order, allowing negatives.
+
+    Returns the normalized (non-negative) axis.
+    """
+    if isinstance(axis, bool) or not isinstance(axis, int):
+        raise TypeError(f"{name} must be an int, got {type(axis).__name__}")
+    if not -ndim <= axis < ndim:
+        raise ValueError(
+            f"{name}={axis} out of range for an order-{ndim} tensor"
+        )
+    return axis % ndim
+
+
+def check_shape_like(shape: Sequence[int], name: str = "shape") -> tuple[int, ...]:
+    """Validate a tensor shape (sequence of positive ints) and return a tuple."""
+    try:
+        tup = tuple(int(s) for s in shape)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a sequence of ints") from exc
+    if len(tup) == 0:
+        raise ValueError(f"{name} must have at least one mode")
+    for s in tup:
+        if s <= 0:
+            raise ValueError(f"all entries of {name} must be positive, got {tup}")
+    return tup

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.perfmodel.machine import UNIT
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+def spmd(n_ranks, fn, *args, **kwargs):
+    """Run an SPMD function with test-friendly defaults (short timeout)."""
+    kwargs.setdefault("timeout", 20.0)
+    return run_spmd(n_ranks, fn, *args, **kwargs)
+
+
+def spmd_unit(n_ranks, fn, *args, **kwargs):
+    """SPMD run on the unit-cost machine (time == messages+words+flops)."""
+    kwargs.setdefault("machine", UNIT)
+    return spmd(n_ranks, fn, *args, **kwargs)

@@ -1,0 +1,79 @@
+"""Tests for decomposition validation (repro.core.diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.core import sthosvd
+from repro.core.diagnostics import check_orthonormal, validate_tucker
+from repro.core.tucker import TuckerTensor
+from repro.tensor import low_rank_tensor, random_factor, random_tensor
+
+
+def _good(seed=0):
+    x = low_rank_tensor((8, 7, 6), (3, 3, 2), seed=seed, noise=0.02)
+    return x, sthosvd(x, ranks=(3, 3, 2)).decomposition
+
+
+class TestCheckOrthonormal:
+    def test_zero_for_orthonormal(self):
+        assert check_orthonormal(random_factor(8, 3, seed=1)) < 1e-12
+
+    def test_large_for_scaled(self):
+        assert check_orthonormal(2 * random_factor(8, 3, seed=1)) > 1.0
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            check_orthonormal(np.zeros(4))
+
+
+class TestValidateTucker:
+    def test_clean_decomposition_passes(self):
+        x, t = _good()
+        report = validate_tucker(t, x)
+        assert report.ok
+        assert max(report.orthonormality_errors) < 1e-10
+        assert report.core_residual < 1e-10
+        assert report.norm_identity_gap < 1e-10
+        assert report.relative_error == pytest.approx(
+            t.relative_error(x), rel=1e-9
+        )
+
+    def test_without_reference_tensor(self):
+        _, t = _good()
+        report = validate_tucker(t)
+        assert report.ok
+        assert report.core_residual is None
+        assert report.relative_error is None
+
+    def test_detects_bad_factor(self):
+        x, t = _good()
+        factors = list(t.factors)
+        factors[0] = factors[0] * 1.5  # break orthonormality
+        broken = TuckerTensor(core=t.core, factors=tuple(factors))
+        report = validate_tucker(broken, x)
+        assert not report.ok
+        assert any("orthonormality" in i for i in report.issues)
+
+    def test_detects_wrong_core(self):
+        x, t = _good()
+        wrong = TuckerTensor(
+            core=t.core + 0.1 * random_tensor(t.ranks, seed=2),
+            factors=t.factors,
+        )
+        report = validate_tucker(wrong, x)
+        assert not report.ok
+        assert any("optimal projection" in i for i in report.issues)
+
+    def test_shape_mismatch(self):
+        _, t = _good()
+        with pytest.raises(ValueError, match="does not match"):
+            validate_tucker(t, np.zeros((2, 2, 2)))
+
+    def test_zero_tensor_rejected(self):
+        _, t = _good()
+        with pytest.raises(ValueError, match="zero tensor"):
+            validate_tucker(t, np.zeros(t.shape))
+
+    def test_rejects_non_tucker(self):
+        with pytest.raises(TypeError):
+            validate_tucker(np.zeros((2, 2)))

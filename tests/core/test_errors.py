@@ -1,0 +1,125 @@
+"""Error-metric tests (normalized RMS, mode-wise curves, eq. 3 bound)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compression_ratio,
+    error_bound,
+    max_abs_error,
+    modewise_error_curves,
+    normalized_rms,
+    sthosvd,
+)
+from repro.core.errors import mode_eigenvalues
+from repro.tensor import low_rank_tensor, random_tensor
+
+
+class TestNormalizedRms:
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal((4, 5))
+        assert normalized_rms(x, x) == 0.0
+
+    def test_scale_invariant(self, rng):
+        x = rng.standard_normal((4, 5))
+        y = x + 0.01 * rng.standard_normal((4, 5))
+        assert normalized_rms(10 * x, 10 * y) == pytest.approx(
+            normalized_rms(x, y)
+        )
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            normalized_rms(rng.standard_normal((2, 2)), rng.standard_normal((3,)))
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_rms(np.zeros((3, 3)), np.ones((3, 3)))
+
+
+class TestMaxAbsError:
+    def test_locates_max(self, rng):
+        x = rng.standard_normal((4, 5))
+        y = x.copy()
+        y[2, 3] += 7.0
+        assert max_abs_error(x, y) == pytest.approx(7.0)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros((2,)), np.zeros((3,)))
+
+
+class TestModewiseCurves:
+    def test_monotone_decreasing(self):
+        x = low_rank_tensor((8, 9, 10), (4, 4, 4), seed=1, noise=0.1)
+        for curve in modewise_error_curves(x):
+            assert np.all(np.diff(curve) <= 1e-12)
+
+    def test_endpoints(self):
+        x = random_tensor((6, 7), seed=2)
+        curves = modewise_error_curves(x)
+        for n, curve in enumerate(curves):
+            assert curve.shape == (x.shape[n] + 1,)
+            # Rank 0 discards everything: error = 1; full rank: error = 0.
+            assert curve[0] == pytest.approx(1.0)
+            assert curve[-1] == pytest.approx(0.0, abs=1e-8)
+
+    def test_accepts_precomputed_eigenvalues(self):
+        x = random_tensor((5, 6), seed=3)
+        eigs = mode_eigenvalues(x)
+        a = modewise_error_curves(x)
+        b = modewise_error_curves(x, eigenvalues=eigs)
+        for ca, cb in zip(a, b):
+            np.testing.assert_allclose(ca, cb)
+
+    def test_low_rank_mode_drops_at_rank(self):
+        x = low_rank_tensor((10, 10), (3, 7), seed=4)
+        curves = modewise_error_curves(x)
+        assert curves[0][3] < 1e-7  # mode 0 is exactly rank 3
+
+    def test_zero_tensor_rejected(self):
+        with pytest.raises(ValueError):
+            modewise_error_curves(np.zeros((3, 3)))
+
+
+class TestErrorBound:
+    def test_bounds_true_sthosvd_error(self):
+        x = low_rank_tensor((10, 11, 12), (5, 5, 5), seed=5, noise=0.2)
+        eigs = mode_eigenvalues(x)
+        ranks = (4, 4, 4)
+        res = sthosvd(x, ranks=ranks)
+        bound = error_bound(eigs, ranks, float(np.linalg.norm(x.ravel())))
+        assert res.decomposition.relative_error(x) <= bound + 1e-12
+
+    def test_zero_at_full_rank(self):
+        x = random_tensor((5, 6), seed=6)
+        eigs = mode_eigenvalues(x)
+        bound = error_bound(eigs, (5, 6), float(np.linalg.norm(x.ravel())))
+        assert bound == pytest.approx(0.0, abs=1e-7)
+
+    def test_validation(self):
+        x = random_tensor((5, 6), seed=7)
+        eigs = mode_eigenvalues(x)
+        with pytest.raises(ValueError):
+            error_bound(eigs, (5,), 1.0)
+        with pytest.raises(ValueError):
+            error_bound(eigs, (5, 7), 1.0)
+        with pytest.raises(ValueError):
+            error_bound(eigs, (5, 6), 0.0)
+
+
+class TestCompressionRatio:
+    def test_paper_formula(self):
+        # C = prod(I) / (prod(R) + sum I_n R_n).
+        assert compression_ratio((10, 10), (2, 2)) == pytest.approx(
+            100 / (4 + 20 + 20)
+        )
+
+    def test_no_compression_at_full_rank_is_below_one(self):
+        # Storing core + factors at full rank costs more than the data.
+        assert compression_ratio((8, 8), (8, 8)) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compression_ratio((4, 4), (5, 2))
+        with pytest.raises(ValueError):
+            compression_ratio((4, 4), (2,))

@@ -1,0 +1,70 @@
+"""Property-based tests for the streaming compressor.
+
+The central guarantee — final error <= tol regardless of how the time axis
+is chopped into slabs — must hold for arbitrary partitions, tolerances, and
+data, including rank growth mid-stream.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import normalized_rms
+from repro.core.streaming import StreamingTucker
+from repro.tensor import low_rank_tensor
+from repro.util.seeding import rng_for
+
+
+@st.composite
+def partitions(draw):
+    """A random chop of n_steps into positive chunks."""
+    n_steps = draw(st.integers(4, 16))
+    chunks = []
+    remaining = n_steps
+    while remaining > 0:
+        c = draw(st.integers(1, remaining))
+        chunks.append(c)
+        remaining -= c
+    return n_steps, chunks
+
+
+@given(
+    part=partitions(),
+    seed=st.integers(0, 2**16),
+    tol=st.sampled_from([0.3, 0.1, 0.02]),
+)
+@settings(max_examples=25, deadline=None)
+def test_error_budget_for_any_partition(part, seed, tol):
+    n_steps, chunks = part
+    x = low_rank_tensor(
+        (7, 6, n_steps), (3, 3, min(4, n_steps)), seed=seed, noise=0.01
+    )
+    streamer = StreamingTucker((7, 6), tol=tol)
+    t0 = 0
+    for c in chunks:
+        streamer.update(x[..., t0 : t0 + c])
+        t0 += c
+    t = streamer.finalize()
+    assert t.shape == x.shape
+    assert normalized_rms(x, t.reconstruct()) <= tol * (1 + 1e-9)
+
+
+@given(part=partitions(), seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_rank_growth_triggered_by_new_content(part, seed):
+    # Data whose second half lives in a different subspace must grow the
+    # bases when the new content arrives.
+    n_steps, chunks = part
+    rng = rng_for(seed, "stream-grow")
+    first = low_rank_tensor((8, 6, n_steps), (2, 2, min(3, n_steps)), seed=seed)
+    second = low_rank_tensor(
+        (8, 6, n_steps), (5, 4, min(3, n_steps)), seed=seed + 1
+    )
+    x = np.concatenate([first, second], axis=-1)
+    streamer = StreamingTucker((8, 6), tol=1e-3)
+    streamer.update(first)
+    ranks_before = streamer.current_ranks
+    streamer.update(second)
+    ranks_after = streamer.current_ranks
+    assert all(b >= a for a, b in zip(ranks_before, ranks_after))
+    t = streamer.finalize()
+    assert normalized_rms(x, t.reconstruct()) <= 1e-3

@@ -1,0 +1,128 @@
+"""TuckerTensor object tests: reconstruction, subtensors, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import TuckerTensor
+from repro.tensor import multi_ttm, random_factor, random_tensor
+
+
+def _random_tucker(shape=(6, 7, 8), ranks=(2, 3, 4), seed=0):
+    core = random_tensor(ranks, seed=seed)
+    factors = tuple(
+        random_factor(s, r, seed=seed + n) for n, (s, r) in enumerate(zip(shape, ranks))
+    )
+    return TuckerTensor(core=core, factors=factors)
+
+
+class TestConstruction:
+    def test_shapes_and_ranks(self):
+        t = _random_tucker()
+        assert t.shape == (6, 7, 8)
+        assert t.ranks == (2, 3, 4)
+        assert t.order == 3
+
+    def test_factor_count_mismatch(self):
+        with pytest.raises(ValueError, match="factors"):
+            TuckerTensor(core=np.zeros((2, 2)), factors=(np.zeros((4, 2)),))
+
+    def test_factor_column_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            TuckerTensor(
+                core=np.zeros((2, 3)),
+                factors=(np.zeros((4, 2)), np.zeros((5, 2))),
+            )
+
+    def test_factor_must_be_matrix(self):
+        with pytest.raises(ValueError, match="matrix"):
+            TuckerTensor(core=np.zeros((2,)), factors=(np.zeros(2),))
+
+
+class TestReconstruction:
+    def test_matches_multi_ttm(self):
+        t = _random_tucker()
+        expected = multi_ttm(t.core, list(t.factors), transpose=False)
+        np.testing.assert_allclose(t.reconstruct(), expected, atol=1e-12)
+
+    def test_subtensor_matches_full(self):
+        t = _random_tucker()
+        full = t.reconstruct()
+        sub = t.reconstruct_subtensor([slice(1, 4), None, slice(2, 6)])
+        np.testing.assert_allclose(sub, full[1:4, :, 2:6], atol=1e-12)
+
+    def test_subtensor_integer_index(self):
+        t = _random_tucker()
+        full = t.reconstruct()
+        sub = t.reconstruct_subtensor([2, None, None])
+        np.testing.assert_allclose(sub[0], full[2], atol=1e-12)
+
+    def test_subtensor_negative_integer(self):
+        t = _random_tucker()
+        full = t.reconstruct()
+        sub = t.reconstruct_subtensor([-1, None, None])
+        np.testing.assert_allclose(sub[0], full[-1], atol=1e-12)
+
+    def test_subtensor_fancy_index(self):
+        t = _random_tucker()
+        full = t.reconstruct()
+        sub = t.reconstruct_subtensor([[0, 2, 5], None, None])
+        np.testing.assert_allclose(sub, full[[0, 2, 5]], atol=1e-12)
+
+    def test_subtensor_strided(self):
+        t = _random_tucker()
+        full = t.reconstruct()
+        sub = t.reconstruct_subtensor([None, slice(0, None, 2), None])
+        np.testing.assert_allclose(sub, full[:, ::2, :], atol=1e-12)
+
+    def test_subtensor_wrong_count(self):
+        with pytest.raises(ValueError, match="one index per mode"):
+            _random_tucker().reconstruct_subtensor([None])
+
+    def test_subtensor_empty_selection(self):
+        with pytest.raises(ValueError, match="empty"):
+            _random_tucker().reconstruct_subtensor([slice(0, 0), None, None])
+
+    def test_subtensor_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            _random_tucker().reconstruct_subtensor([99, None, None])
+
+
+class TestNormsAndErrors:
+    def test_core_norm_equals_reconstruction_norm(self):
+        # Orthonormal factors preserve norms.
+        t = _random_tucker()
+        assert t.core_norm() == pytest.approx(
+            np.linalg.norm(t.reconstruct().ravel())
+        )
+
+    def test_relative_error_zero_for_exact(self):
+        t = _random_tucker()
+        x = t.reconstruct()
+        assert t.relative_error(x) < 1e-12
+
+    def test_relative_error_shape_check(self):
+        with pytest.raises(ValueError, match="does not match"):
+            _random_tucker().relative_error(np.zeros((2, 2, 2)))
+
+    def test_relative_error_zero_tensor(self):
+        with pytest.raises(ValueError, match="zero tensor"):
+            _random_tucker().relative_error(np.zeros((6, 7, 8)))
+
+    def test_residual_norm_sq_identity(self):
+        # ||X - X~||^2 = ||X||^2 - ||G||^2 when G is the optimal core.
+        t = _random_tucker()
+        x = t.reconstruct() + 0.0
+        # Add a component orthogonal to the factor subspaces.
+        assert t.residual_norm_sq(t.core_norm() ** 2) == pytest.approx(0.0)
+
+
+class TestCompressionAccounting:
+    def test_storage_words(self):
+        t = _random_tucker(shape=(6, 7, 8), ranks=(2, 3, 4))
+        assert t.storage_words == 2 * 3 * 4 + 6 * 2 + 7 * 3 + 8 * 4
+
+    def test_compression_ratio_formula(self):
+        t = _random_tucker(shape=(6, 7, 8), ranks=(2, 3, 4))
+        assert t.compression_ratio == pytest.approx(
+            (6 * 7 * 8) / (24 + 12 + 21 + 32)
+        )

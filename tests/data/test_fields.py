@@ -1,0 +1,103 @@
+"""Synthetic field generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import dct_basis, decay_profile, multiway_field
+from repro.tensor import gram
+from repro.tensor.eig import eigendecompose
+
+
+class TestDctBasis:
+    def test_orthonormal(self):
+        b = dct_basis(16)
+        np.testing.assert_allclose(b.T @ b, np.eye(16), atol=1e-12)
+
+    def test_first_column_constant(self):
+        b = dct_basis(8)
+        assert np.allclose(b[:, 0], b[0, 0])
+
+    def test_column_k_has_k_sign_changes(self):
+        b = dct_basis(12)
+        for k in (1, 3, 5):
+            changes = np.sum(np.diff(np.sign(b[:, k])) != 0)
+            assert changes == k
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            dct_basis(0)
+
+
+class TestDecayProfile:
+    def test_power_law(self):
+        w = decay_profile(4, kind="power", rate=1.0)
+        np.testing.assert_allclose(w, [1, 0.5, 1 / 3, 0.25])
+
+    def test_exponential(self):
+        w = decay_profile(3, kind="exp", rate=1.0)
+        np.testing.assert_allclose(w, np.exp([-0.0, -1.0, -2.0]))
+
+    def test_floor_added(self):
+        w = decay_profile(5, kind="exp", rate=10.0, floor=0.01)
+        assert w[-1] >= 0.01
+
+    def test_monotone_nonincreasing(self):
+        for kind in ("power", "exp"):
+            w = decay_profile(20, kind=kind, rate=0.7)
+            assert np.all(np.diff(w) <= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decay_profile(0)
+        with pytest.raises(ValueError):
+            decay_profile(5, rate=-1)
+        with pytest.raises(ValueError):
+            decay_profile(5, floor=-1)
+        with pytest.raises(ValueError):
+            decay_profile(5, kind="linear")
+
+
+class TestMultiwayField:
+    def test_deterministic(self):
+        profiles = [decay_profile(6, rate=1.0), decay_profile(8, rate=0.5)]
+        a = multiway_field((6, 8), profiles, seed=1)
+        b = multiway_field((6, 8), profiles, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spectral_decay_controlled(self):
+        # Steeper profiles must give faster eigenvalue decay.
+        shape = (16, 16)
+        steep = [decay_profile(16, kind="exp", rate=1.0)] * 2
+        flat = [decay_profile(16, kind="exp", rate=0.01)] * 2
+        x_steep = multiway_field(shape, steep, seed=2)
+        x_flat = multiway_field(shape, flat, seed=2)
+
+        def tail_fraction(x):
+            lam = eigendecompose(gram(x, 0)).values
+            return lam[8:].sum() / lam.sum()
+
+        assert tail_fraction(x_steep) < 1e-6
+        assert tail_fraction(x_flat) > 1e-3
+
+    def test_noise_relative_to_signal(self):
+        profiles = [decay_profile(10, kind="exp", rate=2.0)] * 2
+        clean = multiway_field((10, 10), profiles, seed=3, noise=0.0)
+        noisy = multiway_field((10, 10), profiles, seed=3, noise=0.01)
+        rel = np.linalg.norm(noisy - clean) / np.linalg.norm(clean)
+        assert 0.001 < rel < 0.1
+
+    def test_smooth_modes_flag(self):
+        profiles = [decay_profile(8, rate=0.5)] * 2
+        x = multiway_field((8, 8), profiles, seed=4, smooth_modes=[True, False])
+        assert x.shape == (8, 8)
+
+    def test_validation(self):
+        profiles = [decay_profile(6, rate=1.0)]
+        with pytest.raises(ValueError, match="profiles"):
+            multiway_field((6, 8), profiles)
+        with pytest.raises(ValueError, match="shape"):
+            multiway_field((6,), [decay_profile(5, rate=1.0)])
+        with pytest.raises(ValueError, match="negative"):
+            multiway_field((3,), [np.array([1.0, -1.0, 0.5])])
+        with pytest.raises(ValueError, match="noise"):
+            multiway_field((3,), [decay_profile(3)], noise=-0.1)

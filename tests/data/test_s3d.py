@@ -1,0 +1,93 @@
+"""Dataset-proxy tests: structure and the paper's compressibility ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import sthosvd
+from repro.data import (
+    DATASETS,
+    center_and_scale,
+    hcci_proxy,
+    load_dataset,
+    sp_proxy,
+    tjlr_proxy,
+)
+
+# Small shapes keep this module fast; decay is parameterized in e-folds so
+# compressibility fractions are scale-invariant.
+SMALL = {
+    "HCCI": dict(shape=(24, 24, 12, 20)),
+    "TJLR": dict(shape=(12, 14, 10, 18, 8)),
+    "SP": dict(shape=(16, 16, 16, 8, 10)),
+}
+
+
+def _small(name):
+    return load_dataset(name, **SMALL[name])
+
+
+class TestStructure:
+    def test_hcci_is_4way(self):
+        ds = _small("HCCI")
+        assert ds.tensor.ndim == 4
+        assert ds.species_mode == 2
+        assert ds.paper_shape == (672, 672, 33, 627)
+
+    def test_tjlr_is_5way(self):
+        ds = _small("TJLR")
+        assert ds.tensor.ndim == 5
+        assert ds.paper_compression_eps1e3 == pytest.approx(7.0)
+
+    def test_sp_is_5way(self):
+        ds = _small("SP")
+        assert ds.tensor.ndim == 5
+        assert ds.paper_ranks_eps1e3 == (81, 129, 127, 7, 32)
+
+    def test_registry(self):
+        assert set(DATASETS) == {"HCCI", "TJLR", "SP"}
+        assert load_dataset("hcci", **SMALL["HCCI"]).name == "HCCI"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("DNS9000")
+
+    def test_wrong_order_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            hcci_proxy(shape=(4, 4, 4))
+        with pytest.raises(ValueError):
+            tjlr_proxy(shape=(4, 4, 4, 4))
+        with pytest.raises(ValueError):
+            sp_proxy(shape=(4, 4, 4, 4))
+
+    def test_deterministic(self):
+        a = _small("SP").tensor
+        b = _small("SP").tensor
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCompressibilityOrdering:
+    """The paper's central empirical finding: SP >> HCCI >> TJLR."""
+
+    def test_ordering_at_1e_2(self):
+        ratios = {}
+        for name in ("HCCI", "TJLR", "SP"):
+            ds = _small(name)
+            x, _ = center_and_scale(ds.tensor, ds.species_mode)
+            res = sthosvd(x, tol=1e-2)
+            ratios[name] = res.decomposition.compression_ratio
+        assert ratios["SP"] > ratios["HCCI"] > ratios["TJLR"]
+
+    def test_tjlr_species_time_do_not_truncate(self):
+        # Table II: TJLR keeps R = I in the species and time modes.
+        ds = _small("TJLR")
+        x, _ = center_and_scale(ds.tensor, ds.species_mode)
+        res = sthosvd(x, tol=1e-3)
+        assert res.ranks[3] == ds.shape[3]
+        assert res.ranks[4] == ds.shape[4]
+
+    def test_error_guarantee_on_all_proxies(self):
+        for name in ("HCCI", "TJLR", "SP"):
+            ds = _small(name)
+            x, _ = center_and_scale(ds.tensor, ds.species_mode)
+            res = sthosvd(x, tol=1e-2)
+            assert res.decomposition.relative_error(x) <= 1e-2

@@ -1,0 +1,80 @@
+"""Symmetry-exploiting distributed Gram tests (paper's future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistTensor, dist_gram
+from repro.distributed.layout import block_range
+from repro.mpi import CartGrid
+from repro.tensor import gram
+from tests.conftest import spmd
+
+
+def _x(shape=(6, 6, 4), seed=20):
+    return np.random.default_rng(seed).standard_normal(shape)
+
+
+class TestSymmetricGram:
+    @pytest.mark.parametrize("grid_dims", [(2, 3, 2), (3, 2, 2), (1, 6, 2)])
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_plain_gram(self, grid_dims, mode):
+        x = _x()
+
+        def prog(comm):
+            g = CartGrid(comm, grid_dims)
+            dt = DistTensor.from_global(g, x)
+            s_sym = dist_gram(dt, mode, exploit_symmetry=True)
+            start, stop = block_range(
+                x.shape[mode], grid_dims[mode], g.coords[mode]
+            )
+            return s_sym, (start, stop)
+
+        expected = gram(x, mode)
+        for s_sym, (start, stop) in spmd(12, prog):
+            np.testing.assert_allclose(s_sym, expected[start:stop], atol=1e-9)
+
+    @pytest.mark.parametrize("pn", [2, 3, 4, 5])
+    def test_even_and_odd_ring_lengths(self, pn):
+        # Both parities of P_n exercise different pairing logic.
+        x = _x((10, 4), seed=21)
+
+        def prog(comm):
+            g = CartGrid(comm, (pn, 1))
+            dt = DistTensor.from_global(g, x)
+            s = dist_gram(dt, 0, exploit_symmetry=True)
+            start, stop = block_range(10, pn, g.coords[0])
+            return s, (start, stop)
+
+        expected = gram(x, 0)
+        for s, (start, stop) in spmd(pn, prog):
+            np.testing.assert_allclose(s, expected[start:stop], atol=1e-9)
+
+    def test_saves_flops(self):
+        x = _x((12, 8), seed=22)
+
+        def run(exploit):
+            def prog(comm):
+                g = CartGrid(comm, (4, 1))
+                dt = DistTensor.from_global(g, x)
+                dist_gram(dt, 0, exploit_symmetry=exploit)
+                return None
+
+            return spmd(4, prog).ledger.total_flops()
+
+        plain, sym = run(False), run(True)
+        # Close to half: diagonal blocks are slightly over half-counted.
+        assert sym < 0.75 * plain
+
+    def test_uneven_rows(self):
+        x = _x((7, 6), seed=23)
+
+        def prog(comm):
+            g = CartGrid(comm, (3, 2))
+            dt = DistTensor.from_global(g, x)
+            s = dist_gram(dt, 0, exploit_symmetry=True)
+            start, stop = block_range(7, 3, g.coords[0])
+            return s, (start, stop)
+
+        expected = gram(x, 0)
+        for s, (start, stop) in spmd(6, prog):
+            np.testing.assert_allclose(s, expected[start:stop], atol=1e-9)

@@ -1,0 +1,43 @@
+"""Processor-grid selection tests (Sec. VIII-B heuristics)."""
+
+import pytest
+
+from repro.distributed import choose_grid
+from repro.perfmodel import EDISON
+from repro.util.validation import prod
+
+
+class TestChooseGrid:
+    def test_uses_all_processors(self):
+        grid = choose_grid(24, (200, 200, 200, 200), ranks=(20,) * 4)
+        assert prod(grid) == 24
+
+    def test_prefers_p1_equal_one(self):
+        # The paper's observation: the best grids put no processors in the
+        # first (most expensive) mode.
+        grid = choose_grid(24, (384, 384, 384, 384), ranks=(96,) * 4)
+        assert grid[0] == 1
+
+    def test_respects_rank_feasibility(self):
+        # Grid extents must not exceed anticipated ranks.
+        grid = choose_grid(8, (100, 100), ranks=(4, 100))
+        assert grid[0] <= 4
+
+    def test_default_rank_guess(self):
+        grid = choose_grid(6, (60, 60, 60))
+        assert prod(grid) == 6
+
+    def test_single_processor(self):
+        assert choose_grid(1, (10, 10)) == (1, 1)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError, match="no feasible grid"):
+            choose_grid(64, (2, 2), ranks=(2, 2))
+
+    def test_rank_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            choose_grid(4, (10, 10), ranks=(2,))
+
+    def test_machine_parameter_accepted(self):
+        grid = choose_grid(12, (48, 48, 48), ranks=(12, 12, 12), machine=EDISON)
+        assert prod(grid) == 12

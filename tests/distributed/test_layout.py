@@ -1,0 +1,78 @@
+"""Block-distribution layout tests (paper Sec. IV)."""
+
+import pytest
+
+from repro.distributed.layout import (
+    block_range,
+    block_ranges,
+    block_size,
+    local_block,
+    local_shape,
+)
+
+
+class TestBlockRange:
+    def test_even_division(self):
+        assert block_ranges(12, 3) == [(0, 4), (4, 8), (8, 12)]
+
+    def test_uneven_division_larger_blocks_first(self):
+        assert block_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_covers_everything_exactly(self):
+        for total in (1, 5, 17, 100):
+            for n in range(1, min(total, 9) + 1):
+                ranges = block_ranges(total, n)
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == total
+                for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                    assert b == c
+                    assert b > a and d > c  # non-empty
+
+    def test_sizes_differ_by_at_most_one(self):
+        sizes = [block_size(17, 5, i) for i in range(5)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 17
+
+    def test_single_block(self):
+        assert block_range(7, 1, 0) == (0, 7)
+
+    def test_rejects_empty_blocks(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            block_range(3, 4, 0)
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            block_range(10, 3, 3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            block_range(0, 1, 0)
+
+
+class TestLocalBlock:
+    def test_slices(self):
+        slices = local_block((8, 9), (2, 3), (1, 2))
+        assert slices == (slice(4, 8), slice(6, 9))
+
+    def test_shape(self):
+        assert local_shape((8, 9), (2, 3), (0, 0)) == (4, 3)
+
+    def test_uneven_shape(self):
+        # 9 over 2: blocks of 5 and 4.
+        assert local_shape((9, 4), (2, 1), (0, 0)) == (5, 4)
+        assert local_shape((9, 4), (2, 1), (1, 0)) == (4, 4)
+
+    def test_order_mismatch(self):
+        with pytest.raises(ValueError, match="differ in order"):
+            local_block((8, 9), (2,), (0, 0))
+
+    def test_blocks_tile_tensor(self):
+        import itertools
+
+        import numpy as np
+
+        shape, grid = (7, 5), (3, 2)
+        seen = np.zeros(shape, dtype=int)
+        for coords in itertools.product(range(3), range(2)):
+            seen[local_block(shape, grid, coords)] += 1
+        assert (seen == 1).all()

@@ -1,0 +1,184 @@
+"""TSQR and Gram-free factor-computation tests (the Sec. IX extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import sthosvd
+from repro.distributed import DistTensor, dist_mode_svd, dist_sthosvd, tsqr_r
+from repro.distributed.layout import block_range, block_ranges
+from repro.mpi import CartGrid, SpmdError
+from repro.tensor import gram, low_rank_tensor, unfold
+from repro.tensor.eig import eigendecompose
+from tests.conftest import spmd
+
+
+class TestTsqrR:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+    def test_r_matches_sequential_qr(self, p):
+        full = np.random.default_rng(5).standard_normal((7 * p, 5))
+        rows = block_ranges(7 * p, p)
+
+        def prog(comm):
+            start, stop = rows[comm.rank]
+            return tsqr_r(comm, full[start:stop])
+
+        res = spmd(p, prog)
+        expected = np.linalg.qr(full, mode="r")
+        signs = np.sign(np.diag(expected))
+        signs[signs == 0] = 1
+        expected = signs[:, None] * expected
+        for r in res:
+            np.testing.assert_allclose(r, expected, atol=1e-10)
+
+    def test_rtr_equals_gram(self):
+        full = np.random.default_rng(6).standard_normal((20, 4))
+        rows = block_ranges(20, 4)
+
+        def prog(comm):
+            start, stop = rows[comm.rank]
+            return tsqr_r(comm, full[start:stop])
+
+        r = spmd(4, prog)[0]
+        np.testing.assert_allclose(r.T @ r, full.T @ full, atol=1e-10)
+
+    def test_short_local_slabs(self):
+        # Local slabs with fewer rows than columns must still combine.
+        full = np.random.default_rng(7).standard_normal((6, 5))
+        rows = block_ranges(6, 3)
+
+        def prog(comm):
+            start, stop = rows[comm.rank]
+            return tsqr_r(comm, full[start:stop])
+
+        r = spmd(3, prog)[0]
+        np.testing.assert_allclose(r.T @ r, full.T @ full, atol=1e-10)
+
+    def test_rejects_non_matrix(self):
+        def prog(comm):
+            tsqr_r(comm, np.zeros(5))
+
+        with pytest.raises(SpmdError):
+            spmd(2, prog)
+
+
+class TestDistModeSvd:
+    @pytest.mark.parametrize("grid_dims", [(2, 3, 2), (1, 1, 1), (3, 2, 1)])
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_sequential_spectrum(self, grid_dims, mode):
+        x = np.random.default_rng(8).standard_normal((6, 6, 4))
+
+        def prog(comm):
+            g = CartGrid(comm, grid_dims)
+            dt = DistTensor.from_global(g, x)
+            u_local, eig = dist_mode_svd(dt, mode, rank=3)
+            start, stop = block_range(
+                x.shape[mode], grid_dims[mode], g.coords[mode]
+            )
+            return u_local, eig.values, (start, stop)
+
+        expected = eigendecompose(gram(x, mode))
+        n = int(np.prod(grid_dims))
+        for u_local, values, (start, stop) in spmd(n, prog):
+            np.testing.assert_allclose(values, expected.values, atol=1e-8)
+            np.testing.assert_allclose(
+                np.abs(u_local), np.abs(expected.leading(3)[start:stop]),
+                atol=1e-7,
+            )
+
+    def test_singular_values_accurate_below_gram_floor(self):
+        # Construct a matrixized tensor with sigma ~ 1e-9 tail: Gram loses
+        # it (1e-18 eigenvalues below roundoff), TSQR keeps it.
+        x = low_rank_tensor((12, 8, 8), (3, 8, 8), seed=9)
+        x = x + 1e-9 * np.random.default_rng(0).standard_normal(x.shape)
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 2, 1))
+            dt = DistTensor.from_global(g, x)
+            _, eig = dist_mode_svd(dt, 0, rank=3)
+            return eig.values
+
+        values = spmd(4, prog)[0]
+        sv = np.linalg.svd(unfold(x, 0), compute_uv=False)
+        np.testing.assert_allclose(values, sv**2, rtol=1e-6)
+        # The tail singular values are resolved at their true ~1e-9 scale.
+        assert 1e-20 < values[5] < 1e-14
+
+    def test_threshold_selection(self):
+        x = low_rank_tensor((8, 6, 4), (2, 3, 2), seed=10, noise=1e-9)
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 1, 2))
+            dt = DistTensor.from_global(g, x)
+            norm_sq = dt.norm_sq()
+            u_local, _ = dist_mode_svd(
+                dt, 0, threshold=(1e-7**2) * norm_sq / 3
+            )
+            return u_local.shape[1]
+
+        assert set(spmd(4, prog).values) == {2}
+
+    def test_validation(self):
+        x = np.zeros((4, 4))
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 2))
+            dt = DistTensor.from_global(g, x)
+            dist_mode_svd(dt, 0)
+
+        with pytest.raises(SpmdError, match="exactly one"):
+            spmd(4, prog)
+
+
+class TestSvdSthosvd:
+    def test_matches_gram_method_on_benign_data(self):
+        x = low_rank_tensor((8, 6, 4), (3, 3, 2), seed=11, noise=0.02)
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 3, 1))
+            dt = DistTensor.from_global(g, x)
+            t = dist_sthosvd(dt, ranks=(3, 3, 2), method="svd")
+            return t.to_tucker()
+
+        seq = sthosvd(x, ranks=(3, 3, 2))
+        for tucker in spmd(6, prog):
+            np.testing.assert_allclose(
+                tucker.reconstruct(), seq.decomposition.reconstruct(), atol=1e-8
+            )
+
+    def test_matches_sequential_svd_method_ranks(self):
+        x = low_rank_tensor((12, 8, 6), (3, 2, 2), seed=12, noise=1e-9)
+        seq = sthosvd(x, tol=1e-8, method="svd")
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 2, 1))
+            dt = DistTensor.from_global(g, x)
+            t = dist_sthosvd(dt, tol=1e-8, method="svd")
+            return t.ranks
+
+        for ranks in spmd(4, prog):
+            assert ranks == seq.ranks
+
+    def test_ledger_uses_svd_section(self):
+        x = low_rank_tensor((8, 6, 4), (3, 3, 2), seed=13, noise=0.02)
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 1, 1))
+            dt = DistTensor.from_global(g, x)
+            dist_sthosvd(dt, ranks=(3, 3, 2), method="svd")
+            return None
+
+        res = spmd(2, prog)
+        sections = res.ledger.section_times()
+        assert "svd" in sections
+        assert "gram" not in sections
+
+    def test_unknown_method(self):
+        x = np.zeros((4, 4))
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 2))
+            dt = DistTensor.from_global(g, x)
+            dist_sthosvd(dt, ranks=(2, 2), method="cholesky")
+
+        with pytest.raises(SpmdError, match="unknown method"):
+            spmd(4, prog)

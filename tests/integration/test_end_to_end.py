@@ -1,0 +1,109 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise the full pipelines a user would run: dataset -> normalize ->
+compress (sequential and distributed) -> save -> load -> partially
+reconstruct -> denormalize, plus the paper's headline claims at proxy scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import hooi, normalized_rms, sthosvd
+from repro.data import center_and_scale, invert_scaling, load_dataset
+from repro.distributed import DistTensor, dist_sthosvd
+from repro.io import load_tucker, save_tucker
+from repro.mpi import CartGrid
+from tests.conftest import spmd
+
+
+@pytest.fixture(scope="module")
+def hcci_small():
+    ds = load_dataset("HCCI", shape=(24, 24, 12, 20))
+    x, info = center_and_scale(ds.tensor, ds.species_mode)
+    return ds, x, info
+
+
+class TestFullPipeline:
+    def test_compress_save_load_extract(self, hcci_small, tmp_path):
+        ds, x, info = hcci_small
+        res = sthosvd(x, tol=1e-3)
+        path = tmp_path / "hcci.npz"
+        save_tucker(path, res.decomposition, metadata={"dataset": ds.name})
+        loaded, meta = load_tucker(path)
+        assert meta["dataset"] == "HCCI"
+
+        # Extract one species slice without full reconstruction.
+        slab = loaded.reconstruct_subtensor([None, None, 3, None]).squeeze(2)
+        truth = x[:, :, 3, :]
+        assert normalized_rms(truth, slab) < 5e-3
+
+    def test_denormalized_reconstruction(self, hcci_small):
+        ds, x, info = hcci_small
+        res = sthosvd(x, tol=1e-3)
+        physical = invert_scaling(res.decomposition.reconstruct(), info)
+        rel = np.linalg.norm(physical - ds.tensor) / np.linalg.norm(ds.tensor)
+        # Denormalization reintroduces per-species scales; error stays small.
+        assert rel < 0.05
+
+    def test_distributed_pipeline_agrees(self, hcci_small):
+        ds, x, info = hcci_small
+        seq = sthosvd(x, tol=1e-2)
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 2, 1, 3))
+            dt = DistTensor.from_global(g, x)
+            t = dist_sthosvd(dt, tol=1e-2)
+            return t.ranks, t.error_estimate()
+
+        res = spmd(12, prog)
+        for ranks, est in res:
+            assert ranks == seq.ranks
+            assert est == pytest.approx(seq.error_estimate(), rel=1e-6)
+
+    def test_hooi_negligible_improvement_claim(self, hcci_small):
+        # Paper Sec. VII-C: HOOI barely improves ST-HOSVD on combustion data.
+        _, x, _ = hcci_small
+        st = sthosvd(x, tol=1e-2)
+        ho = hooi(x, init=st, max_iterations=3)
+        e_st = st.decomposition.relative_error(x)
+        e_ho = ho.decomposition.relative_error(x)
+        assert e_ho <= e_st + 1e-12
+        assert (e_st - e_ho) / e_st < 0.15  # "little improvement"
+
+
+class TestCompressionClaims:
+    def test_error_threshold_to_compression_tradeoff(self):
+        # Fig. 1b/7 shape: compression grows monotonically as eps loosens.
+        ds = load_dataset("SP", shape=(16, 16, 16, 8, 10))
+        x, _ = center_and_scale(ds.tensor, ds.species_mode)
+        ratios = []
+        for eps in (1e-4, 1e-3, 1e-2):
+            res = sthosvd(x, tol=eps, method="svd")
+            assert res.decomposition.relative_error(x) <= eps
+            ratios.append(res.decomposition.compression_ratio)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_subtensor_extraction_cost_scales_with_subset(self):
+        # Sec. II-C: reconstructing k slices costs O(k/I) of the full cost.
+        ds = load_dataset("SP", shape=(16, 16, 16, 8, 10))
+        x, _ = center_and_scale(ds.tensor, ds.species_mode)
+        t = sthosvd(x, tol=1e-2).decomposition
+        sub = t.reconstruct_subtensor([None, None, None, None, 0])
+        assert sub.size == x.size // 10
+
+
+class TestCrossGridConsistency:
+    def test_different_grids_same_answer(self):
+        ds = load_dataset("HCCI", shape=(16, 16, 8, 12))
+        x, _ = center_and_scale(ds.tensor, ds.species_mode)
+        results = []
+        for grid in [(1, 1, 1, 1), (2, 2, 1, 1), (2, 1, 2, 3)]:
+            def prog(comm, g=grid):
+                gr = CartGrid(comm, g)
+                dt = DistTensor.from_global(gr, x)
+                t = dist_sthosvd(dt, ranks=(6, 6, 4, 4))
+                return t.to_tucker().reconstruct()
+
+            results.append(spmd(int(np.prod(grid)), prog)[0])
+        for rec in results[1:]:
+            np.testing.assert_allclose(rec, results[0], atol=1e-8)

@@ -1,0 +1,123 @@
+"""Cartesian grid communicator tests (paper Sec. IV geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, CartGrid, CommunicatorError, SpmdError
+from tests.conftest import spmd
+
+
+class TestGeometry:
+    def test_coords_roundtrip(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 3, 2))
+            assert g.rank_of(g.coords) == comm.rank
+            assert g.coords_of(comm.rank) == g.coords
+            return g.coords
+
+        res = spmd(12, prog)
+        assert sorted(res.values) == sorted(
+            (i, j, k) for i in range(2) for j in range(3) for k in range(2)
+        )
+
+    def test_c_order_linearization(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 3))
+            return g.coords
+
+        res = spmd(6, prog)
+        # Rank 0 -> (0,0), rank 1 -> (0,1), ..., rank 5 -> (1,2).
+        assert res.values == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_size_mismatch_raises(self):
+        def prog(comm):
+            CartGrid(comm, (2, 2))
+
+        with pytest.raises(SpmdError):
+            spmd(6, prog)
+
+    def test_shifted_wraps(self):
+        def prog(comm):
+            g = CartGrid(comm, (4,))
+            return g.shifted(0, 1), g.shifted(0, -1)
+
+        res = spmd(4, prog)
+        assert res.values == [(1, 3), (2, 0), (3, 1), (0, 2)]
+
+    def test_rank_of_validates(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 2))
+            g.rank_of((2, 0))
+
+        with pytest.raises(SpmdError):
+            spmd(4, prog)
+
+
+class TestSubCommunicators:
+    def test_mode_column_rank_is_coordinate(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 3))
+            col = g.mode_column(1)
+            return col.rank == g.coords[1] and col.size == 3
+
+        assert all(spmd(6, prog).values)
+
+    def test_mode_row_size(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 3, 2))
+            return g.mode_row(1).size
+
+        assert set(spmd(12, prog).values) == {4}
+
+    def test_column_sum_isolates_columns(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 2))
+            col = g.mode_column(0)  # varies first coordinate
+            return col.allreduce(comm.rank, SUM)
+
+        res = spmd(4, prog)
+        # Grid: rank0=(0,0) rank1=(0,1) rank2=(1,0) rank3=(1,1).
+        # mode-0 columns: {0,2} and {1,3}.
+        assert res.values == [2, 4, 2, 4]
+
+    def test_row_sum_isolates_rows(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 2))
+            row = g.mode_row(0)  # fixes first coordinate
+            return row.allreduce(comm.rank, SUM)
+
+        res = spmd(4, prog)
+        assert res.values == [1, 1, 5, 5]
+
+    def test_sub_communicators_cached(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 2))
+            return g.mode_column(0) is g.mode_column(0)
+
+        assert all(spmd(4, prog).values)
+
+    def test_row_and_column_overlap_exactly_self(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 3, 2))
+            col = g.mode_column(1)
+            row = g.mode_row(1)
+            col_members = set(col.allgather(comm.rank))
+            row_members = set(row.allgather(comm.rank))
+            return col_members & row_members == {comm.rank}
+
+        assert all(spmd(12, prog).values)
+
+    def test_invalid_mode(self):
+        def prog(comm):
+            g = CartGrid(comm, (2, 2))
+            g.mode_column(2)
+
+        with pytest.raises(SpmdError):
+            spmd(4, prog)
+
+    def test_degenerate_extent_one(self):
+        def prog(comm):
+            g = CartGrid(comm, (1, 4))
+            return g.mode_column(0).size, g.mode_row(0).size
+
+        assert set(spmd(4, prog).values) == {(1, 4)}

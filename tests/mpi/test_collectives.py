@@ -1,0 +1,236 @@
+"""Collective-operation tests against local references."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MAX, MIN, PROD, SUM, CommunicatorError, SpmdError
+from tests.conftest import spmd
+
+
+class TestBcast:
+    def test_scalar(self):
+        def prog(comm):
+            value = "payload" if comm.rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        assert spmd(4, prog).values == ["payload"] * 4
+
+    def test_nonzero_root(self):
+        def prog(comm):
+            value = comm.rank if comm.rank == 2 else None
+            return comm.bcast(value, root=2)
+
+        assert spmd(4, prog).values == [2] * 4
+
+    def test_array_not_aliased(self):
+        def prog(comm):
+            arr = np.zeros(3) if comm.rank == 0 else None
+            out = comm.bcast(arr, root=0)
+            out += comm.rank  # mutating my copy must not affect others
+            return out
+
+        res = spmd(3, prog)
+        for rank, arr in enumerate(res.values):
+            np.testing.assert_array_equal(arr, np.full(3, float(rank)))
+
+    def test_single_rank(self):
+        def prog(comm):
+            return comm.bcast(7)
+
+        assert spmd(1, prog).values == [7]
+
+
+class TestGatherScatter:
+    def test_gather_to_root(self):
+        def prog(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        res = spmd(4, prog)
+        assert res[0] == [0, 1, 4, 9]
+        assert res[1] is None
+
+    def test_gather_nonzero_root(self):
+        def prog(comm):
+            return comm.gather(comm.rank, root=3)
+
+        res = spmd(4, prog)
+        assert res[3] == [0, 1, 2, 3]
+
+    def test_scatter(self):
+        def prog(comm):
+            values = [i * 10 for i in range(comm.size)] if comm.rank == 1 else None
+            return comm.scatter(values, root=1)
+
+        assert spmd(3, prog).values == [0, 10, 20]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            values = [1] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        with pytest.raises(SpmdError):
+            spmd(2, prog)
+
+    def test_allgather(self):
+        def prog(comm):
+            return comm.allgather(comm.rank + 1)
+
+        res = spmd(5, prog)
+        for values in res:
+            assert values == [1, 2, 3, 4, 5]
+
+    def test_allgather_arrays_independent(self):
+        def prog(comm):
+            out = comm.allgather(np.array([float(comm.rank)]))
+            out[0] += 100.0  # mutate my copy
+            return out[0][0]
+
+        # Every rank mutated only its own copy of rank 0's entry.
+        assert spmd(3, prog).values == [100.0, 100.0, 100.0]
+
+
+class TestReductions:
+    def test_allreduce_sum_scalar(self):
+        def prog(comm):
+            return comm.allreduce(comm.rank + 1, SUM)
+
+        assert spmd(4, prog).values == [10] * 4
+
+    def test_allreduce_array(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)), SUM)
+
+        res = spmd(3, prog)
+        for arr in res:
+            np.testing.assert_array_equal(arr, np.full(3, 3.0))
+
+    def test_reduce_max_min_prod(self):
+        def prog(comm):
+            return (
+                comm.reduce(comm.rank, MAX, root=0),
+                comm.reduce(comm.rank + 1, MIN, root=0),
+                comm.reduce(comm.rank + 1, PROD, root=0),
+            )
+
+        res = spmd(4, prog)
+        assert res[0] == (3, 1, 24)
+        assert res[2] == (None, None, None)
+
+    def test_reduce_deterministic_order(self):
+        # Folding in rank order must be bitwise reproducible.
+        def prog(comm):
+            contribution = np.array([0.1 * (comm.rank + 1) ** 3])
+            return comm.allreduce(contribution, SUM)[0]
+
+        first = spmd(5, prog).values
+        second = spmd(5, prog).values
+        assert first == second
+
+    def test_reduce_scatter_block(self):
+        def prog(comm):
+            arr = np.arange(8, dtype=np.float64) + comm.rank
+            block = comm.reduce_scatter_block(arr, SUM)
+            return block
+
+        res = spmd(4, prog)
+        total = sum(np.arange(8.0) + r for r in range(4))
+        for rank, block in enumerate(res):
+            np.testing.assert_array_equal(block, total[rank * 2 : rank * 2 + 2])
+
+    def test_reduce_scatter_requires_divisibility(self):
+        def prog(comm):
+            return comm.reduce_scatter_block(np.zeros(5), SUM)
+
+        with pytest.raises(SpmdError):
+            spmd(2, prog)
+
+    def test_reduce_scatter_rejects_non_array(self):
+        def prog(comm):
+            return comm.reduce_scatter_block([1, 2], SUM)
+
+        with pytest.raises(SpmdError):
+            spmd(2, prog)
+
+
+class TestAlltoall:
+    def test_exchange(self):
+        def prog(comm):
+            values = [f"{comm.rank}->{j}" for j in range(comm.size)]
+            return comm.alltoall(values)
+
+        res = spmd(3, prog)
+        for j, received in enumerate(res):
+            assert received == [f"{i}->{j}" for i in range(3)]
+
+    def test_wrong_length(self):
+        def prog(comm):
+            return comm.alltoall([0])
+
+        with pytest.raises(SpmdError):
+            spmd(3, prog)
+
+
+class TestBarrier:
+    def test_barrier_completes(self):
+        def prog(comm):
+            for _ in range(3):
+                comm.barrier()
+            return True
+
+        assert all(spmd(4, prog).values)
+
+
+class TestSplitAndDup:
+    def test_split_even_odd(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            total = sub.allreduce(comm.rank, SUM)
+            return sub.size, total
+
+        res = spmd(6, prog)
+        for rank, (size, total) in enumerate(res):
+            assert size == 3
+            assert total == (0 + 2 + 4 if rank % 2 == 0 else 1 + 3 + 5)
+
+    def test_split_with_key_reorders(self):
+        def prog(comm):
+            # Reverse rank order within the new communicator.
+            sub = comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = spmd(4, prog)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_split_undefined_color(self):
+        def prog(comm):
+            sub = comm.split(color=None if comm.rank == 0 else 1)
+            if sub is None:
+                return "excluded"
+            return sub.size
+
+        res = spmd(3, prog)
+        assert res[0] == "excluded"
+        assert res[1] == res[2] == 2
+
+    def test_dup_isolates_tag_space(self):
+        def prog(comm):
+            dup = comm.dup()
+            if comm.rank == 0:
+                comm.send("world", dest=1, tag=0)
+                dup.send("dup", dest=1, tag=0)
+                return None
+            # Receive from the dup first: messages must not cross.
+            from_dup = dup.recv(source=0, tag=0)
+            from_world = comm.recv(source=0, tag=0)
+            return from_dup, from_world
+
+        assert spmd(2, prog)[1] == ("dup", "world")
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = comm.split(color=comm.rank // 2)
+            pair_sum = half.allreduce(comm.rank, SUM)
+            return half.size, pair_sum
+
+        res = spmd(4, prog)
+        assert res.values == [(2, 1), (2, 1), (2, 5), (2, 5)]

@@ -1,0 +1,154 @@
+"""Point-to-point communication tests for the simulated MPI."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import BufferMismatchError, CommunicatorError, SpmdError
+from tests.conftest import spmd
+
+
+class TestObjectSendRecv:
+    def test_ping(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"x": 1}, dest=1)
+                return None
+            return comm.recv(source=0)
+
+        res = spmd(2, prog)
+        assert res[1] == {"x": 1}
+
+    def test_tags_demultiplex(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            # Receive in reverse tag order.
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return first, second
+
+        assert spmd(2, prog)[1] == ("a", "b")
+
+    def test_message_ordering_same_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(10)]
+
+        assert spmd(2, prog)[1] == list(range(10))
+
+    def test_array_payload_copied(self):
+        def prog(comm):
+            if comm.rank == 0:
+                arr = np.ones(4)
+                comm.send(arr, dest=1)
+                arr[:] = -1  # must not affect the receiver
+                return None
+            return comm.recv(source=0)
+
+        np.testing.assert_array_equal(spmd(2, prog)[1], np.ones(4))
+
+    def test_invalid_dest_raises(self):
+        def prog(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(SpmdError, match="dest=5 out of range"):
+            spmd(2, prog)
+
+
+class TestBufferSendRecv:
+    def test_roundtrip(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(6, dtype=np.float64), dest=1)
+                return None
+            buf = np.empty(6)
+            comm.Recv(buf, source=0)
+            return buf
+
+        np.testing.assert_array_equal(spmd(2, prog)[1], np.arange(6.0))
+
+    def test_shape_compatible_reshape(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(6, dtype=np.float64).reshape(2, 3), dest=1)
+                return None
+            buf = np.empty((3, 2))
+            comm.Recv(buf, source=0)
+            return buf
+
+        # Same element count: data is linearized into the buffer.
+        assert spmd(2, prog)[1].size == 6
+
+    def test_dtype_mismatch(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.arange(3, dtype=np.float64), dest=1)
+                return None
+            buf = np.empty(3, dtype=np.int64)
+            comm.Recv(buf, source=0)
+
+        with pytest.raises(SpmdError) as exc_info:
+            spmd(2, prog)
+        assert any(
+            isinstance(e, BufferMismatchError)
+            for e in exc_info.value.failures.values()
+        )
+
+    def test_size_mismatch(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(3), dest=1)
+                return None
+            buf = np.empty(5)
+            comm.Recv(buf, source=0)
+
+        with pytest.raises(SpmdError):
+            spmd(2, prog)
+
+    def test_send_rejects_non_array(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.Send([1, 2, 3], dest=1)
+            else:
+                comm.recv(source=0)
+
+        with pytest.raises(SpmdError):
+            spmd(2, prog)
+
+
+class TestSendrecv:
+    def test_ring_shift_no_deadlock(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        res = spmd(4, prog)
+        assert res.values == [3, 0, 1, 2]
+
+    def test_self_exchange(self):
+        def prog(comm):
+            return comm.sendrecv("me", dest=comm.rank, source=comm.rank)
+
+        assert spmd(2, prog).values == ["me", "me"]
+
+
+class TestNonblocking:
+    def test_isend_irecv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(99, dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            assert not req.test()
+            value = req.wait()
+            assert req.test()
+            return value
+
+        assert spmd(2, prog)[1] == 99

@@ -1,0 +1,92 @@
+"""Unit tests for the in-process message transport."""
+
+import threading
+
+import pytest
+
+from repro.mpi.errors import DeadlockError
+from repro.mpi.transport import Transport
+
+
+class TestBasicDelivery:
+    def test_put_then_get(self):
+        t = Transport()
+        t.put("k", 42)
+        assert t.get("k") == 42
+
+    def test_fifo_per_mailbox(self):
+        t = Transport()
+        for i in range(5):
+            t.put("k", i)
+        assert [t.get("k") for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_distinct_keys_isolated(self):
+        t = Transport()
+        t.put("a", 1)
+        t.put("b", 2)
+        assert t.get("b") == 2
+        assert t.get("a") == 1
+
+    def test_pending_counts_undelivered(self):
+        t = Transport()
+        assert t.pending() == 0
+        t.put("x", 1)
+        t.put("y", 2)
+        assert t.pending() == 2
+        t.get("x")
+        assert t.pending() == 1
+
+    def test_mailbox_cleanup_after_drain(self):
+        t = Transport()
+        t.put("k", 1)
+        t.get("k")
+        assert t.pending() == 0
+
+
+class TestBlockingBehaviour:
+    def test_get_blocks_until_put(self):
+        t = Transport(timeout=5.0)
+        received = []
+
+        def consumer():
+            received.append(t.get("k"))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        t.put("k", "hello")
+        thread.join(timeout=5)
+        assert received == ["hello"]
+
+    def test_timeout_raises_deadlock(self):
+        t = Transport(timeout=0.05)
+        with pytest.raises(DeadlockError, match="timed out"):
+            t.get("never")
+
+    def test_abort_wakes_waiter(self):
+        t = Transport(timeout=30.0)
+        errors = []
+
+        def consumer():
+            try:
+                t.get("k")
+            except DeadlockError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        t.abort(RuntimeError("boom"))
+        thread.join(timeout=5)
+        assert len(errors) == 1
+        assert "boom" in str(errors[0])
+
+    def test_aborted_transport_rejects_future_gets(self):
+        t = Transport()
+        t.abort(RuntimeError("dead"))
+        with pytest.raises(DeadlockError):
+            t.get("anything")
+
+
+class TestValidation:
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            Transport(timeout=0)

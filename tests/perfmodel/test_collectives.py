@@ -1,0 +1,74 @@
+"""Table I cost-formula tests."""
+
+import math
+
+import pytest
+
+from repro.perfmodel import (
+    allgather_cost,
+    allreduce_cost,
+    bcast_cost,
+    reduce_cost,
+    reduce_scatter_cost,
+    send_recv_cost,
+)
+from repro.perfmodel.machine import UNIT, MachineSpec
+
+
+class TestFormulas:
+    """On the unit machine the formulas reduce to simple arithmetic."""
+
+    def test_send_recv(self):
+        assert send_recv_cost(10, UNIT) == 11.0
+
+    def test_allgather(self):
+        # log2(8) + 7/8 * 16.
+        assert allgather_cost(8, 16, UNIT) == pytest.approx(3 + 14)
+
+    def test_reduce_drops_gamma_by_default(self):
+        assert reduce_cost(4, 8, UNIT) == pytest.approx(2 + 6)
+
+    def test_reduce_with_gamma(self):
+        m = MachineSpec(alpha=1, beta=1, gamma=1, charge_reduce_flops=True)
+        assert reduce_cost(4, 8, m) == pytest.approx(2 + 12)
+
+    def test_allreduce(self):
+        # 2 log2(4) + 2 * 3/4 * 8.
+        assert allreduce_cost(4, 8, UNIT) == pytest.approx(4 + 12)
+
+    def test_allreduce_with_gamma(self):
+        m = MachineSpec(alpha=1, beta=1, gamma=1, charge_reduce_flops=True)
+        assert allreduce_cost(4, 8, m) == pytest.approx(4 + 18)
+
+    def test_reduce_scatter_matches_reduce(self):
+        assert reduce_scatter_cost(8, 64, UNIT) == reduce_cost(8, 64, UNIT)
+
+    def test_bcast(self):
+        assert bcast_cost(8, 16, UNIT) == pytest.approx(3 + 14)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize(
+        "fn",
+        [allgather_cost, reduce_cost, allreduce_cost, reduce_scatter_cost, bcast_cost],
+    )
+    def test_single_rank_free(self, fn):
+        assert fn(1, 1000, UNIT) == 0.0
+
+    def test_zero_words_latency_only(self):
+        assert allreduce_cost(4, 0, UNIT) == pytest.approx(2 * math.log2(4))
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            send_recv_cost(-1, UNIT)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            allgather_cost(0, 10, UNIT)
+
+    def test_scaling_with_p(self):
+        # Bandwidth term saturates at W; latency grows with log P.
+        small = allgather_cost(2, 100, UNIT)
+        large = allgather_cost(1024, 100, UNIT)
+        assert large > small
+        assert large < math.log2(1024) + 100 + 1

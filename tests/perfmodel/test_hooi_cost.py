@@ -1,0 +1,47 @@
+"""Tests for the composed HOOI cost model."""
+
+import pytest
+
+from repro.perfmodel import (
+    hooi_cost,
+    hooi_iteration_cost,
+    sthosvd_cost,
+)
+from repro.perfmodel.machine import UNIT
+
+
+class TestHooiCost:
+    def test_composition(self):
+        shape, ranks, grid = (16,) * 3, (4,) * 3, (1, 2, 2)
+        init = sthosvd_cost(shape, ranks, grid, UNIT)
+        per_iter = hooi_iteration_cost(shape, ranks, grid, UNIT)
+        total = hooi_cost(shape, ranks, grid, UNIT, n_iterations=3)
+        assert total.time == pytest.approx(init.time + 3 * per_iter.time)
+        assert total.flops == pytest.approx(init.flops + 3 * per_iter.flops)
+
+    def test_without_init(self):
+        shape, ranks, grid = (16,) * 3, (4,) * 3, (1, 1, 4)
+        per_iter = hooi_iteration_cost(shape, ranks, grid, UNIT)
+        total = hooi_cost(
+            shape, ranks, grid, UNIT, n_iterations=2, include_init=False
+        )
+        assert total.time == pytest.approx(2 * per_iter.time)
+
+    def test_zero_iterations_is_init_only(self):
+        shape, ranks, grid = (8,) * 2, (2,) * 2, (1, 2)
+        init = sthosvd_cost(shape, ranks, grid, UNIT)
+        total = hooi_cost(shape, ranks, grid, UNIT, n_iterations=0)
+        assert total.time == pytest.approx(init.time)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            hooi_cost((8, 8), (2, 2), (1, 1), UNIT, n_iterations=-1)
+
+    def test_step_counts(self):
+        n = 3
+        total = hooi_cost((8,) * n, (2,) * n, (1,) * n, UNIT, n_iterations=2)
+        # init: 3 kernels per mode; each iteration: N(N-1)+1 ttm + N gram +
+        # N evecs.
+        init_steps = 3 * n
+        iter_steps = n * (n - 1) + 1 + 2 * n
+        assert len(total.steps) == init_steps + 2 * iter_steps

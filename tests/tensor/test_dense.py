@@ -1,0 +1,109 @@
+"""Unfolding/folding and Tensor wrapper tests (paper Sec. II-A layout)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, fold, unfold
+
+
+class TestUnfold:
+    def test_shape(self, rng):
+        x = rng.standard_normal((3, 4, 5))
+        assert unfold(x, 0).shape == (3, 20)
+        assert unfold(x, 1).shape == (4, 15)
+        assert unfold(x, 2).shape == (5, 12)
+
+    def test_mode0_is_fortran_flatten(self, rng):
+        # The paper's layout: the mode-1 unfolding of the stored tensor is
+        # column-major, i.e. reshape of the Fortran buffer.
+        x = np.asfortranarray(rng.standard_normal((3, 4, 5)))
+        expected = x.reshape(3, 20, order="F")
+        np.testing.assert_array_equal(unfold(x, 0), expected)
+
+    def test_element_mapping(self, rng):
+        # (i1, ..., iN) -> (i_n, sum_{k != n} i_k * prod_{m<k, m != n} I_m).
+        x = rng.standard_normal((3, 4, 5, 2))
+        mat = unfold(x, 2)
+        strides = {0: 1, 1: 3, 3: 12}  # prod of earlier non-mode-2 dims
+        for idx in [(0, 0, 0, 0), (2, 1, 3, 1), (1, 3, 4, 0), (2, 3, 4, 1)]:
+            j = sum(idx[k] * strides[k] for k in strides)
+            assert mat[idx[2], j] == x[idx]
+
+    def test_negative_mode(self, rng):
+        x = rng.standard_normal((3, 4, 5))
+        np.testing.assert_array_equal(unfold(x, -1), unfold(x, 2))
+
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValueError):
+            unfold(rng.standard_normal((2, 2)), 2)
+
+    def test_vector_unfold(self):
+        x = np.arange(4.0)
+        np.testing.assert_array_equal(unfold(x, 0), x.reshape(4, 1))
+
+
+class TestFold:
+    def test_inverse_of_unfold_all_modes(self, rng):
+        x = rng.standard_normal((2, 3, 4, 5))
+        for n in range(4):
+            np.testing.assert_array_equal(fold(unfold(x, n), n, x.shape), x)
+
+    def test_wrong_matrix_shape(self, rng):
+        with pytest.raises(ValueError, match="does not match unfolding"):
+            fold(rng.standard_normal((3, 5)), 0, (3, 4))
+
+    def test_rejects_non_matrix(self, rng):
+        with pytest.raises(ValueError, match="expects a matrix"):
+            fold(rng.standard_normal((3, 4, 5)), 0, (3, 4, 5))
+
+
+class TestTensorClass:
+    def test_fortran_storage(self, rng):
+        t = Tensor(rng.standard_normal((3, 4)))
+        assert t.data.flags.f_contiguous
+
+    def test_norm_matches_frobenius(self, rng):
+        x = rng.standard_normal((4, 5, 6))
+        assert Tensor(x).norm() == pytest.approx(np.linalg.norm(x.ravel()))
+
+    def test_norm_equals_unfolding_frobenius(self, rng):
+        # ||X|| = ||X_(1)||_F by definition.
+        x = rng.standard_normal((4, 5, 6))
+        t = Tensor(x)
+        assert t.norm() == pytest.approx(np.linalg.norm(t.unfold(0)))
+
+    def test_nrank_of_low_rank(self):
+        from repro.tensor import low_rank_tensor
+
+        x = low_rank_tensor((8, 9, 10), (2, 3, 4), seed=0)
+        t = Tensor(x)
+        assert (t.nrank(0), t.nrank(1), t.nrank(2)) == (2, 3, 4)
+
+    def test_zeros_factory(self):
+        t = Tensor.zeros((2, 3))
+        assert t.shape == (2, 3)
+        assert t.norm() == 0.0
+
+    def test_from_unfolding_roundtrip(self, rng):
+        x = rng.standard_normal((3, 4, 5))
+        t = Tensor.from_unfolding(unfold(x, 1), 1, x.shape)
+        assert t.allclose(x)
+
+    def test_arithmetic(self, rng):
+        x = rng.standard_normal((3, 3))
+        t = Tensor(x)
+        assert (t - t).norm() == 0.0
+        assert (t + t).allclose(2 * x)
+        assert t.scale_by(3.0).allclose(3 * x)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            Tensor(np.float64(3.0))
+
+    def test_array_protocol(self, rng):
+        x = rng.standard_normal((2, 2))
+        assert np.asarray(Tensor(x)).shape == (2, 2)
+
+    def test_getitem(self, rng):
+        x = rng.standard_normal((3, 4))
+        assert Tensor(x)[1, 2] == x[1, 2]

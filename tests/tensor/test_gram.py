@@ -1,0 +1,48 @@
+"""Gram-matrix kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import gram, gram_blocked, unfold
+
+
+class TestGram:
+    def test_definition(self, rng):
+        x = rng.standard_normal((4, 5, 6))
+        for n in range(3):
+            mat = unfold(x, n)
+            np.testing.assert_allclose(gram(x, n), mat @ mat.T, atol=1e-10)
+
+    def test_symmetric_exactly(self, rng):
+        s = gram(rng.standard_normal((5, 6, 7)), 1)
+        np.testing.assert_array_equal(s, s.T)
+
+    def test_psd(self, rng):
+        s = gram(rng.standard_normal((6, 7)), 0)
+        eigvals = np.linalg.eigvalsh(s)
+        assert eigvals.min() > -1e-10
+
+    def test_trace_equals_norm_sq(self, rng):
+        # trace(X_(n) X_(n)^T) = ||X||^2 for every mode.
+        x = rng.standard_normal((4, 5, 6))
+        norm_sq = np.linalg.norm(x.ravel()) ** 2
+        for n in range(3):
+            assert np.trace(gram(x, n)) == pytest.approx(norm_sq)
+
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValueError):
+            gram(rng.standard_normal((3, 3)), 5)
+
+
+class TestGramBlocked:
+    @pytest.mark.parametrize("mode", [0, 1, 2, 3])
+    def test_matches_direct(self, rng, mode):
+        x = rng.standard_normal((3, 4, 2, 5))
+        np.testing.assert_allclose(
+            gram_blocked(x, mode), gram(x, mode), atol=1e-10
+        )
+
+    def test_first_mode_single_block(self, rng):
+        # For mode 0 there is one contiguous block; results must still match.
+        x = rng.standard_normal((6, 35))
+        np.testing.assert_allclose(gram_blocked(x, 0), gram(x, 0), atol=1e-10)

@@ -1,0 +1,96 @@
+"""Layout claims of paper Sec. IV-C / Fig. 3b.
+
+"Unfolding is a purely logical process and involves no data redistribution"
+— locally this means the mode-1 unfolding of a Fortran-stored tensor is a
+zero-copy view, and interior-mode unfoldings decompose into contiguous
+sub-blocks that BLAS can process without a global permutation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, unfold
+from repro.util.validation import prod
+
+
+class TestZeroCopyClaims:
+    def test_mode0_unfolding_is_a_view(self, rng):
+        x = np.asfortranarray(rng.standard_normal((4, 5, 6)))
+        mat = unfold(x, 0)
+        assert np.shares_memory(mat, x), "mode-0 unfolding must not copy"
+
+    def test_tensor_class_mode0_view(self, rng):
+        t = Tensor(rng.standard_normal((4, 5, 6)))
+        assert np.shares_memory(t.unfold(0), t.data)
+
+    def test_mode0_view_reflects_mutation(self, rng):
+        x = np.asfortranarray(rng.standard_normal((3, 4)))
+        mat = unfold(x, 0)
+        x[1, 2] = 123.0
+        assert mat[1, 2] == 123.0
+
+
+class TestSubBlockStructure:
+    """Fig. 3b: the mode-n unfolding is a series of contiguous sub-blocks."""
+
+    @pytest.mark.parametrize("mode", [1, 2])
+    def test_interior_mode_subblocks(self, rng, mode):
+        shape = (3, 4, 5, 2)
+        x = np.asfortranarray(rng.standard_normal(shape))
+        lead = prod(shape[:mode])
+        trail = prod(shape[mode + 1 :])
+        # The Fortran buffer reshaped to (lead, I_n, trail) gives, for each
+        # trailing index b, one contiguous sub-block whose transpose is a
+        # block of consecutive columns of the unfolding.
+        flat = x.reshape(lead, shape[mode], trail, order="F")
+        mat = unfold(x, mode)
+        for b in range(trail):
+            np.testing.assert_array_equal(
+                mat[:, b * lead : (b + 1) * lead], flat[:, :, b].T
+            )
+            assert np.shares_memory(flat[:, :, b], x)
+
+    def test_last_mode_unfolding_is_row_major_buffer(self, rng):
+        # Fig. 3b, n = N: the unfolding is the buffer read row-major.
+        shape = (3, 4, 5)
+        x = np.asfortranarray(rng.standard_normal(shape))
+        mat = unfold(x, 2)
+        np.testing.assert_array_equal(
+            mat, x.reshape(-1, shape[2], order="F").T
+        )
+
+    def test_number_of_subblocks_matches_paper(self):
+        # Paper's 2x2x2x2 example (Fig. 3b): "For n = 2, there are 4
+        # subblocks of size 2 x 2.  For n = 3, there are 2 subblocks of
+        # size 2 x 4."  Sub-block count = prod of trailing dims; sub-block
+        # width = prod of leading dims.
+        shape = (2, 2, 2, 2)
+        # Paper mode 2 = index 1: 4 sub-blocks, each 2 (rows) x 2 (lead).
+        assert prod(shape[2:]) == 4
+        assert prod(shape[:1]) == 2
+        # Paper mode 3 = index 2: 2 sub-blocks, each 2 (rows) x 4 (lead).
+        assert prod(shape[3:]) == 2
+        assert prod(shape[:2]) == 4
+
+
+class TestTensorConvenienceMethods:
+    def test_ttm_method(self, rng):
+        from repro.tensor import ttm
+
+        x = rng.standard_normal((4, 5))
+        v = rng.standard_normal((3, 5))
+        t = Tensor(x)
+        np.testing.assert_allclose(t.ttm(v, 1).data, ttm(x, v, 1), atol=1e-12)
+
+    def test_ttm_method_transpose(self, rng):
+        x = rng.standard_normal((4, 5))
+        u = rng.standard_normal((5, 2))
+        t = Tensor(x)
+        assert t.ttm(u, 1, transpose=True).shape == (4, 2)
+
+    def test_gram_method(self, rng):
+        from repro.tensor import gram
+
+        x = rng.standard_normal((4, 5, 6))
+        t = Tensor(x)
+        np.testing.assert_allclose(t.gram(1), gram(x, 1), atol=1e-12)

@@ -1,0 +1,69 @@
+"""Random tensor factory tests."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import low_rank_tensor, random_factor, random_tensor, unfold
+
+
+class TestRandomTensor:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_tensor((3, 4), seed=1), random_tensor((3, 4), seed=1)
+        )
+
+    def test_seed_sensitivity(self):
+        assert not np.allclose(
+            random_tensor((3, 4), seed=1), random_tensor((3, 4), seed=2)
+        )
+
+    def test_fortran_ordered(self):
+        assert random_tensor((3, 4, 5)).flags.f_contiguous
+
+
+class TestRandomFactor:
+    def test_orthonormal_columns(self):
+        q = random_factor(10, 4, seed=3)
+        np.testing.assert_allclose(q.T @ q, np.eye(4), atol=1e-12)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ValueError):
+            random_factor(3, 5)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            random_factor(6, 3, seed=1), random_factor(6, 3, seed=1)
+        )
+
+
+class TestLowRankTensor:
+    def test_exact_multilinear_rank(self):
+        x = low_rank_tensor((8, 9, 10), (2, 3, 4), seed=0)
+        for n, r in enumerate((2, 3, 4)):
+            assert np.linalg.matrix_rank(unfold(x, n), tol=1e-10) == r
+
+    def test_noise_makes_full_rank(self):
+        x = low_rank_tensor((6, 7, 8), (2, 2, 2), seed=0, noise=0.1)
+        assert np.linalg.matrix_rank(unfold(x, 0)) == 6
+
+    def test_rank_exceeds_dim_rejected(self):
+        with pytest.raises(ValueError, match="exceeds dimension"):
+            low_rank_tensor((4, 4), (5, 2))
+
+    def test_order_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            low_rank_tensor((4, 4, 4), (2, 2))
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            low_rank_tensor((4, 4), (2, 2), noise=-1.0)
+
+    def test_norm_preserved_from_core(self):
+        # Orthonormal factors preserve the core norm exactly.
+        x = low_rank_tensor((8, 9), (3, 3), seed=5)
+        from repro.tensor.random import random_tensor as rt
+
+        core = rt((3, 3), seed=5)
+        assert np.linalg.norm(x.ravel()) == pytest.approx(
+            np.linalg.norm(core.ravel())
+        )

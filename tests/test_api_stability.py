@@ -1,0 +1,90 @@
+"""Public API stability: the documented surface must exist and stay typed.
+
+Downstream code imports these names; renames are breaking changes and must
+show up as test failures, not user bug reports.
+"""
+
+import importlib
+
+import pytest
+
+PUBLIC_API = {
+    "repro": [
+        "TuckerTensor", "SthosvdResult", "HooiResult",
+        "sthosvd", "hooi", "hosvd",
+        "normalized_rms", "max_abs_error", "compression_ratio",
+        "__version__",
+    ],
+    "repro.core": [
+        "TuckerTensor", "sthosvd", "hooi", "hosvd",
+        "StreamingTucker", "validate_tucker", "ValidationReport",
+        "greedy_flops_order", "greedy_ratio_order",
+        "modewise_error_curves", "error_bound",
+    ],
+    "repro.tensor": [
+        "Tensor", "unfold", "fold", "ttm", "ttm_blocked", "multi_ttm",
+        "gram", "gram_blocked", "eigendecompose", "leading_eigenvectors",
+        "rank_from_tolerance", "low_rank_tensor", "random_factor",
+        "random_tensor",
+    ],
+    "repro.mpi": [
+        "run_spmd", "Communicator", "CartGrid", "CostLedger",
+        "SUM", "MAX", "MIN", "PROD",
+        "MpiError", "DeadlockError", "SpmdError", "CommunicatorError",
+        "BufferMismatchError",
+    ],
+    "repro.distributed": [
+        "DistTensor", "DistTucker", "dist_ttm", "dist_gram", "dist_evecs",
+        "dist_sthosvd", "dist_hooi", "dist_mode_svd", "tsqr_r",
+        "choose_grid", "block_range", "DistStreamingTucker",
+    ],
+    "repro.perfmodel": [
+        "MachineSpec", "EDISON", "EDISON_CALIBRATED", "UNIT",
+        "send_recv_cost", "allgather_cost", "reduce_cost", "allreduce_cost",
+        "KernelCost", "ttm_cost", "gram_cost", "evecs_cost",
+        "AlgorithmCost", "sthosvd_cost", "hooi_cost", "hooi_iteration_cost",
+        "sthosvd_memory_bound", "strong_scaling_curve", "weak_scaling_curve",
+        "grid_sweep", "mode_order_sweep",
+    ],
+    "repro.data": [
+        "hcci_proxy", "tjlr_proxy", "sp_proxy", "load_dataset", "DATASETS",
+        "center_and_scale", "invert_scaling", "multiway_field",
+        "decay_profile", "dct_basis",
+        "fig8a_problem", "fig8b_problem", "strong_scaling_problem",
+        "weak_scaling_problem",
+    ],
+    "repro.baselines": [
+        "PcaCompressor", "Tucker1Compressor",
+    ],
+    "repro.io": ["save_tucker", "load_tucker", "stored_bytes"],
+    "repro.report": ["EXPERIMENTS", "generate_all", "write_csv"],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(PUBLIC_API))
+def test_module_exports(module_name):
+    module = importlib.import_module(module_name)
+    missing = [n for n in PUBLIC_API[module_name] if not hasattr(module, n)]
+    assert not missing, f"{module_name} lost public names: {missing}"
+
+
+def test_py_typed_marker_exists():
+    import repro
+
+    import os
+
+    assert os.path.exists(
+        os.path.join(os.path.dirname(repro.__file__), "py.typed")
+    )
+
+
+def test_all_lists_are_accurate():
+    for module_name in PUBLIC_API:
+        module = importlib.import_module(module_name)
+        declared = getattr(module, "__all__", None)
+        if declared is None:
+            continue
+        for name in declared:
+            assert hasattr(module, name), (
+                f"{module_name}.__all__ lists missing name {name}"
+            )

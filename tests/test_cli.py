@@ -1,0 +1,155 @@
+"""CLI tests: the compress / info / reconstruct / extract workflow."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _parse_selection, main
+from repro.io import load_tucker
+from repro.tensor import low_rank_tensor
+
+
+@pytest.fixture
+def field(tmp_path):
+    x = low_rank_tensor((12, 10, 8), (3, 3, 2), seed=40, noise=0.01)
+    path = tmp_path / "field.npy"
+    np.save(path, x)
+    return path, x
+
+
+class TestParseSelection:
+    def test_colon_is_all(self):
+        assert _parse_selection(":", 10) is None
+
+    def test_index(self):
+        assert _parse_selection("3", 10) == 3
+
+    def test_negative_index(self):
+        assert _parse_selection("-1", 10) == -1
+
+    def test_range(self):
+        assert _parse_selection("2:5", 10) == slice(2, 5, None)
+
+    def test_strided(self):
+        assert _parse_selection("0:10:2", 10) == slice(0, 10, 2)
+
+    def test_open_ended(self):
+        assert _parse_selection("3:", 10) == slice(3, None, None)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            _parse_selection("10", 10)
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            _parse_selection("1:2:3:4", 10)
+
+
+class TestCompress:
+    def test_compress_with_tol(self, field, tmp_path, capsys):
+        src, x = field
+        out = tmp_path / "m.npz"
+        assert main(["compress", str(src), str(out), "--tol", "1e-2"]) == 0
+        t, meta = load_tucker(out)
+        assert t.shape == x.shape
+        assert meta["tol"] == 1e-2
+        assert "ratio" in capsys.readouterr().out
+
+    def test_compress_with_ranks(self, field, tmp_path):
+        src, _ = field
+        out = tmp_path / "m.npz"
+        rc = main(
+            ["compress", str(src), str(out), "--ranks", "3", "3", "2"]
+        )
+        assert rc == 0
+        t, _ = load_tucker(out)
+        assert t.ranks == (3, 3, 2)
+
+    def test_compress_svd_method(self, field, tmp_path):
+        src, _ = field
+        out = tmp_path / "m.npz"
+        assert main(
+            ["compress", str(src), str(out), "--tol", "1e-3", "--method", "svd"]
+        ) == 0
+
+    def test_compress_with_normalization(self, field, tmp_path):
+        src, _ = field
+        out = tmp_path / "m.npz"
+        rc = main(
+            ["compress", str(src), str(out), "--tol", "1e-2",
+             "--species-mode", "2"]
+        )
+        assert rc == 0
+        _, meta = load_tucker(out)
+        assert meta["normalized"]["species_mode"] == 2
+
+    def test_compress_with_hooi(self, field, tmp_path):
+        src, _ = field
+        out = tmp_path / "m.npz"
+        rc = main(
+            ["compress", str(src), str(out), "--ranks", "2", "2", "2",
+             "--hooi-iterations", "2"]
+        )
+        assert rc == 0
+
+    def test_requires_exactly_one_selector(self, field, tmp_path, capsys):
+        src, _ = field
+        out = tmp_path / "m.npz"
+        assert main(["compress", str(src), str(out)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_missing_input(self, tmp_path, capsys):
+        rc = main(
+            ["compress", str(tmp_path / "no.npy"), str(tmp_path / "m.npz"),
+             "--tol", "0.1"]
+        )
+        assert rc == 2
+
+
+class TestInfoReconstructExtract:
+    @pytest.fixture
+    def model(self, field, tmp_path):
+        src, x = field
+        out = tmp_path / "m.npz"
+        main(["compress", str(src), str(out), "--ranks", "3", "3", "2"])
+        return out, x
+
+    def test_info(self, model, capsys):
+        path, x = model
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "(12, 10, 8)" in out
+        assert "(3, 3, 2)" in out
+
+    def test_reconstruct(self, model, tmp_path):
+        path, x = model
+        out = tmp_path / "back.npy"
+        assert main(["reconstruct", str(path), str(out)]) == 0
+        back = np.load(out)
+        # Residual is the injected white noise (~8% of signal norm here).
+        assert np.linalg.norm(back - x) / np.linalg.norm(x) < 0.15
+
+    def test_extract_slab(self, model, tmp_path):
+        path, x = model
+        out = tmp_path / "slab.npy"
+        rc = main(
+            ["extract", str(path), str(out), "--select", ":", "2:5", "0"]
+        )
+        assert rc == 0
+        slab = np.load(out)
+        assert slab.shape == (12, 3, 1)
+
+    def test_extract_wrong_token_count(self, model, tmp_path, capsys):
+        path, _ = model
+        rc = main(
+            ["extract", str(path), str(tmp_path / "s.npy"), "--select", ":"]
+        )
+        assert rc == 2
+        assert "3 --select tokens" in capsys.readouterr().err
+
+    def test_extract_bad_index(self, model, tmp_path, capsys):
+        path, _ = model
+        rc = main(
+            ["extract", str(path), str(tmp_path / "s.npy"),
+             "--select", "99", ":", ":"]
+        )
+        assert rc == 2

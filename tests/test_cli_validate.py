@@ -1,0 +1,46 @@
+"""CLI validate-subcommand tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import TuckerTensor, sthosvd
+from repro.io import save_tucker
+from repro.tensor import low_rank_tensor
+
+
+@pytest.fixture
+def clean_model(tmp_path):
+    x = low_rank_tensor((10, 8, 6), (3, 3, 2), seed=41, noise=0.01)
+    t = sthosvd(x, ranks=(3, 3, 2)).decomposition
+    model = tmp_path / "m.npz"
+    save_tucker(model, t)
+    src = tmp_path / "x.npy"
+    np.save(src, x)
+    return model, src, t
+
+
+class TestValidateCommand:
+    def test_clean_model_passes(self, clean_model, capsys):
+        model, _, _ = clean_model
+        assert main(["validate", str(model)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_against_original(self, clean_model, capsys):
+        model, src, _ = clean_model
+        assert main(["validate", str(model), "--against", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "core residual" in out
+        assert "relative error" in out
+
+    def test_broken_model_fails(self, clean_model, tmp_path, capsys):
+        _, _, t = clean_model
+        broken = TuckerTensor(
+            core=t.core, factors=tuple(2.0 * f for f in t.factors)
+        )
+        path = tmp_path / "broken.npz"
+        save_tucker(path, broken)
+        assert main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "ISSUES FOUND" in out
+        assert "orthonormality" in out

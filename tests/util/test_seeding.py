@@ -1,0 +1,35 @@
+"""Unit tests for deterministic seeding."""
+
+import numpy as np
+
+from repro.util.seeding import rng_for, spawn_seed
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(1, "a", 2) == spawn_seed(1, "a", 2)
+
+    def test_distinct_keys_distinct_seeds(self):
+        assert spawn_seed(1, "a") != spawn_seed(1, "b")
+
+    def test_distinct_base_distinct_seeds(self):
+        assert spawn_seed(1, "a") != spawn_seed(2, "a")
+
+    def test_key_order_matters(self):
+        assert spawn_seed(0, "x", "y") != spawn_seed(0, "y", "x")
+
+    def test_fits_in_uint64(self):
+        s = spawn_seed(123456789, "anything", 42, (1, 2))
+        assert 0 <= s < 2**64
+
+
+class TestRngFor:
+    def test_reproducible_stream(self):
+        a = rng_for(7, "test").standard_normal(10)
+        b = rng_for(7, "test").standard_normal(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_independent_streams(self):
+        a = rng_for(7, "one").standard_normal(10)
+        b = rng_for(7, "two").standard_normal(10)
+        assert not np.allclose(a, b)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    check_axis,
+    check_positive_int,
+    check_shape_like,
+    prod,
+)
+
+
+class TestProd:
+    def test_empty_is_one(self):
+        assert prod([]) == 1
+
+    def test_single(self):
+        assert prod([7]) == 7
+
+    def test_multiple(self):
+        assert prod([2, 3, 5]) == 30
+
+    def test_generator_input(self):
+        assert prod(x for x in (4, 4)) == 16
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-2, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "flag")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+
+class TestCheckAxis:
+    def test_in_range(self):
+        assert check_axis(2, 4) == 2
+
+    def test_negative_axis_normalized(self):
+        assert check_axis(-1, 3) == 2
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            check_axis(3, 3)
+
+    def test_too_negative(self):
+        with pytest.raises(ValueError):
+            check_axis(-4, 3)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_axis(False, 3)
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValueError, match="mymode"):
+            check_axis(9, 2, "mymode")
+
+
+class TestCheckShapeLike:
+    def test_tuple_passthrough(self):
+        assert check_shape_like((2, 3)) == (2, 3)
+
+    def test_list_converted(self):
+        assert check_shape_like([4, 5, 6]) == (4, 5, 6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one mode"):
+            check_shape_like(())
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError, match="positive"):
+            check_shape_like((3, 0, 2))
+
+    def test_rejects_negative_dim(self):
+        with pytest.raises(ValueError):
+            check_shape_like((-1, 2))
+
+    def test_rejects_non_sequence(self):
+        with pytest.raises(TypeError):
+            check_shape_like(5)
+
+    def test_numpy_ints_ok(self):
+        import numpy as np
+
+        assert check_shape_like(np.array([2, 3])) == (2, 3)
