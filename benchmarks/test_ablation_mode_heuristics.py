@@ -16,7 +16,7 @@ from repro.core.sthosvd import greedy_flops_order, greedy_ratio_order
 from repro.data import fig8b_problem
 from repro.perfmodel import EDISON_CALIBRATED, mode_order_sweep
 
-from .conftest import table
+from benchmarks.conftest import table
 
 
 def _score(shape, ranks, grid, order):

@@ -18,7 +18,7 @@ import pytest
 
 from repro.core import sthosvd
 
-from .conftest import table
+from benchmarks.conftest import table
 
 
 def test_svd_vs_gram_accuracy_cliff(benchmark, datasets):

@@ -17,7 +17,7 @@ from repro.distributed import DistTensor, dist_ttm
 from repro.mpi import CartGrid, run_spmd
 from repro.tensor import low_rank_tensor
 
-from .conftest import table
+from benchmarks.conftest import table
 
 SHAPE = (32, 16, 16)
 K = 8

@@ -15,7 +15,7 @@ import pytest
 from repro.baselines import PcaCompressor, Tucker1Compressor
 from repro.core import sthosvd
 
-from .conftest import table
+from benchmarks.conftest import table
 
 EPS = 1e-3
 

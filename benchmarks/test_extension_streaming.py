@@ -15,7 +15,7 @@ import pytest
 
 from repro.core import StreamingTucker, normalized_rms, sthosvd
 
-from .conftest import table
+from benchmarks.conftest import table
 
 TOL = 1e-2
 CHUNK = 5

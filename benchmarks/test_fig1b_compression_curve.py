@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import sthosvd
 
-from .conftest import table
+from benchmarks.conftest import table
 
 PAPER_SERIES = {1e-6: 5, 1e-5: 16, 1e-4: 55, 1e-3: 231, 1e-2: 5580}
 

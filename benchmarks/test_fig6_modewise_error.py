@@ -17,7 +17,7 @@ import pytest
 
 from repro.core.errors import modewise_error_curves
 
-from .conftest import table
+from benchmarks.conftest import table
 
 EPS = 1e-3
 

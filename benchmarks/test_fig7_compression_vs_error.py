@@ -12,7 +12,7 @@ import pytest
 
 from repro.core import sthosvd
 
-from .conftest import table
+from benchmarks.conftest import table
 
 EPSILONS = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
 PAPER_RANGE = {  # (C at 1e-6, C at 1e-2) from Fig. 7

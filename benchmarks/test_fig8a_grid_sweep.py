@@ -23,7 +23,7 @@ from repro.mpi import CartGrid, run_spmd
 from repro.perfmodel import EDISON_CALIBRATED, grid_sweep
 from repro.tensor import low_rank_tensor
 
-from .conftest import table
+from benchmarks.conftest import table
 
 
 def test_fig8a_model_at_paper_scale(benchmark):

@@ -24,7 +24,7 @@ from repro.mpi import CartGrid, run_spmd
 from repro.perfmodel import EDISON_CALIBRATED, mode_order_sweep
 from repro.tensor import low_rank_tensor
 
-from .conftest import table
+from benchmarks.conftest import table
 
 # The twelve orderings shown in the paper's Fig. 8b (1-indexed labels).
 PAPER_ORDERS = [

@@ -20,11 +20,11 @@ import pytest
 
 from repro.data import strong_scaling_problem
 from repro.distributed import DistTensor, dist_sthosvd
-from repro.mpi import CartGrid, run_spmd
+from repro.mpi import CartGrid, resolve_backend, run_spmd
 from repro.perfmodel import EDISON_CALIBRATED, strong_scaling_curve
 from repro.tensor import low_rank_tensor
 
-from .conftest import table
+from benchmarks.conftest import table
 
 
 def test_fig9a_model_at_paper_scale(benchmark):
@@ -93,11 +93,14 @@ def test_fig9a_simulator_small_scale(benchmark):
 
     times = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = [[p, t * 1e3, times[0][1] / t] for p, t in times]
+    backend = resolve_backend(None).name
     table(
-        "Fig. 9a validation: simulated strong scaling 32^4 -> 8^4",
+        f"Fig. 9a validation: simulated strong scaling 32^4 -> 8^4 "
+        f"[{backend} backend]",
         ["cores", "modeled ms", "speedup"],
         rows,
     )
+    print(f"spmd executor backend: {backend}")
     # More processors -> less modeled time, with sub-linear speedup.
     assert times[0][1] > times[1][1] > times[2][1]
     assert times[0][1] / times[2][1] < 16

@@ -19,9 +19,12 @@ this model — recorded in EXPERIMENTS.md rather than asserted away.
 import numpy as np
 import pytest
 
+from repro.distributed import DistTensor, dist_sthosvd
+from repro.mpi import CartGrid, resolve_backend, run_spmd
 from repro.perfmodel import EDISON_CALIBRATED, weak_scaling_curve
+from repro.tensor import low_rank_tensor
 
-from .conftest import table
+from benchmarks.conftest import table
 
 PEAK = 19.2  # GFLOPS per Edison core
 
@@ -89,3 +92,43 @@ def test_fig9b_terabyte_headline(benchmark):
     assert small.sthosvd_time < 10
     # 15 TB on 1296 nodes: on the order of a minute.
     assert big.sthosvd_time < 120
+
+
+def test_fig9b_simulator_small_scale(benchmark):
+    """Weak-scaling sanity on the executing simulator: constant local
+    volume per rank, modeled time grows only by the added communication."""
+
+    configs = [
+        (1, (1, 1, 1, 1), (12, 12, 12, 12)),
+        (4, (1, 1, 2, 2), (12, 12, 24, 24)),
+    ]
+
+    def run_all():
+        out = []
+        for p, grid, shape in configs:
+            x = low_rank_tensor(shape, (4, 4, 4, 4), seed=29, noise=1e-6)
+
+            def prog(comm):
+                g = CartGrid(comm, grid)
+                dt = DistTensor.from_global(g, x)
+                dist_sthosvd(dt, ranks=(4, 4, 4, 4))
+                return None
+
+            res = run_spmd(p, prog)
+            out.append((p, res.ledger.modeled_time()))
+        return out
+
+    times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    backend = resolve_backend(None).name
+    table(
+        f"Fig. 9b validation: simulated weak scaling, constant 12^4 per "
+        f"rank [{backend} backend]",
+        ["cores", "modeled ms", "efficiency"],
+        [[p, t * 1e3, times[0][1] / t] for p, t in times],
+    )
+    print(f"spmd executor backend: {backend}")
+    t1, t4 = times[0][1], times[1][1]
+    # Far from free (communication enters at P=4) but far from serial
+    # (4x the data does not cost 4x the single-rank time).
+    assert t4 < 4 * t1
+    assert t4 > 0.5 * t1

@@ -20,7 +20,7 @@ from repro.perfmodel import (
 )
 from repro.perfmodel.machine import UNIT
 
-from .conftest import table
+from benchmarks.conftest import table
 
 P = 8
 WORDS = 1024

@@ -14,7 +14,7 @@ import pytest
 
 from repro.core import hooi, max_abs_error, normalized_rms, sthosvd
 
-from .conftest import table
+from benchmarks.conftest import table
 
 PAPER = {
     # dataset: (ST rms, HOOI rms, compression)

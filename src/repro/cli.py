@@ -27,6 +27,12 @@ from repro.io import load_tucker, save_tucker, stored_bytes
 from repro.util.validation import prod
 
 
+def _backend_choices() -> tuple[str, ...]:
+    from repro.mpi import available_backends
+
+    return available_backends()
+
+
 def _parse_selection(token: str, dim: int):
     """Parse one ``--select`` token: ``:``, ``i``, or ``a:b[:c]``."""
     token = token.strip()
@@ -46,10 +52,64 @@ def _parse_selection(token: str, dim: int):
     return idx
 
 
+def _compress_parallel(
+    x: np.ndarray, args: argparse.Namespace, metadata: dict
+):
+    """Run the distributed ST-HOSVD on ``--parallel`` simulated ranks.
+
+    Returns ``(decomposition, error_estimate)``; factors are bit-identical
+    across backends, so the container does not depend on the choice.
+    """
+    from repro.distributed import DistTensor, choose_grid, dist_sthosvd
+    from repro.mpi import CartGrid, resolve_backend, run_spmd
+
+    ranks = tuple(args.ranks) if args.ranks else None
+    grid = choose_grid(args.parallel, x.shape, ranks=ranks)
+
+    def prog(comm):
+        g = CartGrid(comm, grid)
+        dt = DistTensor.from_global(g, x)
+        t = dist_sthosvd(dt, tol=args.tol, ranks=ranks, method=args.method)
+        gathered = t.to_tucker()  # collective: every rank participates
+        if comm.rank == 0:
+            return gathered, t.error_estimate()
+        return None
+
+    backend = resolve_backend(args.backend)
+    res = run_spmd(args.parallel, prog, backend=backend)
+    metadata["parallel"] = {
+        "ranks": args.parallel,
+        "grid": list(grid),
+        "backend": backend.name,
+    }
+    print(
+        f"  parallel     : {args.parallel} ranks, grid "
+        f"{'x'.join(map(str, grid))}, {backend.name} backend, "
+        f"modeled time {res.modeled_time:.3e} s"
+    )
+    return res[0]
+
+
 def _cmd_compress(args: argparse.Namespace) -> int:
     x = np.load(args.input)
     if x.ndim < 1:
         print("error: input must be a dense tensor", file=sys.stderr)
+        return 2
+    if args.parallel < 0:
+        print("error: --parallel must be >= 0", file=sys.stderr)
+        return 2
+    if args.parallel and args.hooi_iterations > 0:
+        print(
+            "error: --hooi-iterations is not supported with --parallel",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backend is not None and not args.parallel:
+        print(
+            "error: --backend requires --parallel (sequential compression "
+            "never launches SPMD ranks)",
+            file=sys.stderr,
+        )
         return 2
     metadata: dict = {"source": args.input}
     if args.species_mode is not None:
@@ -59,13 +119,17 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             "means": np.asarray(info.means).ravel().tolist(),
             "stds": np.asarray(info.stds).ravel().tolist(),
         }
-    ranks = tuple(args.ranks) if args.ranks else None
-    result = sthosvd(x, tol=args.tol, ranks=ranks, method=args.method)
-    if args.hooi_iterations > 0:
-        refined = hooi(x, init=result, max_iterations=args.hooi_iterations)
-        decomposition = refined.decomposition
+    if args.parallel:
+        decomposition, error_estimate = _compress_parallel(x, args, metadata)
     else:
-        decomposition = result.decomposition
+        ranks = tuple(args.ranks) if args.ranks else None
+        result = sthosvd(x, tol=args.tol, ranks=ranks, method=args.method)
+        error_estimate = result.error_estimate()
+        if args.hooi_iterations > 0:
+            refined = hooi(x, init=result, max_iterations=args.hooi_iterations)
+            decomposition = refined.decomposition
+        else:
+            decomposition = result.decomposition
     metadata["tol"] = args.tol
     metadata["method"] = args.method
     save_tucker(args.output, decomposition, metadata=metadata)
@@ -76,7 +140,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         f"  ranks        : {decomposition.ranks}\n"
         f"  ratio        : {decomposition.compression_ratio:.1f}x in memory, "
         f"{raw / disk:.1f}x on disk\n"
-        f"  error (est.) : {result.error_estimate():.3e}"
+        f"  error (est.) : {error_estimate:.3e}"
     )
     return 0
 
@@ -163,6 +227,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="center-and-scale slices of this mode first")
     p.add_argument("--hooi-iterations", type=int, default=0,
                    help="refine with up to this many HOOI iterations")
+    p.add_argument("--parallel", type=int, default=0, metavar="P",
+                   help="run the distributed ST-HOSVD on P simulated ranks "
+                        "(0: sequential)")
+    p.add_argument("--backend", choices=_backend_choices(), default=None,
+                   help="SPMD executor backend for --parallel (default: "
+                        "$REPRO_SPMD_BACKEND or 'thread')")
     p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser("info", help="describe a Tucker container")
@@ -205,6 +275,11 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.fn(args)
     except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Bad parameter combinations surfaced by the library (unknown
+        # REPRO_SPMD_BACKEND, infeasible grid, rank > dimension...).
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

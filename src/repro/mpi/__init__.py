@@ -1,8 +1,9 @@
 """Simulated distributed-memory message-passing runtime.
 
-This package replaces MPI for the reproduction: ranks are threads in one
-process, messages are NumPy-buffer copies through an in-process transport,
-and every operation charges an alpha-beta-gamma cost ledger so that modeled
+This package replaces MPI for the reproduction: ranks execute under a
+pluggable executor backend — threads sharing an in-process transport, or
+forked processes exchanging ndarrays through POSIX shared memory — and
+every operation charges an alpha-beta-gamma cost ledger so that modeled
 runtimes of real executions can be reported (see DESIGN.md, substitution
 table).
 
@@ -14,14 +15,26 @@ Public surface:
   sub-communicators (paper Sec. IV).
 * :data:`SUM`/:data:`MAX`/:data:`MIN`/:data:`PROD` — reduction operators.
 * :class:`CostLedger` — per-rank modeled time / flops / words accounting.
+* :class:`ThreadBackend` / :class:`ProcessBackend` — executor backends,
+  selectable per call (``run_spmd(..., backend="process")``) or via the
+  ``REPRO_SPMD_BACKEND`` environment variable.
 """
 
 from repro.mpi.comm import Communicator, Request
 from repro.mpi.cart import CartGrid
+from repro.mpi.backends import (
+    BACKEND_ENV_VAR,
+    ExecutorBackend,
+    ProcessBackend,
+    ThreadBackend,
+    available_backends,
+    resolve_backend,
+)
 from repro.mpi.executor import SpmdResult, run_spmd
 from repro.mpi.ledger import CostLedger, RankCosts
+from repro.mpi.process_transport import ProcessTransport
 from repro.mpi.reduce_ops import MAX, MIN, PROD, SUM, ReduceOp
-from repro.mpi.transport import Transport
+from repro.mpi.transport import ThreadTransport, Transport, TransportBase
 from repro.mpi.errors import (
     BufferMismatchError,
     CommunicatorError,
@@ -44,6 +57,15 @@ __all__ = [
     "MIN",
     "PROD",
     "Transport",
+    "TransportBase",
+    "ThreadTransport",
+    "ProcessTransport",
+    "ExecutorBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "resolve_backend",
+    "BACKEND_ENV_VAR",
     "MpiError",
     "DeadlockError",
     "BufferMismatchError",

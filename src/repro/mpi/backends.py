@@ -1,0 +1,381 @@
+"""Pluggable executor backends for :func:`repro.mpi.run_spmd`.
+
+A backend decides *how* the N ranks of an SPMD run execute:
+
+* :class:`ThreadBackend` (``"thread"``) — ranks are Python threads sharing
+  one :class:`~repro.mpi.transport.ThreadTransport` and one
+  :class:`~repro.mpi.ledger.CostLedger`.  NumPy releases the GIL inside
+  BLAS so local linear algebra overlaps, but all pure-Python work is
+  interleaved.  Cheap to launch; the default.
+* :class:`ProcessBackend` (``"process"``) — ranks are forked
+  ``multiprocessing`` processes exchanging ndarrays through
+  :class:`~repro.mpi.process_transport.ProcessTransport` (headers pickled,
+  payload bytes through POSIX shared memory).  Pure-Python rank code runs
+  genuinely in parallel on multi-core hardware, which is what the paper's
+  strong/weak-scaling experiments (Fig. 9) actually measure.
+
+Both backends present identical semantics — same collectives, same
+deterministic reduction order, same poisoning/fail-fast behavior on rank
+error, same deadlock timeout, same cost-ledger contents — and are held to
+that by one shared conformance suite (``tests/mpi/test_backends.py``).
+
+Select a backend per call (``run_spmd(..., backend="process")``) or
+globally via the ``REPRO_SPMD_BACKEND`` environment variable.
+
+Process-backend restrictions (it crosses a real process boundary):
+
+* rank functions and arguments reach the children by ``fork``, so closures
+  and lambdas work, but mutations they make to parent objects stay in the
+  child;
+* per-rank return values come back through a result queue and must be
+  picklable — a rank returning an unpicklable value fails that rank.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pickle
+import queue as queue_mod
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.mpi.comm import Communicator
+from repro.mpi.errors import DeadlockError, SpmdError
+from repro.mpi.ledger import CostLedger
+from repro.mpi.process_transport import ProcessTransport, release_payload
+from repro.mpi.transport import ThreadTransport
+from repro.perfmodel.machine import MachineSpec
+
+#: Environment variable consulted when ``run_spmd`` gets no ``backend=``.
+BACKEND_ENV_VAR = "REPRO_SPMD_BACKEND"
+
+#: Seconds the parent keeps waiting for remaining rank reports after a
+#: failure has poisoned the run (bounds cleanup, not healthy execution).
+_DRAIN_GRACE = 30.0
+
+#: Seconds a cleanly-exited child's result may stay in flight in the
+#: result queue before the parent declares the rank dead-without-report.
+_EXIT_REPORT_GRACE = 5.0
+
+
+@dataclass
+class SpmdResult:
+    """Return values of all ranks plus the run's cost ledger."""
+
+    values: list[Any]
+    ledger: CostLedger
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.values[rank]
+
+    @property
+    def modeled_time(self) -> float:
+        return self.ledger.modeled_time()
+
+
+def raise_spmd_failures(failures: dict[int, BaseException]) -> None:
+    """Raise :class:`SpmdError` for a run's failures, if any.
+
+    Deadlock cascades: report only the original failures, not the
+    DeadlockErrors induced on innocent ranks by the poisoned transport.
+    """
+    if not failures:
+        return
+    primary = {
+        rank: exc
+        for rank, exc in failures.items()
+        if not isinstance(exc, DeadlockError)
+    }
+    raise SpmdError(primary or failures)
+
+
+class ExecutorBackend(abc.ABC):
+    """How an SPMD run turns N rank programs into N executions."""
+
+    #: Registry key and the value accepted by ``REPRO_SPMD_BACKEND``.
+    name: str
+
+    @abc.abstractmethod
+    def run(
+        self,
+        n_ranks: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        machine: MachineSpec,
+        timeout: float,
+        rank_args: Sequence[tuple] | None,
+    ) -> SpmdResult:
+        """Execute ``fn(comm, *args[, *rank_args[rank]])`` on every rank."""
+
+
+class ThreadBackend(ExecutorBackend):
+    """Ranks as threads in this process (shared transport and ledger)."""
+
+    name = "thread"
+
+    def run(
+        self,
+        n_ranks: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        machine: MachineSpec,
+        timeout: float,
+        rank_args: Sequence[tuple] | None,
+    ) -> SpmdResult:
+        transport = ThreadTransport(timeout=timeout)
+        ledger = CostLedger(n_ranks, machine)
+        values: list[Any] = [None] * n_ranks
+        failures: dict[int, BaseException] = {}
+        failures_lock = threading.Lock()
+
+        def worker(rank: int) -> None:
+            comm = Communicator(
+                transport, ledger, "world", tuple(range(n_ranks)), rank
+            )
+            try:
+                extra = rank_args[rank] if rank_args is not None else ()
+                values[rank] = fn(comm, *args, *extra)
+            except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
+                with failures_lock:
+                    failures[rank] = exc
+                transport.abort(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
+            for rank in range(n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        raise_spmd_failures(failures)
+        return SpmdResult(values=values, ledger=ledger)
+
+
+def _process_worker(
+    rank: int,
+    n_ranks: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    rank_args: Sequence[tuple] | None,
+    machine: MachineSpec,
+    timeout: float,
+    inboxes,
+    result_queue,
+    abort_event,
+) -> None:
+    """Child-process body: run one rank, report (value, failure, costs)."""
+    transport = ProcessTransport(rank, inboxes, abort_event, timeout=timeout)
+    ledger = CostLedger(n_ranks, machine)
+    comm = Communicator(transport, ledger, "world", tuple(range(n_ranks)), rank)
+    value: Any = None
+    failure: BaseException | None = None
+    try:
+        extra = rank_args[rank] if rank_args is not None else ()
+        value = fn(comm, *args, *extra)
+    except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
+        failure = exc
+        transport.abort(exc)
+    costs = ledger.rank_costs(rank)
+    # Pre-pickle in the worker: a pickling error inside the queue's feeder
+    # thread would silently drop the report and wedge the parent.
+    try:
+        blob = pickle.dumps((rank, value, failure, costs))
+    except Exception as exc:
+        if failure is None:
+            failure = TypeError(
+                f"rank {rank} returned a value the process backend cannot "
+                f"send back ({exc}); return picklable data or use "
+                f"backend='thread'"
+            )
+        else:
+            failure = RuntimeError(
+                f"rank {rank} raised an unpicklable exception: {failure!r}"
+            )
+        blob = pickle.dumps((rank, None, failure, costs))
+    result_queue.put(blob)
+
+
+class ProcessBackend(ExecutorBackend):
+    """Ranks as forked processes with shared-memory message payloads."""
+
+    name = "process"
+
+    def run(
+        self,
+        n_ranks: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        machine: MachineSpec,
+        timeout: float,
+        rank_args: Sequence[tuple] | None,
+    ) -> SpmdResult:
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        # Start the shared-memory resource tracker before forking so every
+        # child inherits the same tracker process; otherwise a segment
+        # registered by the sending child and unlinked by the receiving
+        # child looks "leaked" to the sender's private tracker.
+        try:
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker is an optimization
+            pass
+
+        # fork keeps closures working (fn and args are inherited, never
+        # pickled) and makes launches cheap; the seed toolchain is
+        # Linux-only so fork is always available.
+        ctx = multiprocessing.get_context("fork")
+        inboxes = [ctx.Queue() for _ in range(n_ranks)]
+        result_queue = ctx.Queue()
+        abort_event = ctx.Event()
+        procs = [
+            ctx.Process(
+                target=_process_worker,
+                args=(
+                    rank,
+                    n_ranks,
+                    fn,
+                    args,
+                    rank_args,
+                    machine,
+                    timeout,
+                    inboxes,
+                    result_queue,
+                    abort_event,
+                ),
+                name=f"spmd-rank-{rank}",
+                daemon=True,
+            )
+            for rank in range(n_ranks)
+        ]
+        for p in procs:
+            p.start()
+
+        values: list[Any] = [None] * n_ranks
+        failures: dict[int, BaseException] = {}
+        ledger = CostLedger(n_ranks, machine)
+        pending = set(range(n_ranks))
+        # No cap on healthy execution: like the thread backend's join, the
+        # parent waits as long as ranks are alive and making progress —
+        # deadlocks are detected *inside* ranks by the transport timeout.
+        # Only once the run is poisoned does a drain deadline bound how
+        # long we wait for the remaining reports.
+        drain_deadline: float | None = None
+        exited_at: dict[int, float] = {}
+        while pending:
+            try:
+                blob = result_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                for rank in sorted(pending):
+                    p = procs[rank]
+                    if p.is_alive() or p.exitcode is None:
+                        continue
+                    if p.exitcode != 0:
+                        # Died without reporting (segfault, kill): poison
+                        # the siblings and synthesize the failure.
+                        abort_event.set()
+                        failures[rank] = RuntimeError(
+                            f"rank {rank} died with exit code {p.exitcode} "
+                            f"before reporting a result"
+                        )
+                        pending.discard(rank)
+                        continue
+                    # Exited cleanly but no report yet: the result may
+                    # still be in the queue's pipe, so allow a short
+                    # grace before declaring the rank lost (os._exit in
+                    # rank code, a native library pulling the plug...).
+                    first_seen = exited_at.setdefault(rank, time.monotonic())
+                    if time.monotonic() - first_seen > _EXIT_REPORT_GRACE:
+                        abort_event.set()
+                        failures[rank] = RuntimeError(
+                            f"rank {rank} exited (code 0) without "
+                            f"reporting a result"
+                        )
+                        pending.discard(rank)
+                if drain_deadline is None and (
+                    failures or abort_event.is_set()
+                ):
+                    drain_deadline = time.monotonic() + _DRAIN_GRACE
+                if drain_deadline is not None and (
+                    time.monotonic() > drain_deadline
+                ):
+                    for rank in sorted(pending):
+                        failures[rank] = DeadlockError(
+                            f"rank {rank} did not report within "
+                            f"{_DRAIN_GRACE:g}s of the run being poisoned"
+                        )
+                    pending.clear()
+                continue
+            rank, value, failure, costs = pickle.loads(blob)
+            pending.discard(rank)
+            ledger.install_rank(rank, costs)
+            if failure is not None:
+                failures[rank] = failure
+            else:
+                values[rank] = value
+
+        for p in procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - wedged child
+                p.terminate()
+                p.join()
+        self._reclaim(inboxes)
+        raise_spmd_failures(failures)
+        return SpmdResult(values=values, ledger=ledger)
+
+    @staticmethod
+    def _reclaim(inboxes) -> None:
+        """Drain undelivered messages and unlink their shm segments."""
+        for inbox in inboxes:
+            while True:
+                try:
+                    blob = inbox.get_nowait()
+                except queue_mod.Empty:
+                    break
+                try:
+                    _key, encoded = pickle.loads(blob)
+                    release_payload(encoded)
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+            inbox.close()
+            inbox.join_thread()
+
+
+_BACKENDS: dict[str, type[ExecutorBackend]] = {
+    ThreadBackend.name: ThreadBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, alphabetically."""
+    return tuple(sorted(_BACKENDS))
+
+
+def resolve_backend(backend: str | ExecutorBackend | None) -> ExecutorBackend:
+    """Turn a ``backend=`` argument into a backend instance.
+
+    ``None`` falls back to the ``REPRO_SPMD_BACKEND`` environment variable,
+    then to ``"thread"``.  Instances pass through unchanged.
+    """
+    if isinstance(backend, ExecutorBackend):
+        return backend
+    name = backend if backend is not None else os.environ.get(
+        BACKEND_ENV_VAR, ThreadBackend.name
+    )
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SPMD backend {name!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    return cls()

@@ -4,8 +4,9 @@ The API mirrors mpi4py where practical (``Get_rank``, ``Send``/``Recv`` for
 NumPy buffers, lowercase object variants, ``allreduce``, ``split``...), so
 the distributed algorithms read like ordinary MPI code.  Differences:
 
-* Ranks are threads inside one process; messages move by copy through an
-  in-process :class:`~repro.mpi.transport.Transport`.
+* Ranks are threads or forked processes (an executor-backend choice, see
+  :mod:`repro.mpi.backends`); messages move by copy through a
+  :class:`~repro.mpi.transport.TransportBase` implementation.
 * Every operation *charges* a :class:`~repro.mpi.ledger.CostLedger` with the
   alpha-beta-gamma cost from the paper's Table I, enabling modeled-time
   measurements of the very runs the tests execute.
@@ -27,7 +28,7 @@ import numpy as np
 from repro.mpi.errors import BufferMismatchError, CommunicatorError
 from repro.mpi.ledger import CostLedger
 from repro.mpi.reduce_ops import SUM, ReduceOp
-from repro.mpi.transport import Transport
+from repro.mpi.transport import TransportBase
 from repro.perfmodel import collectives as cc
 
 
@@ -71,7 +72,7 @@ class Communicator:
 
     def __init__(
         self,
-        transport: Transport,
+        transport: TransportBase,
         ledger: CostLedger,
         comm_id: Hashable,
         members: Sequence[int],
@@ -139,8 +140,14 @@ class Communicator:
     def _key(self, src: int, dst: int, tag: Hashable) -> Hashable:
         return (self._comm_id, src, dst, tag)
 
+    def _put_key(self, src: int, dst: int, tag: Hashable, payload: Any) -> None:
+        """Deposit for group rank ``dst``, routed by its world rank."""
+        self._transport.put(
+            self._key(src, dst, tag), payload, dst=self._members[dst]
+        )
+
     def _put_raw(self, dst: int, tag: Hashable, payload: Any) -> None:
-        self._transport.put(self._key(self._rank, dst, tag), payload)
+        self._put_key(self._rank, dst, tag, payload)
 
     def _get_raw(self, src: int, tag: Hashable) -> Any:
         return self._transport.get(self._key(src, self._rank, tag))
@@ -250,9 +257,9 @@ class Communicator:
             for src in range(1, self.size):
                 self._transport.get(self._key(src, 0, tag_in))
             for dst in range(1, self.size):
-                self._transport.put(self._key(0, dst, tag_out), token)
+                self._put_key(0, dst, tag_out, token)
             return token
-        self._transport.put(self._key(self._rank, 0, tag_in), None)
+        self._put_key(self._rank, 0, tag_in, None)
         return self._transport.get(self._key(0, self._rank, tag_out))
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
@@ -265,7 +272,7 @@ class Communicator:
                 payload = _copy_payload(obj)
                 for dst in range(self.size):
                     if dst != root:
-                        self._transport.put(self._key(root, dst, tag), payload)
+                        self._put_key(root, dst, tag, payload)
                 result = obj
             else:
                 result = _copy_payload(
@@ -323,9 +330,7 @@ class Communicator:
             for dst in range(1, self.size):
                 # Fresh copies per destination: the root may mutate its own
                 # result list before receivers drain their mailboxes.
-                self._transport.put(
-                    self._key(0, dst, tag_out), [_copy_payload(v) for v in out]
-                )
+                self._put_key(0, dst, tag_out, [_copy_payload(v) for v in out])
             return list(out)
         self._put_raw(0, tag_in, _copy_payload(value))
         return self._transport.get(self._key(0, self._rank, tag_out))
@@ -345,9 +350,7 @@ class Communicator:
             total_words = sum(_words_of(v) for v in values)
             for dst in range(self.size):
                 if dst != root:
-                    self._transport.put(
-                        self._key(root, dst, tag), _copy_payload(values[dst])
-                    )
+                    self._put_key(root, dst, tag, _copy_payload(values[dst]))
         else:
             my_value = self._transport.get(self._key(root, self._rank, tag))
             total_words = _words_of(my_value) * self.size
@@ -405,7 +408,7 @@ class Communicator:
             for contribution in received:
                 acc = op(acc, contribution)
             for dst in range(1, self.size):
-                self._transport.put(self._key(0, dst, tag_out), _copy_payload(acc))
+                self._put_key(0, dst, tag_out, _copy_payload(acc))
             return acc
         self._put_raw(0, tag_in, _copy_payload(value))
         return self._transport.get(self._key(0, self._rank, tag_out))
@@ -441,8 +444,10 @@ class Communicator:
             for src in range(1, self.size):
                 acc = op(acc, self._transport.get(self._key(src, 0, tag_in)))
             for dst in range(1, self.size):
-                self._transport.put(
-                    self._key(0, dst, tag_out),
+                self._put_key(
+                    0,
+                    dst,
+                    tag_out,
                     np.array(acc[dst * block : (dst + 1) * block], copy=True),
                 )
             return np.array(acc[:block], copy=True)
@@ -468,9 +473,7 @@ class Communicator:
         out[self._rank] = _copy_payload(values[self._rank])
         for dst in range(p):
             if dst != self._rank:
-                self._transport.put(
-                    self._key(self._rank, dst, tag), _copy_payload(values[dst])
-                )
+                self._put_key(self._rank, dst, tag, _copy_payload(values[dst]))
         for src in range(p):
             if src != self._rank:
                 out[src] = self._transport.get(self._key(src, self._rank, tag))
@@ -498,7 +501,7 @@ class Communicator:
             ]
             triples.sort(key=lambda t: t[2])
             for dst in range(1, self.size):
-                self._transport.put(self._key(0, dst, tag_out), triples)
+                self._put_key(0, dst, tag_out, triples)
         else:
             self._put_raw(0, tag_in, triple)
             triples = self._transport.get(self._key(0, self._rank, tag_out))

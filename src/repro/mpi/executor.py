@@ -1,46 +1,29 @@
 """SPMD executor: run one function on N simulated MPI ranks.
 
-Each rank runs in its own Python thread against a shared
-:class:`~repro.mpi.transport.Transport` and
-:class:`~repro.mpi.ledger.CostLedger`.  NumPy releases the GIL inside BLAS,
-so local linear algebra on different ranks genuinely overlaps; everything
-else is interleaved by the GIL, which is fine because correctness never
-depends on timing (all synchronization is explicit message passing).
+The actual execution strategy lives in a pluggable backend
+(:mod:`repro.mpi.backends`): ``"thread"`` runs ranks as threads sharing an
+in-process transport, ``"process"`` forks one OS process per rank and moves
+ndarray payloads through POSIX shared memory, so rank code runs genuinely
+in parallel on multi-core hardware.
 
-If any rank raises, the transport is poisoned so sibling ranks blocked on
-receives fail fast, and the whole run raises
+Whatever the backend, if any rank raises, the transport is poisoned so
+sibling ranks blocked on receives fail fast, and the whole run raises
 :class:`~repro.mpi.errors.SpmdError` carrying every rank's exception.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.mpi.comm import Communicator
-from repro.mpi.errors import DeadlockError, SpmdError
-from repro.mpi.ledger import CostLedger
-from repro.mpi.transport import Transport
+from repro.mpi.backends import (
+    ExecutorBackend,
+    SpmdResult,
+    available_backends,
+    resolve_backend,
+)
 from repro.perfmodel.machine import EDISON, MachineSpec
 
-
-@dataclass
-class SpmdResult:
-    """Return values of all ranks plus the run's cost ledger."""
-
-    values: list[Any]
-    ledger: CostLedger
-
-    def __iter__(self):
-        return iter(self.values)
-
-    def __getitem__(self, rank: int) -> Any:
-        return self.values[rank]
-
-    @property
-    def modeled_time(self) -> float:
-        return self.ledger.modeled_time()
+__all__ = ["SpmdResult", "run_spmd", "available_backends"]
 
 
 def run_spmd(
@@ -50,13 +33,14 @@ def run_spmd(
     machine: MachineSpec = EDISON,
     timeout: float = 120.0,
     rank_args: Sequence[tuple] | None = None,
+    backend: str | ExecutorBackend | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``n_ranks`` simulated MPI ranks.
 
     Parameters
     ----------
     n_ranks:
-        Number of ranks (threads) to launch.
+        Number of ranks to launch.
     fn:
         The SPMD program.  Receives a world :class:`Communicator` as its
         first argument, then ``args`` (identical on every rank) and, if
@@ -67,11 +51,17 @@ def run_spmd(
         Deadlock-detection timeout for blocking receives, in seconds.
     rank_args:
         Optional per-rank argument tuples, e.g. per-rank data blocks.
+    backend:
+        Executor backend: a name (``"thread"``, ``"process"``), a
+        :class:`~repro.mpi.backends.ExecutorBackend` instance, or ``None``
+        to consult the ``REPRO_SPMD_BACKEND`` environment variable
+        (default ``"thread"``).  The process backend requires per-rank
+        return values to be picklable.
 
     Returns
     -------
     SpmdResult
-        Per-rank return values (rank order) and the shared cost ledger.
+        Per-rank return values (rank order) and the run's cost ledger.
 
     Raises
     ------
@@ -84,38 +74,5 @@ def run_spmd(
         raise ValueError(
             f"rank_args has {len(rank_args)} entries for {n_ranks} ranks"
         )
-    transport = Transport(timeout=timeout)
-    ledger = CostLedger(n_ranks, machine)
-    values: list[Any] = [None] * n_ranks
-    failures: dict[int, BaseException] = {}
-    failures_lock = threading.Lock()
-
-    def worker(rank: int) -> None:
-        comm = Communicator(transport, ledger, "world", tuple(range(n_ranks)), rank)
-        try:
-            extra = rank_args[rank] if rank_args is not None else ()
-            values[rank] = fn(comm, *args, *extra)
-        except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
-            with failures_lock:
-                failures[rank] = exc
-            transport.abort(exc)
-
-    threads = [
-        threading.Thread(target=worker, args=(rank,), name=f"spmd-rank-{rank}")
-        for rank in range(n_ranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    if failures:
-        # Deadlock cascades: report only the original failures, not the
-        # DeadlockErrors induced on innocent ranks by the abort.
-        primary = {
-            rank: exc
-            for rank, exc in failures.items()
-            if not isinstance(exc, DeadlockError)
-        }
-        raise SpmdError(primary or failures)
-    return SpmdResult(values=values, ledger=ledger)
+    executor = resolve_backend(backend)
+    return executor.run(n_ranks, fn, args, machine, timeout, rank_args)

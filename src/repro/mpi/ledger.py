@@ -111,6 +111,20 @@ class CostLedger:
         with self._lock:
             row.peak_memory_words = max(row.peak_memory_words, words)
 
+    def install_rank(self, rank: int, costs: RankCosts) -> None:
+        """Replace one rank's cost row wholesale.
+
+        The process executor backend runs each rank against its own child
+        ledger and ships the rank's :class:`RankCosts` back to the parent,
+        which installs the rows into the result ledger here.
+        """
+        if not 0 <= rank < len(self._ranks):
+            raise ValueError(
+                f"rank {rank} out of range for ledger of {len(self._ranks)}"
+            )
+        with self._lock:
+            self._ranks[rank] = costs
+
     # -- reporting ----------------------------------------------------------
 
     @property

@@ -1,0 +1,234 @@
+"""Cross-process message transport backing the process executor backend.
+
+Each rank owns one ``multiprocessing`` inbox queue.  A send routes the
+message to the destination rank's inbox; the receiver drains its inbox into
+a local stash and matches mailbox keys, preserving per-sender FIFO order
+(the queue preserves each producer's order, which is exactly MPI's
+non-overtaking guarantee).
+
+Large ndarray payloads never travel through the queue's pipe: the sender
+parks the bytes in a :class:`multiprocessing.shared_memory.SharedMemory`
+segment and sends only a small pickled header (name, shape, dtype); the
+receiver attaches, copies out, and unlinks the segment.  Everything else —
+small arrays, Python scalars, tuples of headers — is pickled.
+
+Poisoning uses a shared event: when any rank dies its transport sets the
+event, and every sibling blocked in :meth:`ProcessTransport.get` notices
+within one poll interval and raises :class:`DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.mpi.errors import DeadlockError
+from repro.mpi.transport import TransportBase
+
+#: Arrays at or above this many bytes ride in shared memory; smaller ones
+#: are cheaper to pickle straight through the queue's pipe.
+SHM_MIN_BYTES = 256
+
+#: Seconds between checks of the abort event while blocked on the inbox.
+_POLL_INTERVAL = 0.05
+
+
+@dataclass(frozen=True)
+class ShmHeader:
+    """Pickled stand-in for an ndarray whose bytes live in shared memory.
+
+    ``dtype`` is the actual :class:`numpy.dtype` (itself picklable) so
+    structured dtypes keep their field definitions.  ``order`` preserves
+    the array's memory layout ('C' or 'F'): downstream BLAS takes
+    different code paths for transposed operands, so flattening everything
+    to C order would break bit-identity with the thread backend.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    order: str
+
+
+def encode_payload(obj: Any, segments: list[shared_memory.SharedMemory]) -> Any:
+    """Replace large ndarrays in ``obj`` with shared-memory headers.
+
+    Recurses through lists/tuples/dicts (the containers the communicator
+    and its collectives actually send); anything else is left for pickle.
+    Created segments are appended to ``segments`` so the caller can close
+    its mappings (or unlink them all if the send fails mid-way).
+    """
+    if (
+        isinstance(obj, np.ndarray)
+        and obj.nbytes >= SHM_MIN_BYTES
+        # Object-dtype buffers hold PyObject pointers that are meaningless
+        # in another process; those arrays must go through pickle instead.
+        and not obj.dtype.hasobject
+    ):
+        order = (
+            "F"
+            if obj.flags.f_contiguous and not obj.flags.c_contiguous
+            else "C"
+        )
+        src = np.asarray(obj, order=order)
+        shm = shared_memory.SharedMemory(create=True, size=src.nbytes)
+        segments.append(shm)
+        np.ndarray(src.shape, dtype=src.dtype, buffer=shm.buf, order=order)[
+            ...
+        ] = src
+        return ShmHeader(shm.name, src.shape, src.dtype, order)
+    if isinstance(obj, tuple):
+        return tuple(encode_payload(x, segments) for x in obj)
+    if isinstance(obj, list):
+        return [encode_payload(x, segments) for x in obj]
+    if isinstance(obj, dict):
+        return {k: encode_payload(v, segments) for k, v in obj.items()}
+    return obj
+
+
+def decode_payload(obj: Any) -> Any:
+    """Inverse of :func:`encode_payload`: copy out and unlink segments."""
+    if isinstance(obj, ShmHeader):
+        shm = shared_memory.SharedMemory(name=obj.name)
+        try:
+            view = np.ndarray(
+                obj.shape,
+                dtype=obj.dtype,
+                buffer=shm.buf,
+                order=obj.order,
+            )
+            return np.array(view, copy=True)
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+    if isinstance(obj, tuple):
+        return tuple(decode_payload(x) for x in obj)
+    if isinstance(obj, list):
+        return [decode_payload(x) for x in obj]
+    if isinstance(obj, dict):
+        return {k: decode_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def release_payload(obj: Any) -> None:
+    """Unlink every shared-memory segment referenced by an encoded payload.
+
+    Used by the parent to reclaim segments of messages that were still
+    undelivered when a run ended (e.g. after a rank failure).
+    """
+    if isinstance(obj, ShmHeader):
+        try:
+            shm = shared_memory.SharedMemory(name=obj.name)
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            return
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing receiver
+            pass
+        return
+    if isinstance(obj, (list, tuple)):
+        for x in obj:
+            release_payload(x)
+    elif isinstance(obj, dict):
+        for x in obj.values():
+            release_payload(x)
+
+
+class ProcessTransport(TransportBase):
+    """One rank-process's view of the shared inter-process mail system.
+
+    Parameters
+    ----------
+    rank:
+        The world rank owning this view (whose inbox :meth:`get` drains).
+    inboxes:
+        One ``multiprocessing.Queue`` per world rank, shared by fork.
+    abort_event:
+        ``multiprocessing.Event`` set when any rank dies.
+    timeout:
+        Deadlock-detection timeout for blocking receives, in seconds.
+    """
+
+    def __init__(self, rank: int, inboxes, abort_event, timeout: float = 60.0):
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self._rank = rank
+        self._inboxes = inboxes
+        self._abort = abort_event
+        self._stash: dict[Hashable, deque[Any]] = {}
+
+    def put(self, key: Hashable, payload: Any, dst: int | None = None) -> None:
+        if dst is None:
+            raise ValueError(
+                "ProcessTransport.put requires the destination world rank"
+            )
+        segments: list[shared_memory.SharedMemory] = []
+        try:
+            blob = pickle.dumps((key, encode_payload(payload, segments)))
+        except Exception:
+            for shm in segments:
+                shm.close()
+                shm.unlink()
+            raise
+        for shm in segments:
+            shm.close()
+        self._inboxes[dst].put(blob)
+
+    def get(self, key: Hashable) -> Any:
+        box = self._stash.get(key)
+        if box:
+            payload = box.popleft()
+            if not box:
+                del self._stash[key]
+            return payload
+        inbox = self._inboxes[self._rank]
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._abort.is_set():
+                raise DeadlockError(
+                    f"transport aborted while waiting on {key!r}: "
+                    f"a sibling rank failed"
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"receive on {key!r} timed out after "
+                    f"{self.timeout:g}s (likely mismatched send/recv or "
+                    f"collective ordering)"
+                )
+            try:
+                blob = inbox.get(timeout=min(_POLL_INTERVAL, remaining))
+            except queue_mod.Empty:
+                continue
+            # Any arrival restarts the window, mirroring the thread
+            # transport, whose cond.wait timeout restarts on every notify:
+            # the timeout detects a *silent* transport, not a slow peer.
+            deadline = time.monotonic() + self.timeout
+            msg_key, encoded = pickle.loads(blob)
+            payload = decode_payload(encoded)
+            if msg_key == key:
+                return payload
+            self._stash.setdefault(msg_key, deque()).append(payload)
+
+    def abort(self, exc: BaseException) -> None:
+        self._abort.set()
+
+    def pending(self) -> int:
+        """Undelivered messages already drained into this rank's stash.
+
+        Messages still in flight inside the OS queue are not visible; the
+        executor separately drains and reclaims those at the end of a run.
+        """
+        return sum(len(box) for box in self._stash.values())

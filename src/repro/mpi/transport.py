@@ -1,9 +1,19 @@
-"""In-process message transport for the simulated MPI runtime.
+"""Message transports for the simulated MPI runtime.
 
-Messages are delivered through per-(communicator, source, destination, tag)
-mailboxes guarded by a single condition variable.  Delivery is FIFO per
-mailbox, which matches MPI's non-overtaking guarantee for messages sent on
-the same (source, destination, tag, communicator) tuple.
+A *transport* moves opaque payloads between ranks through per-(communicator,
+source, destination, tag) mailboxes.  Delivery is FIFO per mailbox, which
+matches MPI's non-overtaking guarantee for messages sent on the same
+(source, destination, tag, communicator) tuple.
+
+Two implementations exist:
+
+* :class:`ThreadTransport` (alias :class:`Transport`) — the in-process
+  store used by the thread executor backend: one dict of deques guarded by
+  a condition variable, shared by all rank threads.
+* :class:`~repro.mpi.process_transport.ProcessTransport` — the
+  cross-process store used by the process executor backend: one OS-level
+  inbox queue per rank, with large array payloads parked in POSIX shared
+  memory.
 
 Blocking receives time out after ``timeout`` seconds and raise
 :class:`~repro.mpi.errors.DeadlockError`; an SPMD program that deadlocks in
@@ -12,6 +22,7 @@ real MPI hangs forever, but a test suite should fail fast instead.
 
 from __future__ import annotations
 
+import abc
 import threading
 from collections import defaultdict, deque
 from typing import Any, Hashable
@@ -19,8 +30,44 @@ from typing import Any, Hashable
 from repro.mpi.errors import DeadlockError
 
 
-class Transport:
-    """Mailbox-based message store shared by all ranks of one SPMD run."""
+class TransportBase(abc.ABC):
+    """Interface every executor-backend transport must implement.
+
+    Keys are opaque hashables built by the communicator; ``dst`` is the
+    *world rank* of the receiving process so transports that physically
+    route messages (one inbox per rank) know where to deliver.  The
+    thread transport ignores it — all ranks share one mailbox store.
+    """
+
+    timeout: float
+
+    @abc.abstractmethod
+    def put(self, key: Hashable, payload: Any, dst: int | None = None) -> None:
+        """Deposit a message (non-blocking; mailboxes are unbounded)."""
+
+    @abc.abstractmethod
+    def get(self, key: Hashable) -> Any:
+        """Block until a message is available at ``key`` and pop it.
+
+        Only the rank that owns the destination side of ``key`` may call
+        this (always true for the communicator's usage).
+        """
+
+    @abc.abstractmethod
+    def abort(self, exc: BaseException) -> None:
+        """Poison the transport: wake all waiters and make them re-raise.
+
+        Called by the executor when any rank dies, so sibling ranks blocked
+        on a receive from the dead rank fail promptly instead of timing out.
+        """
+
+    @abc.abstractmethod
+    def pending(self) -> int:
+        """Number of undelivered messages visible to this rank."""
+
+
+class ThreadTransport(TransportBase):
+    """Mailbox-based message store shared by all rank threads of one run."""
 
     def __init__(self, timeout: float = 60.0):
         if timeout <= 0:
@@ -31,23 +78,16 @@ class Transport:
         self._aborted: BaseException | None = None
 
     def abort(self, exc: BaseException) -> None:
-        """Poison the transport: wake all waiters and make them re-raise.
-
-        Called by the executor when any rank dies, so sibling ranks blocked
-        on a receive from the dead rank fail promptly instead of timing out.
-        """
         with self._cond:
             self._aborted = exc
             self._cond.notify_all()
 
-    def put(self, key: Hashable, payload: Any) -> None:
-        """Deposit a message (non-blocking; mailboxes are unbounded)."""
+    def put(self, key: Hashable, payload: Any, dst: int | None = None) -> None:
         with self._cond:
             self._boxes[key].append(payload)
             self._cond.notify_all()
 
     def get(self, key: Hashable) -> Any:
-        """Block until a message is available at ``key`` and pop it."""
         with self._cond:
             while True:
                 if self._aborted is not None:
@@ -73,3 +113,7 @@ class Transport:
         """Number of undelivered messages (should be 0 at the end of a run)."""
         with self._cond:
             return sum(len(box) for box in self._boxes.values())
+
+
+# Historical name, kept for callers that predate the backend split.
+Transport = ThreadTransport

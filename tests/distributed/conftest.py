@@ -1,0 +1,3 @@
+"""Every distributed-driver test runs under both executor backends."""
+
+from tests.backend_param import spmd_backend  # noqa: F401
