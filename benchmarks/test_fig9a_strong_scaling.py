@@ -71,6 +71,15 @@ def test_fig9a_model_at_paper_scale(benchmark):
         assert pt.hooi_time < 3 * pt.sthosvd_time
 
 
+def _sthosvd_prog(comm, x, grid, ranks):
+    """Module-level SPMD program: picklable by reference, so the process
+    backend dispatches it to the persistent rank pool instead of forking."""
+    g = CartGrid(comm, grid)
+    dt = DistTensor.from_global(g, x)
+    dist_sthosvd(dt, ranks=ranks)
+    return None
+
+
 def test_fig9a_simulator_small_scale(benchmark):
     # Large enough that compute dominates communication at small P — a
     # 16^4 tensor is communication-bound already at P = 4 and would not
@@ -81,13 +90,7 @@ def test_fig9a_simulator_small_scale(benchmark):
     def run_all():
         out = []
         for p, grid in configs:
-            def prog(comm):
-                g = CartGrid(comm, grid)
-                dt = DistTensor.from_global(g, x)
-                dist_sthosvd(dt, ranks=(8, 8, 8, 8))
-                return None
-
-            res = run_spmd(p, prog)
+            res = run_spmd(p, _sthosvd_prog, x, grid, (8, 8, 8, 8))
             out.append((p, res.ledger.modeled_time()))
         return out
 

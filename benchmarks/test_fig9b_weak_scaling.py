@@ -94,6 +94,15 @@ def test_fig9b_terabyte_headline(benchmark):
     assert big.sthosvd_time < 120
 
 
+def _sthosvd_prog(comm, x, grid):
+    """Module-level SPMD program: picklable by reference, so the process
+    backend dispatches it to the persistent rank pool instead of forking."""
+    g = CartGrid(comm, grid)
+    dt = DistTensor.from_global(g, x)
+    dist_sthosvd(dt, ranks=(4, 4, 4, 4))
+    return None
+
+
 def test_fig9b_simulator_small_scale(benchmark):
     """Weak-scaling sanity on the executing simulator: constant local
     volume per rank, modeled time grows only by the added communication."""
@@ -107,14 +116,7 @@ def test_fig9b_simulator_small_scale(benchmark):
         out = []
         for p, grid, shape in configs:
             x = low_rank_tensor(shape, (4, 4, 4, 4), seed=29, noise=1e-6)
-
-            def prog(comm):
-                g = CartGrid(comm, grid)
-                dt = DistTensor.from_global(g, x)
-                dist_sthosvd(dt, ranks=(4, 4, 4, 4))
-                return None
-
-            res = run_spmd(p, prog)
+            res = run_spmd(p, _sthosvd_prog, x, grid)
             out.append((p, res.ledger.modeled_time()))
         return out
 

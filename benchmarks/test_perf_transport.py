@@ -1,0 +1,197 @@
+"""Transport fast-path microbenchmarks: launch overhead and throughput.
+
+Not a paper figure: this benchmark pins the *executor* performance the
+other benchmarks sit on top of.  It measures three things on the process
+backend and records them to ``BENCH_transport.json`` at the repo root so
+the perf trajectory is visible across PRs:
+
+* ``launch``   — per-run ``run_spmd`` overhead, warm persistent pool vs.
+  fork-per-run (the pool must be >= 5x cheaper);
+* ``allgather`` — collective throughput with the shared-memory windows vs.
+  the point-to-point relay path (windows must not be slower);
+* ``p2p``      — small-message ping-pong latency (adaptive poll backoff)
+  and large-array bandwidth over the segment arena.
+
+Wall-clock numbers, so absolute values depend on the machine; the asserted
+claims are the *ratios* the fast path exists to deliver.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.mpi import (
+    ProcessBackend,
+    SUM,
+    WINDOWS_ENV_VAR,
+    run_spmd,
+    shutdown_worker_pools,
+)
+
+from benchmarks.conftest import table
+
+_OUT = Path(__file__).resolve().parents[1] / "BENCH_transport.json"
+
+_RESULTS: dict = {}
+
+
+def _record(key: str, payload: dict) -> None:
+    _RESULTS[key] = payload
+    existing = {}
+    if _OUT.exists():
+        try:
+            existing = json.loads(_OUT.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    existing.update(_RESULTS)
+    existing["meta"] = {
+        "cpus": os.cpu_count(),
+        "unit": "seconds unless stated",
+    }
+    _OUT.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def _noop_prog(comm):
+    return comm.rank
+
+
+def _allgather_timed(comm, x, iters):
+    comm.barrier()
+    start = time.perf_counter()
+    for _ in range(iters):
+        gathered = comm.allgather(x)
+    elapsed = time.perf_counter() - start
+    return elapsed, float(gathered[comm.size - 1][0])
+
+
+def _pingpong(comm, payload, iters):
+    comm.barrier()
+    start = time.perf_counter()
+    for _ in range(iters):
+        if comm.rank == 0:
+            comm.send(payload, dest=1)
+            comm.recv(source=1)
+        else:
+            comm.recv(source=0)
+            comm.send(payload, dest=1 - comm.rank)
+    return (time.perf_counter() - start) / iters
+
+
+def test_launch_overhead_warm_pool_vs_fork(benchmark):
+    p, rounds = 4, 10
+    shutdown_worker_pools()
+
+    def sweep(backend):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            assert run_spmd(p, _noop_prog, backend=backend).values == list(
+                range(p)
+            )
+        return (time.perf_counter() - start) / rounds
+
+    cold = sweep(ProcessBackend(pool=False))
+    pooled = ProcessBackend(pool=True)
+    run_spmd(p, _noop_prog, backend=pooled)  # prime the pool once
+    warm = benchmark.pedantic(lambda: sweep(pooled), rounds=1, iterations=1)
+    shutdown_worker_pools()
+
+    speedup = cold / warm
+    table(
+        f"run_spmd launch overhead, {p} ranks (mean of {rounds})",
+        ["mode", "sec/run", "speedup"],
+        [["fork-per-run", cold, 1.0], ["warm pool", warm, speedup]],
+    )
+    _record(
+        "launch",
+        {"ranks": p, "fork_per_run": cold, "warm_pool": warm,
+         "speedup": speedup},
+    )
+    # Acceptance bar for the persistent pool: >= 5x lower launch overhead.
+    assert speedup >= 5.0
+
+
+def test_allgather_windows_vs_p2p(benchmark):
+    p, iters, n = 4, 8, 131_072  # 1 MiB per rank
+    x = np.random.default_rng(0).standard_normal(n)
+    volume_mb = p * x.nbytes / 1e6  # moved per allgather
+
+    def timed(env_value):
+        shutdown_worker_pools()
+        os.environ[WINDOWS_ENV_VAR] = env_value
+        try:
+            res = run_spmd(p, _allgather_timed, x, iters, backend="process")
+        finally:
+            os.environ.pop(WINDOWS_ENV_VAR, None)
+            shutdown_worker_pools()
+        assert all(v[1] == x[0] for v in res.values)
+        return max(v[0] for v in res.values) / iters
+
+    relay = timed("0")
+    windowed = benchmark.pedantic(
+        lambda: timed("1"), rounds=1, iterations=1
+    )
+    gain = relay / windowed
+    table(
+        f"allgather {volume_mb:.1f} MB across {p} ranks (mean of {iters})",
+        ["path", "sec/call", "MB/s", "gain"],
+        [
+            ["p2p relay", relay, volume_mb / relay, 1.0],
+            ["shm window", windowed, volume_mb / windowed, gain],
+        ],
+    )
+    _record(
+        "allgather",
+        {
+            "ranks": p,
+            "mbytes_per_call": volume_mb,
+            "p2p_relay": relay,
+            "window": windowed,
+            "window_throughput_mb_s": volume_mb / windowed,
+            "gain": gain,
+        },
+    )
+    # The single-copy window exchange must beat the O(P) relay at P >= 4.
+    assert gain > 1.0
+
+
+def test_p2p_latency_and_bandwidth(benchmark):
+    shutdown_worker_pools()
+    small = np.arange(4.0)  # rides the pickle path
+    big = np.random.default_rng(1).standard_normal(524_288)  # 4 MiB, shm
+
+    def measure():
+        latency = max(
+            run_spmd(2, _pingpong, small, 200, backend="process").values
+        )
+        roundtrip = max(
+            run_spmd(2, _pingpong, big, 20, backend="process").values
+        )
+        return latency, roundtrip
+
+    run_spmd(2, _noop_prog, backend="process")  # prime the pool
+    latency, roundtrip = benchmark.pedantic(measure, rounds=1, iterations=1)
+    shutdown_worker_pools()
+    bandwidth = 2 * big.nbytes / 1e6 / roundtrip
+    table(
+        "p2p ping-pong (process backend, warm pool)",
+        ["metric", "value"],
+        [
+            ["small round trip (us)", latency * 1e6],
+            ["4 MiB round trip (ms)", roundtrip * 1e3],
+            ["bandwidth (MB/s)", bandwidth],
+        ],
+    )
+    _record(
+        "p2p",
+        {
+            "small_roundtrip_s": latency,
+            "big_roundtrip_s": roundtrip,
+            "bandwidth_mb_s": bandwidth,
+        },
+    )
+    # The adaptive backoff starts at 1 ms: a small-message round trip must
+    # come in well under the old fixed 50 ms poll floor.
+    assert latency < 0.05

@@ -52,6 +52,24 @@ def _parse_selection(token: str, dim: int):
     return idx
 
 
+def _parallel_sthosvd_prog(comm, x, grid, tol, ranks, method):
+    """SPMD program behind ``compress --parallel``.
+
+    Module-level (not a closure) so the process backend can pickle it by
+    reference and dispatch repeated compressions to its warm rank pool.
+    """
+    from repro.distributed import DistTensor, dist_sthosvd
+    from repro.mpi import CartGrid
+
+    g = CartGrid(comm, grid)
+    dt = DistTensor.from_global(g, x)
+    t = dist_sthosvd(dt, tol=tol, ranks=ranks, method=method)
+    gathered = t.to_tucker()  # collective: every rank participates
+    if comm.rank == 0:
+        return gathered, t.error_estimate()
+    return None
+
+
 def _compress_parallel(
     x: np.ndarray, args: argparse.Namespace, metadata: dict
 ):
@@ -60,23 +78,25 @@ def _compress_parallel(
     Returns ``(decomposition, error_estimate)``; factors are bit-identical
     across backends, so the container does not depend on the choice.
     """
-    from repro.distributed import DistTensor, choose_grid, dist_sthosvd
-    from repro.mpi import CartGrid, resolve_backend, run_spmd
+    from repro.distributed import choose_grid
+    from repro.mpi import ProcessBackend, resolve_backend, run_spmd
 
     ranks = tuple(args.ranks) if args.ranks else None
     grid = choose_grid(args.parallel, x.shape, ranks=ranks)
 
-    def prog(comm):
-        g = CartGrid(comm, grid)
-        dt = DistTensor.from_global(g, x)
-        t = dist_sthosvd(dt, tol=args.tol, ranks=ranks, method=args.method)
-        gathered = t.to_tucker()  # collective: every rank participates
-        if comm.rank == 0:
-            return gathered, t.error_estimate()
-        return None
-
     backend = resolve_backend(args.backend)
-    res = run_spmd(args.parallel, prog, backend=backend)
+    if args.no_pool and isinstance(backend, ProcessBackend):
+        backend = ProcessBackend(pool=False)
+    res = run_spmd(
+        args.parallel,
+        _parallel_sthosvd_prog,
+        x,
+        grid,
+        args.tol,
+        ranks,
+        args.method,
+        backend=backend,
+    )
     metadata["parallel"] = {
         "ranks": args.parallel,
         "grid": list(grid),
@@ -233,6 +253,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=_backend_choices(), default=None,
                    help="SPMD executor backend for --parallel (default: "
                         "$REPRO_SPMD_BACKEND or 'thread')")
+    p.add_argument("--no-pool", action="store_true",
+                   help="with --backend process: fork fresh ranks instead "
+                        "of using the persistent worker pool "
+                        "(equivalent to REPRO_SPMD_POOL=0)")
     p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser("info", help="describe a Tucker container")

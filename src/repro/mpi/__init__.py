@@ -2,10 +2,18 @@
 
 This package replaces MPI for the reproduction: ranks execute under a
 pluggable executor backend — threads sharing an in-process transport, or
-forked processes exchanging ndarrays through POSIX shared memory — and
+OS processes exchanging ndarrays through POSIX shared memory — and
 every operation charges an alpha-beta-gamma cost ledger so that modeled
 runtimes of real executions can be reported (see DESIGN.md, substitution
 table).
+
+The process backend has a shared-memory fast path: a persistent rank
+pool amortizes launch cost across ``run_spmd`` calls (see
+:mod:`repro.mpi.backends`), a segment arena recycles shm segments and
+hands receivers read-only zero-copy :class:`ShmArrayView`\\ s, and
+per-communicator collective windows turn ``allgather``/``bcast``/
+``allreduce``/``reduce_scatter_block`` into one barrier-fenced
+single-copy exchange (see :mod:`repro.mpi.process_transport`).
 
 Public surface:
 
@@ -24,15 +32,26 @@ from repro.mpi.comm import Communicator, Request
 from repro.mpi.cart import CartGrid
 from repro.mpi.backends import (
     BACKEND_ENV_VAR,
+    POOL_ENV_VAR,
     ExecutorBackend,
     ProcessBackend,
     ThreadBackend,
     available_backends,
     resolve_backend,
+    shutdown_worker_pools,
 )
 from repro.mpi.executor import SpmdResult, run_spmd
 from repro.mpi.ledger import CostLedger, RankCosts
-from repro.mpi.process_transport import ProcessTransport
+from repro.mpi.process_transport import (
+    ARENA_ENV_VAR,
+    WINDOWS_ENV_VAR,
+    CollectiveWindow,
+    ProcessTransport,
+    SegmentArena,
+    ShmArrayView,
+    process_arena,
+    release_view,
+)
 from repro.mpi.reduce_ops import MAX, MIN, PROD, SUM, ReduceOp
 from repro.mpi.transport import ThreadTransport, Transport, TransportBase
 from repro.mpi.errors import (
@@ -60,12 +79,21 @@ __all__ = [
     "TransportBase",
     "ThreadTransport",
     "ProcessTransport",
+    "SegmentArena",
+    "ShmArrayView",
+    "CollectiveWindow",
+    "process_arena",
+    "release_view",
     "ExecutorBackend",
     "ThreadBackend",
     "ProcessBackend",
     "available_backends",
     "resolve_backend",
+    "shutdown_worker_pools",
     "BACKEND_ENV_VAR",
+    "POOL_ENV_VAR",
+    "ARENA_ENV_VAR",
+    "WINDOWS_ENV_VAR",
     "MpiError",
     "DeadlockError",
     "BufferMismatchError",

@@ -24,16 +24,53 @@ globally via the ``REPRO_SPMD_BACKEND`` environment variable.
 
 Process-backend restrictions (it crosses a real process boundary):
 
-* rank functions and arguments reach the children by ``fork``, so closures
-  and lambdas work, but mutations they make to parent objects stay in the
-  child;
+* rank functions and arguments reach the children by pickle (warm pool)
+  or by ``fork`` (fallback), so closures and lambdas work, but mutations
+  they make to parent objects stay in the child;
 * per-rank return values come back through a result queue and must be
-  picklable — a rank returning an unpicklable value fails that rank.
+  picklable — a rank returning an unpicklable value fails that rank;
+* large received arrays are *read-only* zero-copy views
+  (:class:`~repro.mpi.process_transport.ShmArrayView`) backed by shared
+  memory — unlike the thread backend's private copies, mutating one
+  raises; copy (``np.array(view)``) before writing.
+
+Persistent rank pool
+--------------------
+
+Forking one interpreter per rank per ``run_spmd`` call dominates short
+runs — a benchmark sweep that launches hundreds of SPMD programs spends
+most of its wall-clock on ``fork`` and queue setup, not on the kernels it
+measures.  The process backend therefore keeps a *pool* of rank workers
+warm:
+
+* Pools are keyed by world size and created lazily on the first process
+  run of that size (``_RankPool``).  Workers block on a per-rank task
+  queue; dispatching a run costs two pickles and a queue hop per rank
+  instead of a fork.
+* A task carries ``(fn, args, rank_args, machine, timeout)``.  Large
+  ndarray arguments are staged through the shared-memory arena, not the
+  queue pipe.  The rank function itself is pickled *by reference*, so
+  closures and lambdas cannot ride the pool — those runs transparently
+  fall back to fork-per-run (fork inherits closures for free).
+* Each run gets a fresh ``run_seq``; stragglers from an earlier run that
+  are still in an inbox are dropped (and their segments reclaimed) by the
+  transport, so runs never see each other's messages.
+* Any failure — a raised rank exception, a worker death, a deadlock —
+  *invalidates* the pool: the run's error is reported exactly as in fork
+  mode, and the pool is torn down so the next run starts from clean
+  workers.
+* Pools are torn down at interpreter exit (``atexit``) or explicitly via
+  :func:`shutdown_worker_pools`; teardown sends a sentinel so workers
+  unlink their pooled shared-memory segments before exiting.
+
+Disable pooling with ``REPRO_SPMD_POOL=0`` (or
+``ProcessBackend(pool=False)``) to get fork-per-run unconditionally.
 """
 
 from __future__ import annotations
 
 import abc
+import atexit
 import os
 import pickle
 import queue as queue_mod
@@ -45,12 +82,21 @@ from typing import Any, Callable, Sequence
 from repro.mpi.comm import Communicator
 from repro.mpi.errors import DeadlockError, SpmdError
 from repro.mpi.ledger import CostLedger
-from repro.mpi.process_transport import ProcessTransport, release_payload
+from repro.mpi.process_transport import (
+    ProcessTransport,
+    decode_borrowed,
+    encode_payload,
+    process_arena,
+    release_payload,
+)
 from repro.mpi.transport import ThreadTransport
 from repro.perfmodel.machine import MachineSpec
 
 #: Environment variable consulted when ``run_spmd`` gets no ``backend=``.
 BACKEND_ENV_VAR = "REPRO_SPMD_BACKEND"
+
+#: Environment switch: ``0`` disables the persistent rank pool.
+POOL_ENV_VAR = "REPRO_SPMD_POOL"
 
 #: Seconds the parent keeps waiting for remaining rank reports after a
 #: failure has poisoned the run (bounds cleanup, not healthy execution).
@@ -59,6 +105,21 @@ _DRAIN_GRACE = 30.0
 #: Seconds a cleanly-exited child's result may stay in flight in the
 #: result queue before the parent declares the rank dead-without-report.
 _EXIT_REPORT_GRACE = 5.0
+
+#: Seconds to wait for pool workers to honor the shutdown sentinel before
+#: terminating them.
+_POOL_SHUTDOWN_GRACE = 5.0
+
+
+class _TaskLoadError(RuntimeError):
+    """A pool worker could not deserialize a dispatched task.
+
+    Happens when the rank function pickles by reference in the parent but
+    does not resolve in a worker forked before it was defined (fresh
+    definitions in a REPL).  When *every* rank reports this, no user code
+    ran, so the executor falls back to fork-per-run — fork inherits the
+    definition for free — instead of failing the run.
+    """
 
 
 @dataclass
@@ -159,6 +220,65 @@ class ThreadBackend(ExecutorBackend):
         return SpmdResult(values=values, ledger=ledger)
 
 
+def _safe_report_blob(
+    run_seq: int,
+    rank: int,
+    value: Any,
+    failure: BaseException | None,
+    costs,
+) -> bytes:
+    """Pickle a rank report, degrading gracefully on unpicklable contents.
+
+    Pre-pickling in the worker matters: a pickling error inside the
+    queue's feeder thread would silently drop the report and wedge the
+    parent.
+    """
+    try:
+        return pickle.dumps((run_seq, rank, value, failure, costs))
+    except Exception as exc:
+        if failure is None:
+            failure = TypeError(
+                f"rank {rank} returned a value the process backend cannot "
+                f"send back ({exc}); return picklable data or use "
+                f"backend='thread'"
+            )
+        else:
+            failure = RuntimeError(
+                f"rank {rank} raised an unpicklable exception: {failure!r}"
+            )
+        return pickle.dumps((run_seq, rank, None, failure, costs))
+
+
+def _run_one_rank(
+    rank: int,
+    n_ranks: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    extra: tuple,
+    machine: MachineSpec,
+    timeout: float,
+    inboxes,
+    abort_event,
+    run_seq: int,
+) -> tuple[Any, BaseException | None, Any]:
+    """Execute one rank against a fresh transport; always cleans up."""
+    transport = ProcessTransport(
+        rank, inboxes, abort_event, timeout=timeout, run_seq=run_seq
+    )
+    ledger = CostLedger(n_ranks, machine)
+    comm = Communicator(transport, ledger, "world", tuple(range(n_ranks)), rank)
+    value: Any = None
+    failure: BaseException | None = None
+    try:
+        value = fn(comm, *args, *extra)
+    except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
+        failure = exc
+        transport.abort(exc)
+    finally:
+        transport.end_run()
+    return value, failure, ledger.rank_costs(rank)
+
+
 def _process_worker(
     rank: int,
     n_ranks: int,
@@ -171,42 +291,262 @@ def _process_worker(
     result_queue,
     abort_event,
 ) -> None:
-    """Child-process body: run one rank, report (value, failure, costs)."""
-    transport = ProcessTransport(rank, inboxes, abort_event, timeout=timeout)
-    ledger = CostLedger(n_ranks, machine)
-    comm = Communicator(transport, ledger, "world", tuple(range(n_ranks)), rank)
-    value: Any = None
-    failure: BaseException | None = None
-    try:
-        extra = rank_args[rank] if rank_args is not None else ()
-        value = fn(comm, *args, *extra)
-    except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
-        failure = exc
-        transport.abort(exc)
-    costs = ledger.rank_costs(rank)
-    # Pre-pickle in the worker: a pickling error inside the queue's feeder
-    # thread would silently drop the report and wedge the parent.
-    try:
-        blob = pickle.dumps((rank, value, failure, costs))
-    except Exception as exc:
-        if failure is None:
-            failure = TypeError(
-                f"rank {rank} returned a value the process backend cannot "
-                f"send back ({exc}); return picklable data or use "
-                f"backend='thread'"
-            )
-        else:
-            failure = RuntimeError(
-                f"rank {rank} raised an unpicklable exception: {failure!r}"
-            )
-        blob = pickle.dumps((rank, None, failure, costs))
+    """Fork-mode child body: run one rank, report (value, failure, costs)."""
+    extra = rank_args[rank] if rank_args is not None else ()
+    value, failure, costs = _run_one_rank(
+        rank, n_ranks, fn, args, extra, machine, timeout, inboxes,
+        abort_event, run_seq=0,
+    )
+    blob = _safe_report_blob(0, rank, value, failure, costs)
+    # Unlink pooled segments before reporting: once the parent has every
+    # report it may immediately check /dev/shm hygiene.
+    process_arena().teardown()
     result_queue.put(blob)
 
 
+def _pool_worker(
+    rank: int,
+    n_ranks: int,
+    task_queue,
+    result_queue,
+    inboxes,
+    abort_event,
+) -> None:
+    """Persistent pool worker: loop over dispatched runs until the sentinel."""
+    try:
+        while True:
+            item = task_queue.get()
+            if item is None:
+                break
+            run_seq, blob = item
+            value: Any = None
+            failure: BaseException | None = None
+            costs = None
+            try:
+                # Unpickle here, not in Queue.get(): the rank function is
+                # pickled by reference and may not resolve in a worker
+                # forked before it was defined — that must fail the rank,
+                # not crash the worker inside the queue machinery.
+                # Arguments are staged once in the parent's arena and
+                # borrowed: each worker copies them out, so rank code
+                # gets private writable arrays, matching the
+                # copy-on-write semantics of the fork path.
+                fn, args, extra, machine, timeout = decode_borrowed(
+                    pickle.loads(blob)
+                )
+            except BaseException as exc:  # noqa: BLE001
+                failure = _TaskLoadError(
+                    f"rank {rank} could not load the dispatched task: {exc!r}"
+                )
+                abort_event.set()
+            else:
+                value, failure, costs = _run_one_rank(
+                    rank, n_ranks, fn, args, extra, machine, timeout,
+                    inboxes, abort_event, run_seq,
+                )
+            result_queue.put(
+                _safe_report_blob(run_seq, rank, value, failure, costs)
+            )
+    finally:
+        process_arena().teardown()
+
+
+class _RankPool:
+    """A warm set of rank worker processes for one world size."""
+
+    def __init__(self, n_ranks: int):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        self.n_ranks = n_ranks
+        self.run_seq = 0
+        self.broken = False
+        self.inboxes = [ctx.Queue() for _ in range(n_ranks)]
+        self.task_queues = [ctx.Queue() for _ in range(n_ranks)]
+        self.result_queue = ctx.Queue()
+        self.abort_event = ctx.Event()
+        self.staged: list = []  # arena segments loaned to the active run
+        self.procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(
+                    rank,
+                    n_ranks,
+                    self.task_queues[rank],
+                    self.result_queue,
+                    self.inboxes,
+                    self.abort_event,
+                ),
+                name=f"spmd-pool-{n_ranks}-rank-{rank}",
+                daemon=True,
+            )
+            for rank in range(n_ranks)
+        ]
+        for p in self.procs:
+            p.start()
+
+    def alive(self) -> bool:
+        return not self.broken and all(p.is_alive() for p in self.procs)
+
+    def dispatch(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        rank_args: Sequence[tuple] | None,
+        machine: MachineSpec,
+        timeout: float,
+    ) -> int | None:
+        """Enqueue one run on every warm worker.
+
+        Returns the run's sequence number, or ``None`` when the task is
+        not picklable (closures, lambdas) and the caller must fall back to
+        fork-per-run.  Ndarray arguments are staged through the parent's
+        arena *once*, shared by every rank (workers borrow-copy them and
+        the parent recycles the segments after the run), so only headers
+        travel the queue pipe and a P-rank dispatch costs one staged copy,
+        not P.
+        """
+        try:
+            # Probe the function alone first: the common fallback reason
+            # (a closure) is caught before any argument staging happens.
+            pickle.dumps(fn)
+        except Exception:
+            return None
+        arena = process_arena()
+        tasks = []
+        segments: list = []
+        self.run_seq += 1
+        try:
+            shared = encode_payload((fn, args, machine, timeout), segments, arena)
+            for rank in range(self.n_ranks):
+                extra = rank_args[rank] if rank_args is not None else ()
+                encoded_extra = encode_payload(extra, segments, arena)
+                fn_enc, args_enc, machine_enc, timeout_enc = shared
+                tasks.append(
+                    (
+                        self.run_seq,
+                        pickle.dumps(
+                            (fn_enc, args_enc, encoded_extra, machine_enc,
+                             timeout_enc)
+                        ),
+                    )
+                )
+        except Exception:
+            for shm in segments:
+                arena.recycle(shm)
+            self.run_seq -= 1
+            return None
+        self.staged = segments
+        for rank, task in enumerate(tasks):
+            self.task_queues[rank].put(task)
+        return self.run_seq
+
+    def reclaim_staged(self) -> None:
+        """Take staged argument segments back once the run is over."""
+        arena = process_arena()
+        for shm in self.staged:
+            arena.recycle(shm)
+        self.staged = []
+
+    def drain_inboxes(self) -> None:
+        """Reclaim undelivered messages left over by the finished run."""
+        for inbox in self.inboxes:
+            while True:
+                try:
+                    blob = inbox.get_nowait()
+                except (queue_mod.Empty, OSError, ValueError):
+                    break
+                try:
+                    _seq, _key, encoded = pickle.loads(blob)
+                    release_payload(encoded)
+                except Exception:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def shutdown(self) -> None:
+        """Stop the workers (gracefully first, so they unlink segments)."""
+        for p, q in zip(self.procs, self.task_queues):
+            if p.is_alive():
+                try:
+                    q.put(None)
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        deadline = time.monotonic() + _POOL_SHUTDOWN_GRACE
+        for p in self.procs:
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+        for p in self.procs:
+            if p.is_alive():  # pragma: no cover - wedged worker
+                p.terminate()
+                p.join()
+        self.drain_inboxes()
+        for q in [*self.inboxes, *self.task_queues, self.result_queue]:
+            q.close()
+            q.join_thread()
+
+
+_POOLS: dict[int, _RankPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def shutdown_worker_pools() -> None:
+    """Tear down every persistent rank pool (idempotent).
+
+    Called automatically at interpreter exit; call it explicitly to
+    release the warm workers and their pooled shared-memory segments —
+    e.g. between phases of a benchmark, or after changing environment
+    variables that workers inherit at fork time.
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.reclaim_staged()
+        pool.shutdown()
+    # The dispatching side stages task arguments through its own arena;
+    # release those pooled segments along with the workers.
+    process_arena().teardown()
+
+
+atexit.register(shutdown_worker_pools)
+
+
+def _get_pool(n_ranks: int) -> _RankPool:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(n_ranks)
+        if pool is not None and not pool.alive():
+            _POOLS.pop(n_ranks, None)
+            pool.shutdown()
+            pool = None
+        if pool is None:
+            pool = _RankPool(n_ranks)
+            _POOLS[n_ranks] = pool
+        return pool
+
+
+def _invalidate_pool(pool: _RankPool) -> None:
+    pool.broken = True
+    with _POOLS_LOCK:
+        if _POOLS.get(pool.n_ranks) is pool:
+            del _POOLS[pool.n_ranks]
+    pool.shutdown()
+
+
 class ProcessBackend(ExecutorBackend):
-    """Ranks as forked processes with shared-memory message payloads."""
+    """Ranks as forked processes with shared-memory message payloads.
+
+    ``pool=None`` (the default) consults ``REPRO_SPMD_POOL``; pass
+    ``pool=False`` to force fork-per-run, ``pool=True`` to force pooling
+    for picklable rank functions.
+    """
 
     name = "process"
+
+    def __init__(self, pool: bool | None = None):
+        self._pool = pool
+
+    def _pool_enabled(self) -> bool:
+        if self._pool is not None:
+            return self._pool
+        return os.environ.get(POOL_ENV_VAR, "1") != "0"
 
     def run(
         self,
@@ -217,7 +557,20 @@ class ProcessBackend(ExecutorBackend):
         timeout: float,
         rank_args: Sequence[tuple] | None,
     ) -> SpmdResult:
-        import multiprocessing
+        self._ensure_resource_tracker()
+        if self._pool_enabled():
+            pool = _get_pool(n_ranks)
+            run_seq = pool.dispatch(fn, args, rank_args, machine, timeout)
+            if run_seq is not None:
+                result = self._collect_pooled(pool, run_seq, n_ranks, machine)
+                if result is not None:
+                    return result
+                # Every worker reported _TaskLoadError: the function is
+                # newer than the (now retired) pool; fork inherits it.
+        return self._run_forked(n_ranks, fn, args, machine, timeout, rank_args)
+
+    @staticmethod
+    def _ensure_resource_tracker() -> None:
         from multiprocessing import resource_tracker
 
         # Start the shared-memory resource tracker before forking so every
@@ -228,6 +581,92 @@ class ProcessBackend(ExecutorBackend):
             resource_tracker.ensure_running()
         except Exception:  # pragma: no cover - tracker is an optimization
             pass
+
+    def _collect_pooled(
+        self, pool: _RankPool, run_seq: int, n_ranks: int, machine: MachineSpec
+    ) -> SpmdResult | None:
+        """Gather one pooled run's reports into an :class:`SpmdResult`.
+
+        Returns ``None`` when no rank executed any user code because the
+        dispatched function did not resolve in the warm workers — the
+        caller then retries the run under fork-per-run.
+        """
+        try:
+            return self._collect_pooled_inner(pool, run_seq, n_ranks, machine)
+        finally:
+            pool.reclaim_staged()
+
+    def _collect_pooled_inner(
+        self, pool: _RankPool, run_seq: int, n_ranks: int, machine: MachineSpec
+    ) -> SpmdResult | None:
+        values: list[Any] = [None] * n_ranks
+        failures: dict[int, BaseException] = {}
+        ledger = CostLedger(n_ranks, machine)
+        pending = set(range(n_ranks))
+        drain_deadline: float | None = None
+        while pending:
+            try:
+                blob = pool.result_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                for rank in sorted(pending):
+                    if pool.procs[rank].is_alive():
+                        continue
+                    # A pool worker never exits on its own: any death is a
+                    # failure (segfault, os._exit in rank code, kill).
+                    pool.abort_event.set()
+                    failures[rank] = RuntimeError(
+                        f"pooled rank {rank} died (exit code "
+                        f"{pool.procs[rank].exitcode}) before reporting a "
+                        f"result"
+                    )
+                    pending.discard(rank)
+                if drain_deadline is None and (
+                    failures or pool.abort_event.is_set()
+                ):
+                    drain_deadline = time.monotonic() + _DRAIN_GRACE
+                if drain_deadline is not None and (
+                    time.monotonic() > drain_deadline
+                ):
+                    for rank in sorted(pending):
+                        failures[rank] = DeadlockError(
+                            f"rank {rank} did not report within "
+                            f"{_DRAIN_GRACE:g}s of the run being poisoned"
+                        )
+                    pending.clear()
+                continue
+            msg_seq, rank, value, failure, costs = pickle.loads(blob)
+            if msg_seq != run_seq:  # pragma: no cover - straggler report
+                continue
+            pending.discard(rank)
+            if costs is not None:
+                ledger.install_rank(rank, costs)
+            if failure is not None:
+                failures[rank] = failure
+            else:
+                values[rank] = value
+        if failures or pool.abort_event.is_set():
+            # Workers that saw a poisoned run may hold stale transport
+            # state; retire the whole pool so the next run starts clean.
+            _invalidate_pool(pool)
+        else:
+            pool.drain_inboxes()
+        if len(failures) == n_ranks and all(
+            isinstance(exc, _TaskLoadError) for exc in failures.values()
+        ):
+            return None  # no rank ran; caller falls back to fork-per-run
+        raise_spmd_failures(failures)
+        return SpmdResult(values=values, ledger=ledger)
+
+    def _run_forked(
+        self,
+        n_ranks: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        machine: MachineSpec,
+        timeout: float,
+        rank_args: Sequence[tuple] | None,
+    ) -> SpmdResult:
+        import multiprocessing
 
         # fork keeps closures working (fn and args are inherited, never
         # pickled) and makes launches cheap; the seed toolchain is
@@ -314,9 +753,10 @@ class ProcessBackend(ExecutorBackend):
                         )
                     pending.clear()
                 continue
-            rank, value, failure, costs = pickle.loads(blob)
+            _seq, rank, value, failure, costs = pickle.loads(blob)
             pending.discard(rank)
-            ledger.install_rank(rank, costs)
+            if costs is not None:
+                ledger.install_rank(rank, costs)
             if failure is not None:
                 failures[rank] = failure
             else:
@@ -341,7 +781,7 @@ class ProcessBackend(ExecutorBackend):
                 except queue_mod.Empty:
                     break
                 try:
-                    _key, encoded = pickle.loads(blob)
+                    _seq, _key, encoded = pickle.loads(blob)
                     release_payload(encoded)
                 except Exception:  # pragma: no cover - best-effort cleanup
                     pass

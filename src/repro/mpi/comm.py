@@ -27,6 +27,11 @@ import numpy as np
 
 from repro.mpi.errors import BufferMismatchError, CommunicatorError
 from repro.mpi.ledger import CostLedger
+from repro.mpi.process_transport import (
+    WINDOW_DEFAULT_SLOT,
+    pack_collective,
+    packed_nbytes,
+)
 from repro.mpi.reduce_ops import SUM, ReduceOp
 from repro.mpi.transport import TransportBase
 from repro.perfmodel import collectives as cc
@@ -38,6 +43,10 @@ def _words_of(obj: Any) -> int:
         return max(1, math.ceil(obj.nbytes / 8))
     if isinstance(obj, (list, tuple)):
         return max(1, sum(_words_of(x) for x in obj))
+    if isinstance(obj, dict):
+        # Keys are tags (mode indices, field names) and ride in the
+        # header; the values are the message body.
+        return max(1, sum(_words_of(v) for v in obj.values()))
     return 1
 
 
@@ -45,6 +54,10 @@ def _copy_payload(obj: Any) -> Any:
     """Copy mutable payloads so sender and receiver never alias."""
     if isinstance(obj, np.ndarray):
         return np.array(obj, copy=True)
+    return obj
+
+
+def _identity(obj: Any) -> Any:
     return obj
 
 
@@ -92,6 +105,18 @@ class Communicator:
         self._world_rank = world_rank
         self._rank = members.index(world_rank)
         self._coll_seq = 0
+        # Pre-send copy is only needed when the transport delivers by
+        # reference (thread backend); copying transports already isolate
+        # sender and receiver when they encode the payload.
+        self._tx = (
+            _identity
+            if getattr(transport, "copies_on_send", False)
+            else _copy_payload
+        )
+        # Lazily opened per-communicator collective window (process
+        # transport only); generation counter keys the name-exchange tags.
+        self._win = None
+        self._win_gen = 0
 
     # -- identity ----------------------------------------------------------
 
@@ -161,7 +186,7 @@ class Communicator:
         self._ledger.charge_message(
             self._world_rank, words, cc.send_recv_cost(words, self._ledger.machine)
         )
-        self._put_raw(dest, ("p2p", tag), _copy_payload(obj))
+        self._put_raw(dest, ("p2p", tag), self._tx(obj))
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Receive an object sent by :meth:`send`; charges ``alpha + beta W``."""
@@ -217,7 +242,7 @@ class Communicator:
         words = _words_of(obj)
         cost = cc.send_recv_cost(words, self._ledger.machine)
         self._ledger.charge_message(self._world_rank, words, cost)
-        self._put_raw(dest, ("p2p", tag), _copy_payload(obj))
+        self._put_raw(dest, ("p2p", tag), self._tx(obj))
         received = self._transport.get(self._key(source, self._rank, ("p2p", tag)))
         self._ledger.charge_message(self._world_rank, _words_of(received), cost)
         return received
@@ -240,6 +265,91 @@ class Communicator:
             self._ledger.charge_message(self._world_rank, words, seconds)
         else:
             self._ledger.charge_time(self._world_rank, seconds)
+
+    # -- collective windows --------------------------------------------------
+    #
+    # On the process transport, the data movement of allgather / bcast /
+    # allreduce / reduce_scatter_block goes through a preallocated
+    # per-communicator shared-memory window (MPI-3 RMA style): every
+    # member writes its contribution into its own slot, a flag fence
+    # orders writes before reads, and every reader copies directly out of
+    # the window — one single-copy exchange instead of relaying O(P)
+    # point-to-point messages through rank 0.  Only the *transport* of the
+    # bytes changes: the charged ledger costs stay the closed-form tree
+    # costs, and results remain bit-identical to the thread backend
+    # because contributions are folded in the same group-rank order.
+
+    def _open_window(self, slot_bytes: int):
+        """Collectively open a window: group rank 0 creates and publishes
+        the segment name; everyone else attaches.  Uncharged, like
+        ``split`` — window setup is out of band in the paper's model."""
+        tag = ("win", self._win_gen)
+        self._win_gen += 1
+        if self._rank == 0:
+            win = self._transport.create_window(self.size, 0, slot_bytes)
+            for dst in range(1, self.size):
+                self._put_key(0, dst, tag, win.name)
+        else:
+            name = self._transport.get(self._key(0, self._rank, tag))
+            win = self._transport.attach_window(
+                name, self.size, self._rank, slot_bytes
+            )
+        return win
+
+    def _grow_window(self, needed: int):
+        """Replace the window with one whose slots hold ``needed`` bytes.
+
+        Every member reaches the same growth decision from the shared
+        size exchange, so this is collective.  The old window is released
+        immediately: all members attached it at creation, so the owner's
+        unlink only removes the name.
+        """
+        slot = WINDOW_DEFAULT_SLOT
+        while slot < needed:
+            slot <<= 1
+        old, self._win = self._win, self._open_window(slot)
+        if old is not None:
+            self._transport.release_window(old)
+        return self._win
+
+    def _window_round(self, contribution: Any, contribute: bool = True):
+        """Run the write-and-fence half of one window exchange.
+
+        Returns the window with this round's data committed (the caller
+        reads the slots it needs, then calls ``finish()``), or ``None``
+        when the transport has no windows and the point-to-point
+        implementation must run instead.
+        """
+        if self.size == 1 or not getattr(
+            self._transport, "windows_enabled", False
+        ):
+            return None
+        if contribute:
+            prefix, payload = pack_collective(contribution)
+            needed = packed_nbytes(prefix, payload)
+        else:
+            prefix, payload, needed = b"", None, 0
+        if self._win is None:
+            self._win = self._open_window(WINDOW_DEFAULT_SLOT)
+        win = self._win
+        while True:
+            win.begin()
+            largest = win.post_size(needed)
+            if largest <= win.slot_bytes:
+                break
+            win = self._grow_window(largest)
+        if contribute:
+            win.write(prefix, payload)
+        win.commit()
+        return win
+
+    def _window_fold(self, win, op: ReduceOp) -> Any:
+        """Fold all slots in group-rank order (deterministic, like the
+        thread backend's rank-ordered reduction at the root)."""
+        acc = win.read(0)
+        for src in range(1, self.size):
+            acc = op(acc, win.read(src))
+        return acc
 
     def barrier(self) -> None:
         """Synchronize all members; charged as one zero-byte all-reduce."""
@@ -268,8 +378,12 @@ class Communicator:
         seq = self._advance_coll()
         tag = ("coll", seq, 0)
         if self.size > 1:
-            if self._rank == root:
-                payload = _copy_payload(obj)
+            win = self._window_round(obj, contribute=self._rank == root)
+            if win is not None:
+                result = obj if self._rank == root else win.read(root)
+                win.finish()
+            elif self._rank == root:
+                payload = self._tx(obj)
                 for dst in range(self.size):
                     if dst != root:
                         self._put_key(root, dst, tag, payload)
@@ -306,7 +420,7 @@ class Communicator:
                 if src != root:
                     out[src] = self._transport.get(self._key(src, root, tag))
             return out
-        self._put_raw(root, tag, _copy_payload(value))
+        self._put_raw(root, tag, self._tx(value))
         return None
 
     def allgather(self, value: Any) -> list[Any]:
@@ -322,6 +436,11 @@ class Communicator:
         )
         if self.size == 1:
             return [_copy_payload(value)]
+        win = self._window_round(value)
+        if win is not None:
+            out = [win.read(src) for src in range(self.size)]
+            win.finish()
+            return out
         if self._rank == 0:
             out = [None] * self.size
             out[0] = _copy_payload(value)
@@ -330,9 +449,10 @@ class Communicator:
             for dst in range(1, self.size):
                 # Fresh copies per destination: the root may mutate its own
                 # result list before receivers drain their mailboxes.
-                self._put_key(0, dst, tag_out, [_copy_payload(v) for v in out])
+                relay = [self._tx(v) for v in out]
+                self._put_key(0, dst, tag_out, relay)
             return list(out)
-        self._put_raw(0, tag_in, _copy_payload(value))
+        self._put_raw(0, tag_in, self._tx(value))
         return self._transport.get(self._key(0, self._rank, tag_out))
 
     def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
@@ -350,7 +470,7 @@ class Communicator:
             total_words = sum(_words_of(v) for v in values)
             for dst in range(self.size):
                 if dst != root:
-                    self._put_key(root, dst, tag, _copy_payload(values[dst]))
+                    self._put_key(root, dst, tag, self._tx(values[dst]))
         else:
             my_value = self._transport.get(self._key(root, self._rank, tag))
             total_words = _words_of(my_value) * self.size
@@ -384,7 +504,7 @@ class Communicator:
             for src in range(1, self.size):
                 acc = op(acc, contributions[src])
             return acc
-        self._put_raw(root, tag, _copy_payload(value))
+        self._put_raw(root, tag, self._tx(value))
         return None
 
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
@@ -400,6 +520,13 @@ class Communicator:
         )
         if self.size == 1:
             return _copy_payload(value)
+        win = self._window_round(value)
+        if win is not None:
+            # Every rank folds the slots in the same group-rank order the
+            # thread backend's root uses, so results stay bit-identical.
+            acc = self._window_fold(win, op)
+            win.finish()
+            return acc
         if self._rank == 0:
             acc = _copy_payload(value)
             received = []
@@ -408,9 +535,9 @@ class Communicator:
             for contribution in received:
                 acc = op(acc, contribution)
             for dst in range(1, self.size):
-                self._put_key(0, dst, tag_out, _copy_payload(acc))
+                self._put_key(0, dst, tag_out, self._tx(acc))
             return acc
-        self._put_raw(0, tag_in, _copy_payload(value))
+        self._put_raw(0, tag_in, self._tx(value))
         return self._transport.get(self._key(0, self._rank, tag_out))
 
     def reduce_scatter_block(
@@ -439,6 +566,12 @@ class Communicator:
         block = array.shape[0] // self.size
         if self.size == 1:
             return np.array(array, copy=True)
+        win = self._window_round(array)
+        if win is not None:
+            acc = self._window_fold(win, op)
+            win.finish()
+            lo = self._rank * block
+            return np.array(acc[lo : lo + block], copy=True)
         if self._rank == 0:
             acc = np.array(array, copy=True)
             for src in range(1, self.size):
@@ -451,7 +584,7 @@ class Communicator:
                     np.array(acc[dst * block : (dst + 1) * block], copy=True),
                 )
             return np.array(acc[:block], copy=True)
-        self._put_raw(0, tag_in, _copy_payload(array))
+        self._put_raw(0, tag_in, self._tx(array))
         return _copy_payload(self._transport.get(self._key(0, self._rank, tag_out)))
 
     def alltoall(self, values: Sequence[Any]) -> list[Any]:
@@ -473,7 +606,7 @@ class Communicator:
         out[self._rank] = _copy_payload(values[self._rank])
         for dst in range(p):
             if dst != self._rank:
-                self._put_key(self._rank, dst, tag, _copy_payload(values[dst]))
+                self._put_key(self._rank, dst, tag, self._tx(values[dst]))
         for src in range(p):
             if src != self._rank:
                 out[src] = self._transport.get(self._key(src, self._rank, tag))

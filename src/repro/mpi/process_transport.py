@@ -7,21 +7,43 @@ a local stash and matches mailbox keys, preserving per-sender FIFO order
 non-overtaking guarantee).
 
 Large ndarray payloads never travel through the queue's pipe: the sender
-parks the bytes in a :class:`multiprocessing.shared_memory.SharedMemory`
-segment and sends only a small pickled header (name, shape, dtype); the
-receiver attaches, copies out, and unlinks the segment.  Everything else —
-small arrays, Python scalars, tuples of headers — is pickled.
+parks the bytes in a POSIX shared-memory segment and sends only a small
+pickled header (name, shape, dtype); everything else — small arrays, Python
+scalars, tuples of headers — is pickled.  Three mechanisms keep the hot
+path cheap:
+
+* **Segment arena** (:class:`SegmentArena`): segments are drawn from a
+  size-bucketed pool of reusable mappings instead of being created and
+  unlinked per message.  A send *transfers ownership* of the segment to the
+  receiver; when the receiver is done with it, the segment is adopted into
+  the receiver's arena and reused for its own future sends, so segments
+  circulate between ranks instead of churning through ``shm_open``/
+  ``shm_unlink``.
+* **Zero-copy receives** (:class:`ShmArrayView`): ``decode_payload`` hands
+  the receiver a *read-only* ndarray view directly backed by the shared
+  segment.  The segment is recycled into the arena only when the last view
+  dies (or :func:`release_view` is called), so large TTM operands are never
+  copied on the receive side.
+* **Collective windows** (:class:`CollectiveWindow`): each communicator can
+  open a preallocated shm window (MPI-3 RMA style) that ``allgather``/
+  ``bcast``/``allreduce``/``reduce_scatter_block`` write into directly —
+  one barrier-fenced single-copy exchange instead of O(P) point-to-point
+  segment hops through rank 0.
 
 Poisoning uses a shared event: when any rank dies its transport sets the
-event, and every sibling blocked in :meth:`ProcessTransport.get` notices
-within one poll interval and raises :class:`DeadlockError`.
+event, and every sibling blocked in :meth:`ProcessTransport.get` (or
+spinning on a window fence) notices within one poll interval and raises
+:class:`DeadlockError`.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import queue as queue_mod
+import struct
 import time
+import weakref
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -36,8 +58,217 @@ from repro.mpi.transport import TransportBase
 #: are cheaper to pickle straight through the queue's pipe.
 SHM_MIN_BYTES = 256
 
-#: Seconds between checks of the abort event while blocked on the inbox.
-_POLL_INTERVAL = 0.05
+#: Adaptive poll backoff while blocked on the inbox or a window fence:
+#: start fast so small-message latency is not floored at the poll interval,
+#: back off exponentially so idle waits stay cheap.
+_POLL_MIN_INTERVAL = 0.001
+_POLL_MAX_INTERVAL = 0.05
+
+#: Environment switch: ``0`` disables segment reuse (create/unlink per
+#: message, the pre-arena behaviour — useful when bisecting).
+ARENA_ENV_VAR = "REPRO_SHM_ARENA"
+
+#: Environment switch: ``0`` disables collective windows (collectives fall
+#: back to the point-to-point implementation).
+WINDOWS_ENV_VAR = "REPRO_SPMD_WINDOWS"
+
+#: Smallest arena bucket (one page), per-bucket free-list cap, and the
+#: total bytes an arena may keep pinned in its free lists — recycles
+#: beyond the budget unlink instead, so a sweep of huge messages cannot
+#: leave gigabytes of dead segments parked in /dev/shm.
+_BUCKET_MIN = 4096
+_BUCKET_MAX_FREE = 8
+_ARENA_MAX_FREE_BYTES = 128 << 20
+
+#: Default per-rank slot of a freshly created collective window; grows
+#: (power-of-two buckets) when a collective's payload does not fit.
+WINDOW_DEFAULT_SLOT = 1 << 18
+
+
+def _bucket_of(nbytes: int) -> int:
+    """Smallest power-of-two bucket (>= one page) holding ``nbytes``."""
+    size = _BUCKET_MIN
+    while size < nbytes:
+        size <<= 1
+    return size
+
+
+class SegmentArena:
+    """Per-process pool of reusable shared-memory segments.
+
+    ``acquire`` hands out a mapped segment of a power-of-two bucket size,
+    reusing a pooled one when available.  Ownership is explicit: segments
+    in the free lists belong to this process and are unlinked at
+    :meth:`teardown`; a segment sent to another rank is owned by the
+    message in flight until the receiver adopts it (see
+    :class:`_SegmentLease`) or the executor reclaims it.
+    """
+
+    def __init__(self, enabled: bool | None = None):
+        if enabled is None:
+            enabled = os.environ.get(ARENA_ENV_VAR, "1") != "0"
+        self.enabled = enabled
+        self._free: dict[int, deque[shared_memory.SharedMemory]] = {}
+        self._free_bytes = 0
+        self._leases: weakref.WeakSet[_SegmentLease] = weakref.WeakSet()
+        self.created = 0
+        self.reused = 0
+        self.adopted = 0
+
+    def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A mapped segment of at least ``nbytes`` (caller owns it)."""
+        bucket = _bucket_of(nbytes)
+        box = self._free.get(bucket)
+        if box:
+            self.reused += 1
+            self._free_bytes -= bucket
+            return box.popleft()
+        self.created += 1
+        return shared_memory.SharedMemory(create=True, size=bucket)
+
+    def recycle(self, shm: shared_memory.SharedMemory) -> None:
+        """Return an owned segment to the free list (or unlink it)."""
+        bucket = _BUCKET_MIN
+        while bucket * 2 <= shm.size:
+            bucket *= 2
+        box = self._free.setdefault(bucket, deque())
+        if (
+            self.enabled
+            and len(box) < _BUCKET_MAX_FREE
+            and self._free_bytes + bucket <= _ARENA_MAX_FREE_BYTES
+        ):
+            box.append(shm)
+            self._free_bytes += bucket
+            return
+        _close_and_unlink(shm)
+
+    def adopt(self, shm: shared_memory.SharedMemory) -> None:
+        """Take ownership of a segment another process created."""
+        self.adopted += 1
+        self.recycle(shm)
+
+    def track(self, lease: "_SegmentLease") -> None:
+        self._leases.add(lease)
+
+    def teardown(self) -> None:
+        """Release outstanding leases and unlink every pooled segment."""
+        for lease in list(self._leases):
+            lease.close()
+        self._leases.clear()
+        for box in self._free.values():
+            while box:
+                _close_and_unlink(box.popleft())
+        self._free.clear()
+        self._free_bytes = 0
+
+
+def _close_and_unlink(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a view still exports the buffer
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already reclaimed
+        pass
+
+
+_ARENA: SegmentArena | None = None
+
+
+def process_arena() -> SegmentArena:
+    """This process's segment arena (created lazily, reset after fork)."""
+    global _ARENA
+    if _ARENA is None:
+        _ARENA = SegmentArena()
+    return _ARENA
+
+
+def _reset_after_fork() -> None:
+    # A child must not inherit the parent's arena: the pooled segments in
+    # it are owned by the parent, and two processes unlinking or reusing
+    # the same free list would corrupt messages.  Dropping the reference
+    # only closes the child's inherited mappings (SharedMemory.__del__
+    # never unlinks).
+    global _ARENA
+    _ARENA = None
+
+
+os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+class _SegmentLease:
+    """Keeps a received segment alive while views of it exist.
+
+    Created by :func:`decode_payload`; held by every
+    :class:`ShmArrayView` over the segment.  When the last view dies (or
+    :meth:`close` is called explicitly) the segment is adopted into this
+    process's arena and becomes available for its own sends.
+    """
+
+    __slots__ = ("_arena", "_shm", "_closed", "__weakref__")
+
+    def __init__(self, arena: SegmentArena, shm: shared_memory.SharedMemory):
+        self._arena = arena
+        self._shm = shm
+        self._closed = False
+        arena.track(self)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._arena.adopt(self._shm)
+
+    def __del__(self):  # pragma: no cover - exercised via GC
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ShmArrayView(np.ndarray):
+    """Read-only ndarray backed directly by a shared-memory segment.
+
+    The receive-side half of the zero-copy path: no bytes are copied out
+    of the segment.  The view (and everything derived from it) keeps the
+    segment leased; the segment returns to the arena when the last view is
+    garbage-collected or :func:`release_view` is called.  The buffer is
+    read-only because the memory may be reused by another rank the moment
+    the lease is released — copy (``np.array(view)``) before mutating.
+    """
+
+    def __new__(
+        cls,
+        lease: _SegmentLease,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        order: str,
+    ):
+        obj = super().__new__(
+            cls, shape, dtype=dtype, buffer=lease._shm.buf, order=order
+        )
+        obj._lease = lease
+        obj.flags.writeable = False
+        return obj
+
+    def __array_finalize__(self, obj):
+        if not hasattr(self, "_lease"):
+            self._lease = getattr(obj, "_lease", None)
+
+    def release(self) -> None:
+        """Return the backing segment to the arena immediately.
+
+        After this the view's contents may be overwritten at any time;
+        only call it when the data has been consumed or copied.
+        """
+        if self._lease is not None:
+            self._lease.close()
+
+
+def release_view(obj: Any) -> None:
+    """Explicitly release the segment lease behind a received view, if any."""
+    if isinstance(obj, ShmArrayView):
+        obj.release()
 
 
 @dataclass(frozen=True)
@@ -57,13 +288,25 @@ class ShmHeader:
     order: str
 
 
-def encode_payload(obj: Any, segments: list[shared_memory.SharedMemory]) -> Any:
+def _layout_order(arr: np.ndarray) -> str:
+    return (
+        "F" if arr.flags.f_contiguous and not arr.flags.c_contiguous else "C"
+    )
+
+
+def encode_payload(
+    obj: Any,
+    segments: list[shared_memory.SharedMemory],
+    arena: SegmentArena | None = None,
+) -> Any:
     """Replace large ndarrays in ``obj`` with shared-memory headers.
 
     Recurses through lists/tuples/dicts (the containers the communicator
     and its collectives actually send); anything else is left for pickle.
-    Created segments are appended to ``segments`` so the caller can close
-    its mappings (or unlink them all if the send fails mid-way).
+    Segments come from ``arena`` when given (reusing pooled mappings) and
+    are appended to ``segments`` so the caller can recycle them if the
+    send fails mid-way; a completed send transfers their ownership to the
+    receiver.
     """
     if (
         isinstance(obj, np.ndarray)
@@ -72,70 +315,112 @@ def encode_payload(obj: Any, segments: list[shared_memory.SharedMemory]) -> Any:
         # in another process; those arrays must go through pickle instead.
         and not obj.dtype.hasobject
     ):
-        order = (
-            "F"
-            if obj.flags.f_contiguous and not obj.flags.c_contiguous
-            else "C"
-        )
+        order = _layout_order(obj)
         src = np.asarray(obj, order=order)
-        shm = shared_memory.SharedMemory(create=True, size=src.nbytes)
+        if arena is not None:
+            shm = arena.acquire(src.nbytes)
+        else:
+            shm = shared_memory.SharedMemory(create=True, size=src.nbytes)
         segments.append(shm)
         np.ndarray(src.shape, dtype=src.dtype, buffer=shm.buf, order=order)[
             ...
         ] = src
         return ShmHeader(shm.name, src.shape, src.dtype, order)
     if isinstance(obj, tuple):
-        return tuple(encode_payload(x, segments) for x in obj)
+        return tuple(encode_payload(x, segments, arena) for x in obj)
     if isinstance(obj, list):
-        return [encode_payload(x, segments) for x in obj]
+        return [encode_payload(x, segments, arena) for x in obj]
     if isinstance(obj, dict):
-        return {k: encode_payload(v, segments) for k, v in obj.items()}
+        return {k: encode_payload(v, segments, arena) for k, v in obj.items()}
     return obj
 
 
-def decode_payload(obj: Any) -> Any:
-    """Inverse of :func:`encode_payload`: copy out and unlink segments."""
+def decode_payload(
+    obj: Any, arena: SegmentArena | None = None, copy: bool = False
+) -> Any:
+    """Inverse of :func:`encode_payload`.
+
+    With ``copy=False`` (the receive fast path) segment-backed arrays come
+    back as read-only :class:`ShmArrayView` instances — no bytes are
+    copied; the segment is recycled into ``arena`` when the last view
+    dies.  With ``copy=True`` the data is copied out immediately and the
+    segment recycled (used for one-shot payloads such as pool task
+    arguments, where the caller expects a private writable array).
+
+    Without an ``arena`` the pre-arena semantics apply: copy out and
+    unlink the segment on the spot.
+    """
+    if isinstance(obj, ShmHeader):
+        shm = shared_memory.SharedMemory(name=obj.name)
+        if arena is None:
+            try:
+                view = np.ndarray(
+                    obj.shape, dtype=obj.dtype, buffer=shm.buf, order=obj.order
+                )
+                return np.array(view, copy=True)
+            finally:
+                _close_and_unlink(shm)
+        lease = _SegmentLease(arena, shm)
+        view = ShmArrayView(lease, obj.shape, obj.dtype, obj.order)
+        if not copy:
+            return view
+        out = np.array(view, copy=True)
+        del view
+        lease.close()
+        return out
+    if isinstance(obj, tuple):
+        return tuple(decode_payload(x, arena, copy) for x in obj)
+    if isinstance(obj, list):
+        return [decode_payload(x, arena, copy) for x in obj]
+    if isinstance(obj, dict):
+        return {k: decode_payload(v, arena, copy) for k, v in obj.items()}
+    return obj
+
+
+def decode_borrowed(obj: Any) -> Any:
+    """Copy data out of segments the *sender still owns*.
+
+    Used for pool task arguments: the dispatching parent stages them in
+    its own arena once, every worker copies its arguments out (attach,
+    copy, close — never unlink, never adopt), and the parent recycles the
+    segments when the run completes.  This keeps one staged copy total
+    instead of one per rank.
+    """
     if isinstance(obj, ShmHeader):
         shm = shared_memory.SharedMemory(name=obj.name)
         try:
             view = np.ndarray(
-                obj.shape,
-                dtype=obj.dtype,
-                buffer=shm.buf,
-                order=obj.order,
+                obj.shape, dtype=obj.dtype, buffer=shm.buf, order=obj.order
             )
             return np.array(view, copy=True)
         finally:
-            shm.close()
             try:
-                shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                shm.close()
+            except BufferError:  # pragma: no cover - lingering export
                 pass
     if isinstance(obj, tuple):
-        return tuple(decode_payload(x) for x in obj)
+        return tuple(decode_borrowed(x) for x in obj)
     if isinstance(obj, list):
-        return [decode_payload(x) for x in obj]
+        return [decode_borrowed(x) for x in obj]
     if isinstance(obj, dict):
-        return {k: decode_payload(v) for k, v in obj.items()}
+        return {k: decode_borrowed(v) for k, v in obj.items()}
     return obj
 
 
 def release_payload(obj: Any) -> None:
     """Unlink every shared-memory segment referenced by an encoded payload.
 
-    Used by the parent to reclaim segments of messages that were still
-    undelivered when a run ended (e.g. after a rank failure).
+    Used to reclaim segments of messages that were never delivered (runs
+    that ended with undrained inboxes, stale pooled-run messages): the
+    send transferred ownership to the message, so with the receiver gone
+    somebody must unlink the name.
     """
     if isinstance(obj, ShmHeader):
         try:
             shm = shared_memory.SharedMemory(name=obj.name)
         except FileNotFoundError:  # pragma: no cover - already reclaimed
             return
-        shm.close()
-        try:
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - racing receiver
-            pass
+        _close_and_unlink(shm)
         return
     if isinstance(obj, (list, tuple)):
         for x in obj:
@@ -143,6 +428,226 @@ def release_payload(obj: Any) -> None:
     elif isinstance(obj, dict):
         for x in obj.values():
             release_payload(x)
+
+
+# -- collective windows ------------------------------------------------------
+
+#: Slot prefix: little-endian uint64 length of the pickled metadata blob.
+_META_LEN = struct.Struct("<Q")
+
+
+def pack_collective(obj: Any) -> tuple[bytes, np.ndarray | None]:
+    """Split a collective contribution into (prefix bytes, raw payload).
+
+    Plain ndarrays travel as raw bytes after a tiny pickled header (shape,
+    dtype, layout order — the same layout preservation as point-to-point
+    sends); everything else is pickled whole into the prefix.
+    """
+    if isinstance(obj, np.ndarray) and not obj.dtype.hasobject:
+        order = _layout_order(obj)
+        src = np.asarray(obj, order=order)
+        meta = pickle.dumps(("nd", src.shape, src.dtype, order))
+        return _META_LEN.pack(len(meta)) + meta, src
+    meta = pickle.dumps(("py",))
+    return _META_LEN.pack(len(meta)) + meta + pickle.dumps(obj), None
+
+
+def packed_nbytes(prefix: bytes, payload: np.ndarray | None) -> int:
+    return len(prefix) + (payload.nbytes if payload is not None else 0)
+
+
+def _write_packed(
+    slot: memoryview, prefix: bytes, payload: np.ndarray | None
+) -> None:
+    slot[: len(prefix)] = prefix
+    if payload is not None and payload.nbytes:
+        dst = np.ndarray(
+            payload.shape,
+            dtype=payload.dtype,
+            buffer=slot[len(prefix) : len(prefix) + payload.nbytes],
+            order=_layout_order(payload),
+        )
+        dst[...] = payload
+
+
+def _read_packed(slot: memoryview) -> Any:
+    """Decode one slot, copying the payload out of the window."""
+    (meta_len,) = _META_LEN.unpack(slot[: _META_LEN.size])
+    off = _META_LEN.size + meta_len
+    meta = pickle.loads(slot[_META_LEN.size : off])
+    if meta[0] == "nd":
+        _, shape, dtype, order = meta
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        view = np.ndarray(
+            shape, dtype=dtype, buffer=slot[off : off + nbytes], order=order
+        )
+        return np.array(view, copy=True)
+    return pickle.loads(slot[off:])
+
+
+class CollectiveWindow:
+    """A preallocated per-communicator shared-memory exchange window.
+
+    Layout: four int64 flag arrays of length P (``sizes``, ``posted``,
+    ``written``, ``done``) followed by P fixed-size data slots.  Every
+    flag slot has exactly one writer (its rank), so fences need no atomic
+    read-modify-write: a rank publishes by storing the current exchange
+    sequence number into its own slot and spins until every slot reaches
+    the sequence.  One exchange is write → fence → read → fence, i.e. a
+    single data copy per reader instead of the O(P) point-to-point hops
+    of the relayed collectives.
+
+    Portability note: the data-before-flag ordering relies on the
+    total-store-order guarantee of x86-64 (the platform this toolchain
+    targets); on architectures with weaker memory models (aarch64) the
+    plain stores carry no fence, so set ``REPRO_SPMD_WINDOWS=0`` there to
+    route collectives through the queue-backed point-to-point path, whose
+    ordering the OS guarantees.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        size: int,
+        index: int,
+        slot_bytes: int,
+        owner: bool,
+        abort_event,
+        timeout: float,
+    ):
+        self._shm = shm
+        self.size = size
+        self.index = index
+        self.slot_bytes = slot_bytes
+        self.owner = owner
+        self._abort = abort_event
+        self.timeout = timeout
+        self.seq = 0
+        flag_bytes = 8 * size
+        buf = shm.buf
+        self._sizes = np.frombuffer(buf, np.int64, size, offset=0)
+        self._posted = np.frombuffer(buf, np.int64, size, offset=flag_bytes)
+        self._written = np.frombuffer(
+            buf, np.int64, size, offset=2 * flag_bytes
+        )
+        self._done = np.frombuffer(buf, np.int64, size, offset=3 * flag_bytes)
+        self._data_off = 4 * flag_bytes
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def create(
+        cls, size: int, index: int, slot_bytes: int, abort_event, timeout: float
+    ) -> "CollectiveWindow":
+        total = 4 * 8 * size + size * slot_bytes
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        # Fresh segments are zero-filled by the OS: all flags start at 0,
+        # which is exactly "sequence 0 complete".
+        return cls(shm, size, index, slot_bytes, True, abort_event, timeout)
+
+    @classmethod
+    def attach(
+        cls,
+        name: str,
+        size: int,
+        index: int,
+        slot_bytes: int,
+        abort_event,
+        timeout: float,
+    ) -> "CollectiveWindow":
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            # The creator failed and reclaimed the window before we got
+            # here; surface it as the poisoned-transport error it is.
+            raise DeadlockError(
+                f"collective window {name!r} vanished before attach: "
+                f"a sibling rank failed"
+            ) from None
+        return cls(shm, size, index, slot_bytes, False, abort_event, timeout)
+
+    # -- fences -------------------------------------------------------------
+
+    def _wait(self, flags: np.ndarray, threshold: int, what: str) -> None:
+        if int(flags.min()) >= threshold:
+            return
+        deadline = time.monotonic() + self.timeout
+        interval = _POLL_MIN_INTERVAL
+        last_progress = int((flags >= threshold).sum())
+        while True:
+            if self._abort is not None and self._abort.is_set():
+                raise DeadlockError(
+                    f"transport aborted while waiting on window {what}: "
+                    f"a sibling rank failed"
+                )
+            ready = int((flags >= threshold).sum())
+            if ready >= self.size:
+                return
+            if ready > last_progress:
+                # Progress restarts the window, like the point-to-point
+                # timeout: it detects a silent transport, not a slow peer.
+                last_progress = ready
+                deadline = time.monotonic() + self.timeout
+                interval = _POLL_MIN_INTERVAL
+            if time.monotonic() > deadline:
+                raise DeadlockError(
+                    f"window {what} fence timed out after {self.timeout:g}s "
+                    f"(likely mismatched collective ordering)"
+                )
+            time.sleep(interval)
+            interval = min(interval * 2, _POLL_MAX_INTERVAL)
+
+    def begin(self) -> int:
+        """Open the next exchange: wait until the previous one fully drained."""
+        self.seq += 1
+        self._wait(self._done, self.seq - 1, "reuse")
+        return self.seq
+
+    def post_size(self, nbytes: int) -> int:
+        """Publish this rank's packed size; return the max over ranks."""
+        self._sizes[self.index] = nbytes
+        self._posted[self.index] = self.seq
+        self._wait(self._posted, self.seq, "size exchange")
+        return int(self._sizes.max())
+
+    def write(self, prefix: bytes, payload: np.ndarray | None) -> None:
+        off = self._data_off + self.index * self.slot_bytes
+        _write_packed(
+            self._shm.buf[off : off + self.slot_bytes], prefix, payload
+        )
+
+    def commit(self) -> None:
+        self._written[self.index] = self.seq
+        self._wait(self._written, self.seq, "write fence")
+
+    def read(self, rank: int) -> Any:
+        off = self._data_off + rank * self.slot_bytes
+        return _read_packed(self._shm.buf[off : off + self.slot_bytes])
+
+    def finish(self) -> None:
+        self._done[self.index] = self.seq
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the mapping; the creating rank also unlinks the name."""
+        if self._closed:
+            return
+        self._closed = True
+        # The flag arrays export shm.buf; drop them before closing.
+        del self._sizes, self._posted, self._written, self._done
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - lingering export
+            pass
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
 
 
 class ProcessTransport(TransportBase):
@@ -158,32 +663,57 @@ class ProcessTransport(TransportBase):
         ``multiprocessing.Event`` set when any rank dies.
     timeout:
         Deadlock-detection timeout for blocking receives, in seconds.
+    run_seq:
+        Sequence number of the SPMD run this transport serves.  Pooled
+        workers reuse inbox queues across runs; a message enveloped with a
+        different ``run_seq`` is a straggler from an earlier run and is
+        dropped (its segments reclaimed) instead of being delivered.
     """
 
-    def __init__(self, rank: int, inboxes, abort_event, timeout: float = 60.0):
+    #: Sends already copy into a fresh segment (or a pickle), so the
+    #: communicator can skip its defensive pre-send copy.
+    copies_on_send = True
+
+    def __init__(
+        self,
+        rank: int,
+        inboxes,
+        abort_event,
+        timeout: float = 60.0,
+        run_seq: int = 0,
+    ):
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
         self.timeout = timeout
         self._rank = rank
         self._inboxes = inboxes
         self._abort = abort_event
+        self._run_seq = run_seq
         self._stash: dict[Hashable, deque[Any]] = {}
+        self._windows: list[CollectiveWindow] = []
+        self.windows_enabled = os.environ.get(WINDOWS_ENV_VAR, "1") != "0"
+
+    @property
+    def arena(self) -> SegmentArena:
+        return process_arena()
 
     def put(self, key: Hashable, payload: Any, dst: int | None = None) -> None:
         if dst is None:
             raise ValueError(
                 "ProcessTransport.put requires the destination world rank"
             )
+        arena = self.arena
         segments: list[shared_memory.SharedMemory] = []
         try:
-            blob = pickle.dumps((key, encode_payload(payload, segments)))
+            blob = pickle.dumps(
+                (self._run_seq, key, encode_payload(payload, segments, arena))
+            )
         except Exception:
             for shm in segments:
-                shm.close()
-                shm.unlink()
+                arena.recycle(shm)
             raise
-        for shm in segments:
-            shm.close()
+        # Ownership of the segments now rides with the message; dropping
+        # our SharedMemory handles closes this process's mappings only.
         self._inboxes[dst].put(blob)
 
     def get(self, key: Hashable) -> Any:
@@ -195,6 +725,7 @@ class ProcessTransport(TransportBase):
             return payload
         inbox = self._inboxes[self._rank]
         deadline = time.monotonic() + self.timeout
+        interval = _POLL_MIN_INTERVAL
         while True:
             if self._abort.is_set():
                 raise DeadlockError(
@@ -209,21 +740,30 @@ class ProcessTransport(TransportBase):
                     f"collective ordering)"
                 )
             try:
-                blob = inbox.get(timeout=min(_POLL_INTERVAL, remaining))
+                blob = inbox.get(timeout=min(interval, remaining))
             except queue_mod.Empty:
+                interval = min(interval * 2, _POLL_MAX_INTERVAL)
                 continue
             # Any arrival restarts the window, mirroring the thread
             # transport, whose cond.wait timeout restarts on every notify:
             # the timeout detects a *silent* transport, not a slow peer.
             deadline = time.monotonic() + self.timeout
-            msg_key, encoded = pickle.loads(blob)
-            payload = decode_payload(encoded)
+            interval = _POLL_MIN_INTERVAL
+            msg_seq, msg_key, encoded = pickle.loads(blob)
+            if msg_seq != self._run_seq:
+                # Straggler from a previous pooled run: reclaim and drop.
+                release_payload(encoded)
+                continue
+            payload = decode_payload(encoded, self.arena)
             if msg_key == key:
                 return payload
             self._stash.setdefault(msg_key, deque()).append(payload)
 
     def abort(self, exc: BaseException) -> None:
         self._abort.set()
+
+    def aborted(self) -> bool:
+        return self._abort.is_set()
 
     def pending(self) -> int:
         """Undelivered messages already drained into this rank's stash.
@@ -232,3 +772,60 @@ class ProcessTransport(TransportBase):
         executor separately drains and reclaims those at the end of a run.
         """
         return sum(len(box) for box in self._stash.values())
+
+    # -- collective windows --------------------------------------------------
+
+    def create_window(
+        self, size: int, index: int, slot_bytes: int
+    ) -> CollectiveWindow:
+        win = CollectiveWindow.create(
+            size, index, slot_bytes, self._abort, self.timeout
+        )
+        self._windows.append(win)
+        return win
+
+    def attach_window(
+        self, name: str, size: int, index: int, slot_bytes: int
+    ) -> CollectiveWindow:
+        win = CollectiveWindow.attach(
+            name, size, index, slot_bytes, self._abort, self.timeout
+        )
+        self._windows.append(win)
+        return win
+
+    def release_window(self, win: CollectiveWindow) -> None:
+        """Close (and, for the owner, unlink) a window grown out of use."""
+        win.close()
+        try:
+            self._windows.remove(win)
+        except ValueError:  # pragma: no cover - double release
+            pass
+
+    # -- end-of-run hygiene --------------------------------------------------
+
+    def end_run(self) -> None:
+        """Release per-run resources: stashed leases and open windows.
+
+        Called by the executor worker when the rank function finishes
+        (successfully or not).  The arena itself survives — pooled workers
+        keep it warm across runs.
+        """
+        for box in self._stash.values():
+            for payload in box:
+                _release_views(payload)
+        self._stash.clear()
+        for win in self._windows:
+            win.close()
+        self._windows.clear()
+
+
+def _release_views(obj: Any) -> None:
+    """Release every lease referenced by an undelivered decoded payload."""
+    if isinstance(obj, ShmArrayView):
+        obj.release()
+    elif isinstance(obj, (list, tuple)):
+        for x in obj:
+            _release_views(x)
+    elif isinstance(obj, dict):
+        for x in obj.values():
+            _release_views(x)

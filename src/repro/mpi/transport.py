@@ -41,6 +41,12 @@ class TransportBase(abc.ABC):
 
     timeout: float
 
+    #: Whether :meth:`put` already isolates sender and receiver (the
+    #: payload is serialized or copied into shared memory on the way out).
+    #: When True the communicator skips its defensive pre-send copy; the
+    #: thread transport delivers by reference and keeps the default.
+    copies_on_send = False
+
     @abc.abstractmethod
     def put(self, key: Hashable, payload: Any, dst: int | None = None) -> None:
         """Deposit a message (non-blocking; mailboxes are unbounded)."""

@@ -125,6 +125,32 @@ class TestCollectiveCharging:
         res = spmd_unit(2, prog)
         assert res.ledger.rank_costs(0).words_sent == 16
 
+    def test_words_counter_recurses_into_dicts(self):
+        # Regression: dict payloads used to fall through to the scalar
+        # case and charge a single word, undercharging every collective
+        # that moves a dict (factor exchanges, metadata broadcasts).
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(
+                    {"factor": np.zeros(16), "mode": 2, "tags": [1, 2]},
+                    dest=1,
+                )
+            else:
+                comm.recv(source=0)
+            return None
+
+        res = spmd_unit(2, prog)
+        # 16 words for the array + 1 for the scalar + 2 for the list.
+        assert res.ledger.rank_costs(0).words_sent == 19
+
+    def test_words_of_nested_containers(self):
+        from repro.mpi.comm import _words_of
+
+        assert _words_of({"a": np.zeros(8), "b": {"c": np.zeros(4)}}) == 12
+        assert _words_of({}) == 1
+        assert _words_of({"x": 1}) == 1
+        assert _words_of([np.zeros(2), (np.zeros(3), 5)]) == 6
+
     def test_size_one_collectives_free(self):
         def prog(comm):
             comm.allreduce(np.zeros(100), SUM)

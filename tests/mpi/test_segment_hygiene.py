@@ -1,0 +1,120 @@
+"""Segment hygiene: nothing leaks — segments, windows, or pooled workers.
+
+Shared-memory names live in ``/dev/shm`` on Linux, so leak checking is
+direct: snapshot the directory, hammer the process backend (healthy runs,
+rank failures, deadlock timeouts — through the arena, the zero-copy views
+and the collective windows), tear the pools down, and require the
+snapshot to match.  Worker hygiene is checked the same way through
+``multiprocessing.active_children``.
+"""
+
+import gc
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, SpmdError, run_spmd, shutdown_worker_pools
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="needs a Linux /dev/shm"
+)
+
+
+@pytest.fixture(autouse=True)
+def spmd_backend():
+    """Shadow the package sweep: everything here is process-backend."""
+    return None
+
+
+def _segments() -> set[str]:
+    return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+
+
+def _children() -> int:
+    return len(multiprocessing.active_children())
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    shutdown_worker_pools()
+    gc.collect()
+    before_segments = _segments()
+    before_children = _children()
+    yield
+    shutdown_worker_pools()
+    gc.collect()
+    leaked = _segments() - before_segments
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    assert _children() == before_children, "leaked worker processes"
+
+
+def _healthy(comm, x):
+    view = comm.sendrecv(
+        x, dest=(comm.rank + 1) % comm.size, source=(comm.rank - 1) % comm.size
+    )
+    total = comm.allreduce(x, SUM)
+    gathered = comm.allgather(x[:100])
+    block = comm.reduce_scatter_block(
+        np.tile(x[: 2 * comm.size, None], (1, 50)), SUM
+    )
+    return float(view[0] + total[0] + gathered[0][0] + block[0][0])
+
+
+def _unmatched_sender(comm):
+    # Deliberately leaves undelivered messages in flight: the executor
+    # must reclaim their segments when the run ends.
+    comm.send(np.arange(3000.0), dest=(comm.rank + 1) % comm.size, tag=99)
+    return comm.rank
+
+
+def _crash_mid_collective(comm, x):
+    if comm.rank == 1:
+        raise RuntimeError("induced failure")
+    comm.allgather(x)  # poisoned mid-window for the survivors
+    return None
+
+
+def _deadlock(comm):
+    if comm.rank == 0:
+        comm.recv(source=1)  # never sent
+    return None
+
+
+class TestSegmentHygiene:
+    def test_healthy_runs_leak_nothing(self):
+        x = np.random.default_rng(0).standard_normal(4096)
+        for _ in range(3):  # pooled, warm after the first
+            run_spmd(4, _healthy, x, backend="process")
+
+    def test_unmatched_sends_are_reclaimed(self):
+        for _ in range(2):
+            res = run_spmd(3, _unmatched_sender, backend="process")
+            assert res.values == [0, 1, 2]
+
+    def test_rank_failure_leaks_nothing(self):
+        x = np.random.default_rng(1).standard_normal(50_000)
+        with pytest.raises(SpmdError, match="induced failure"):
+            run_spmd(3, _crash_mid_collective, x, backend="process")
+
+    def test_fork_mode_failure_leaks_nothing(self):
+        big = np.random.default_rng(2).standard_normal(50_000)
+
+        def prog(comm):  # closure: rides the fork fallback
+            if comm.rank == 0:
+                raise ValueError("fork-mode failure")
+            comm.bcast(big, root=1)
+
+        with pytest.raises(SpmdError, match="fork-mode failure"):
+            run_spmd(3, prog, backend="process", timeout=10.0)
+
+    def test_deadlock_timeout_leaks_nothing(self):
+        with pytest.raises(SpmdError):
+            run_spmd(2, _deadlock, backend="process", timeout=0.4)
+
+    def test_pool_teardown_reaps_workers(self):
+        run_spmd(2, _unmatched_sender, backend="process")
+        assert _children() >= 2  # warm workers alive
+        shutdown_worker_pools()
+        assert _children() == 0
