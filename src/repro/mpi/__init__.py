@@ -11,9 +11,10 @@ The process backend has a shared-memory fast path: a persistent rank
 pool amortizes launch cost across ``run_spmd`` calls (see
 :mod:`repro.mpi.backends`), a segment arena recycles shm segments and
 hands receivers read-only zero-copy :class:`ShmArrayView`\\ s, and
-per-communicator collective windows turn ``allgather``/``bcast``/
-``allreduce``/``reduce_scatter_block`` into one barrier-fenced
-single-copy exchange (see :mod:`repro.mpi.process_transport`).
+per-communicator collective windows turn every collective — including
+``barrier``, ``gather``, ``scatter``, ``reduce`` and ``alltoall`` — into
+one barrier-fenced single-copy exchange (see
+:mod:`repro.mpi.process_transport`).
 
 Public surface:
 
@@ -45,7 +46,9 @@ from repro.mpi.ledger import CostLedger, RankCosts
 from repro.mpi.process_transport import (
     ARENA_ENV_VAR,
     WINDOWS_ENV_VAR,
+    WINDOW_SLOT_ENV_VAR,
     CollectiveWindow,
+    MatrixWindow,
     ProcessTransport,
     SegmentArena,
     ShmArrayView,
@@ -82,6 +85,7 @@ __all__ = [
     "SegmentArena",
     "ShmArrayView",
     "CollectiveWindow",
+    "MatrixWindow",
     "process_arena",
     "release_view",
     "ExecutorBackend",
@@ -94,6 +98,7 @@ __all__ = [
     "POOL_ENV_VAR",
     "ARENA_ENV_VAR",
     "WINDOWS_ENV_VAR",
+    "WINDOW_SLOT_ENV_VAR",
     "MpiError",
     "DeadlockError",
     "BufferMismatchError",

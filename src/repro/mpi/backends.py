@@ -260,10 +260,12 @@ def _run_one_rank(
     inboxes,
     abort_event,
     run_seq: int,
+    transport_opts: dict | None = None,
 ) -> tuple[Any, BaseException | None, Any]:
     """Execute one rank against a fresh transport; always cleans up."""
     transport = ProcessTransport(
-        rank, inboxes, abort_event, timeout=timeout, run_seq=run_seq
+        rank, inboxes, abort_event, timeout=timeout, run_seq=run_seq,
+        **(transport_opts or {}),
     )
     ledger = CostLedger(n_ranks, machine)
     comm = Communicator(transport, ledger, "world", tuple(range(n_ranks)), rank)
@@ -290,12 +292,13 @@ def _process_worker(
     inboxes,
     result_queue,
     abort_event,
+    transport_opts: dict | None = None,
 ) -> None:
     """Fork-mode child body: run one rank, report (value, failure, costs)."""
     extra = rank_args[rank] if rank_args is not None else ()
     value, failure, costs = _run_one_rank(
         rank, n_ranks, fn, args, extra, machine, timeout, inboxes,
-        abort_event, run_seq=0,
+        abort_event, run_seq=0, transport_opts=transport_opts,
     )
     blob = _safe_report_blob(0, rank, value, failure, costs)
     # Unlink pooled segments before reporting: once the parent has every
@@ -331,7 +334,7 @@ def _pool_worker(
                 # borrowed: each worker copies them out, so rank code
                 # gets private writable arrays, matching the
                 # copy-on-write semantics of the fork path.
-                fn, args, extra, machine, timeout = decode_borrowed(
+                fn, args, extra, machine, timeout, topts = decode_borrowed(
                     pickle.loads(blob)
                 )
             except BaseException as exc:  # noqa: BLE001
@@ -342,7 +345,7 @@ def _pool_worker(
             else:
                 value, failure, costs = _run_one_rank(
                     rank, n_ranks, fn, args, extra, machine, timeout,
-                    inboxes, abort_event, run_seq,
+                    inboxes, abort_event, run_seq, transport_opts=topts,
                 )
             result_queue.put(
                 _safe_report_blob(run_seq, rank, value, failure, costs)
@@ -395,6 +398,7 @@ class _RankPool:
         rank_args: Sequence[tuple] | None,
         machine: MachineSpec,
         timeout: float,
+        transport_opts: dict | None = None,
     ) -> int | None:
         """Enqueue one run on every warm worker.
 
@@ -427,7 +431,7 @@ class _RankPool:
                         self.run_seq,
                         pickle.dumps(
                             (fn_enc, args_enc, encoded_extra, machine_enc,
-                             timeout_enc)
+                             timeout_enc, transport_opts)
                         ),
                     )
                 )
@@ -536,12 +540,31 @@ class ProcessBackend(ExecutorBackend):
     ``pool=None`` (the default) consults ``REPRO_SPMD_POOL``; pass
     ``pool=False`` to force fork-per-run, ``pool=True`` to force pooling
     for picklable rank functions.
+
+    ``windows``/``window_slot`` plumb the collective-window knobs of
+    :class:`~repro.mpi.process_transport.ProcessTransport` per backend
+    instance instead of process-wide environment variables
+    (``REPRO_SPMD_WINDOWS`` / ``REPRO_SPMD_WINDOW_SLOT``): ``windows``
+    forces the window fast path on/off, ``window_slot`` pins the initial
+    per-rank slot in bytes (``0`` = size adaptively from the first
+    payload).  ``None`` defers to the environment.  The options ride the
+    per-run dispatch, so backends with different knobs can share one
+    warm rank pool.
     """
 
     name = "process"
 
-    def __init__(self, pool: bool | None = None):
+    def __init__(
+        self,
+        pool: bool | None = None,
+        windows: bool | None = None,
+        window_slot: int | None = None,
+    ):
         self._pool = pool
+        self._transport_opts = {
+            "windows": windows,
+            "window_slot": window_slot,
+        }
 
     def _pool_enabled(self) -> bool:
         if self._pool is not None:
@@ -560,7 +583,10 @@ class ProcessBackend(ExecutorBackend):
         self._ensure_resource_tracker()
         if self._pool_enabled():
             pool = _get_pool(n_ranks)
-            run_seq = pool.dispatch(fn, args, rank_args, machine, timeout)
+            run_seq = pool.dispatch(
+                fn, args, rank_args, machine, timeout,
+                transport_opts=self._transport_opts,
+            )
             if run_seq is not None:
                 result = self._collect_pooled(pool, run_seq, n_ranks, machine)
                 if result is not None:
@@ -689,6 +715,7 @@ class ProcessBackend(ExecutorBackend):
                     inboxes,
                     result_queue,
                     abort_event,
+                    self._transport_opts,
                 ),
                 name=f"spmd-rank-{rank}",
                 daemon=True,

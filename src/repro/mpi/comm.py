@@ -10,9 +10,12 @@ the distributed algorithms read like ordinary MPI code.  Differences:
 * Every operation *charges* a :class:`~repro.mpi.ledger.CostLedger` with the
   alpha-beta-gamma cost from the paper's Table I, enabling modeled-time
   measurements of the very runs the tests execute.
-* Collectives are implemented over point-to-point messages for simplicity;
-  their *charged* cost is the closed-form tree cost, not the cost of the
-  naive implementation used to move the bytes.
+* Collectives move their bytes through per-communicator shared-memory
+  windows on the process transport (every collective: one fence-ordered
+  single-copy exchange) and fall back to point-to-point relays through
+  group rank 0 elsewhere; either way their *charged* cost is the
+  closed-form tree cost, identical on every member, not the cost of the
+  implementation used to move the bytes.
 
 Determinism: reductions fold contributions in group-rank order, so repeated
 runs give bitwise-identical floating-point results.
@@ -27,11 +30,7 @@ import numpy as np
 
 from repro.mpi.errors import BufferMismatchError, CommunicatorError
 from repro.mpi.ledger import CostLedger
-from repro.mpi.process_transport import (
-    WINDOW_DEFAULT_SLOT,
-    pack_collective,
-    packed_nbytes,
-)
+from repro.mpi.process_transport import pack_collective, packed_nbytes
 from repro.mpi.reduce_ops import SUM, ReduceOp
 from repro.mpi.transport import TransportBase
 from repro.perfmodel import collectives as cc
@@ -113,9 +112,12 @@ class Communicator:
             if getattr(transport, "copies_on_send", False)
             else _copy_payload
         )
-        # Lazily opened per-communicator collective window (process
-        # transport only); generation counter keys the name-exchange tags.
+        # Lazily opened per-communicator collective windows (process
+        # transport only): a P-slot window for the one-contribution-per-
+        # rank collectives and a P×P pair-slotted one for scatter and
+        # alltoall; the generation counter keys the name-exchange tags.
         self._win = None
+        self._mwin = None
         self._win_gen = 0
 
     # -- identity ----------------------------------------------------------
@@ -236,15 +238,27 @@ class Communicator:
         buf.reshape(-1)[:] = data.reshape(-1)
 
     def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
-        """Simultaneous send+receive (safe against the blocking-order deadlock)."""
+        """Simultaneous send+receive (safe against the blocking-order deadlock).
+
+        The send leg is charged from the sent payload, the receive leg
+        from the *received* payload — the legs may carry different sizes
+        (the receive leg used to be mischarged with the sent size,
+        double-charging the send cost when sizes differed).
+        """
         self._check_peer(dest, "dest")
         self._check_peer(source, "source")
         words = _words_of(obj)
-        cost = cc.send_recv_cost(words, self._ledger.machine)
-        self._ledger.charge_message(self._world_rank, words, cost)
+        self._ledger.charge_message(
+            self._world_rank, words, cc.send_recv_cost(words, self._ledger.machine)
+        )
         self._put_raw(dest, ("p2p", tag), self._tx(obj))
         received = self._transport.get(self._key(source, self._rank, ("p2p", tag)))
-        self._ledger.charge_message(self._world_rank, _words_of(received), cost)
+        recv_words = _words_of(received)
+        self._ledger.charge_message(
+            self._world_rank,
+            recv_words,
+            cc.send_recv_cost(recv_words, self._ledger.machine),
+        )
         return received
 
     # -- collectives ---------------------------------------------------------
@@ -268,61 +282,91 @@ class Communicator:
 
     # -- collective windows --------------------------------------------------
     #
-    # On the process transport, the data movement of allgather / bcast /
-    # allreduce / reduce_scatter_block goes through a preallocated
-    # per-communicator shared-memory window (MPI-3 RMA style): every
-    # member writes its contribution into its own slot, a flag fence
-    # orders writes before reads, and every reader copies directly out of
-    # the window — one single-copy exchange instead of relaying O(P)
-    # point-to-point messages through rank 0.  Only the *transport* of the
-    # bytes changes: the charged ledger costs stay the closed-form tree
-    # costs, and results remain bit-identical to the thread backend
-    # because contributions are folded in the same group-rank order.
+    # On the process transport, the data movement of every collective
+    # goes through preallocated per-communicator shared-memory windows
+    # (MPI-3 RMA style).  The one-contribution-per-rank collectives
+    # (barrier / bcast / gather / allgather / reduce / allreduce /
+    # reduce_scatter_block) use a P-slot window: every member writes its
+    # contribution into its own slot, a flag fence orders writes before
+    # reads, and readers copy directly out of the window.  Scatter rides
+    # the same P-slot window with the roles turned around — the root
+    # (that round's only writer) fills every member's slot and each
+    # member reads its own.  Only alltoall, where every rank writes P-1
+    # distinct payloads, needs the P×P pair-slotted window: rank i
+    # writes slot (i, j) for destination j and reads column (·, i)
+    # after one shared fence.  Either way it is
+    # one single-copy exchange instead of relaying O(P) point-to-point
+    # messages through rank 0.  Only the *transport* of the bytes
+    # changes: the charged ledger costs stay the closed-form tree costs,
+    # and results remain bit-identical to the thread backend because
+    # contributions are folded in the same group-rank order.
 
-    def _open_window(self, slot_bytes: int):
+    def _open_window(self, slot_bytes: int, matrix: bool = False):
         """Collectively open a window: group rank 0 creates and publishes
-        the segment name; everyone else attaches.  Uncharged, like
-        ``split`` — window setup is out of band in the paper's model."""
+        the segment name and slot size; everyone else attaches.
+        Uncharged, like ``split`` — window setup is out of band in the
+        paper's model.  The creator's ``slot_bytes`` wins (it is sized
+        from rank 0's first payload); a later size fence grows the
+        window if another rank's payload does not fit."""
         tag = ("win", self._win_gen)
         self._win_gen += 1
         if self._rank == 0:
-            win = self._transport.create_window(self.size, 0, slot_bytes)
+            win = self._transport.create_window(
+                self.size, 0, slot_bytes, matrix=matrix
+            )
             for dst in range(1, self.size):
-                self._put_key(0, dst, tag, win.name)
+                self._put_key(0, dst, tag, (win.name, win.slot_bytes))
         else:
-            name = self._transport.get(self._key(0, self._rank, tag))
+            name, slot_bytes = self._transport.get(
+                self._key(0, self._rank, tag)
+            )
             win = self._transport.attach_window(
-                name, self.size, self._rank, slot_bytes
+                name, self.size, self._rank, slot_bytes, matrix=matrix
             )
         return win
 
-    def _grow_window(self, needed: int):
-        """Replace the window with one whose slots hold ``needed`` bytes.
+    def _grow_window(self, needed: int, matrix: bool = False):
+        """Replace a window with one whose slots hold ``needed`` bytes.
 
         Every member reaches the same growth decision from the shared
         size exchange, so this is collective.  The old window is released
         immediately: all members attached it at creation, so the owner's
         unlink only removes the name.
         """
-        slot = WINDOW_DEFAULT_SLOT
-        while slot < needed:
-            slot <<= 1
-        old, self._win = self._win, self._open_window(slot)
+        slot = self._transport.window_slot(needed)
+        new = self._open_window(slot, matrix=matrix)
+        if matrix:
+            old, self._mwin = self._mwin, new
+        else:
+            old, self._win = self._win, new
         if old is not None:
             self._transport.release_window(old)
-        return self._win
+        return new
 
-    def _window_round(self, contribution: Any, contribute: bool = True):
-        """Run the write-and-fence half of one window exchange.
+    def _fence_round(self, win, needed: int, words: int, matrix: bool):
+        """Open the next exchange on ``win``, growing it until ``needed``
+        fits; returns the (possibly replaced) window after the size
+        fence, ready to be written."""
+        while True:
+            win.begin()
+            largest = win.post_size(needed, words)
+            if largest <= win.slot_bytes:
+                return win
+            win = self._grow_window(largest, matrix=matrix)
+
+    def _window_round(
+        self, contribution: Any, contribute: bool = True, words: int = 0
+    ):
+        """Run the write-and-fence half of one P-slot window exchange.
 
         Returns the window with this round's data committed (the caller
         reads the slots it needs, then calls ``finish()``), or ``None``
         when the transport has no windows and the point-to-point
-        implementation must run instead.
+        implementation must run instead.  ``words`` rides the size fence
+        so every member can charge from sizes it does not hold locally
+        (see ``total_words``/``max_words`` on the window).
         """
-        if self.size == 1 or not getattr(
-            self._transport, "windows_enabled", False
-        ):
+        if self.size == 1 or not self._transport.windows_enabled:
             return None
         if contribute:
             prefix, payload = pack_collective(contribution)
@@ -330,16 +374,59 @@ class Communicator:
         else:
             prefix, payload, needed = b"", None, 0
         if self._win is None:
-            self._win = self._open_window(WINDOW_DEFAULT_SLOT)
-        win = self._win
-        while True:
-            win.begin()
-            largest = win.post_size(needed)
-            if largest <= win.slot_bytes:
-                break
-            win = self._grow_window(largest)
+            self._win = self._open_window(self._transport.window_slot(needed))
+        win = self._fence_round(self._win, needed, words, matrix=False)
         if contribute:
             win.write(prefix, payload)
+        win.commit()
+        return win
+
+    def _scatter_window_round(self, values, root: int, total_words: int):
+        """The root half of a windowed scatter: root writes *every*
+        member's slot of the P-slot window (still one writer this round),
+        posting its exact total on the size fence; members read their own
+        slot in the non-root branch via a contribution-less
+        :meth:`_window_round`.  Returns ``None`` when windows are off.
+        """
+        if not self._transport.windows_enabled:
+            return None
+        packed = [
+            (dst, pack_collective(values[dst]))
+            for dst in range(self.size)
+            if dst != root
+        ]
+        needed = max(
+            packed_nbytes(prefix, payload) for _, (prefix, payload) in packed
+        )
+        if self._win is None:
+            self._win = self._open_window(self._transport.window_slot(needed))
+        win = self._fence_round(self._win, needed, total_words, matrix=False)
+        for dst, (prefix, payload) in packed:
+            win.write_to(dst, prefix, payload)
+        win.commit()
+        return win
+
+    def _matrix_round(self, pairs, words: int = 0):
+        """Run the write-and-fence half of one P×P pair-window exchange.
+
+        ``pairs`` is this rank's row: ``(dst, obj)`` tuples to deposit.
+        The posted size is the largest single pair, so the shared growth
+        decision bounds every slot of the matrix.
+        """
+        if self.size == 1 or not self._transport.windows_enabled:
+            return None
+        packed = [(dst, pack_collective(obj)) for dst, obj in pairs]
+        needed = max(
+            (packed_nbytes(prefix, payload) for _, (prefix, payload) in packed),
+            default=0,
+        )
+        if self._mwin is None:
+            self._mwin = self._open_window(
+                self._transport.window_slot(needed), matrix=True
+            )
+        win = self._fence_round(self._mwin, needed, words, matrix=True)
+        for dst, (prefix, payload) in packed:
+            win.write_pair(dst, prefix, payload)
         win.commit()
         return win
 
@@ -354,23 +441,30 @@ class Communicator:
     def barrier(self) -> None:
         """Synchronize all members; charged as one zero-byte all-reduce."""
         seq = self._advance_coll()
-        self._fan_in_fan_out(seq, token=None)
+        if self.size > 1:
+            if self._transport.windows_enabled:
+                # Zero-byte window fence: one shared rendezvous — no slot
+                # is written, read, or committed (and barriers never grow
+                # the window, so the growth loop is skipped too).
+                if self._win is None:
+                    self._win = self._open_window(
+                        self._transport.window_slot(0)
+                    )
+                self._win.fence()
+            else:
+                # Point-to-point fallback: fan a token into group rank 0
+                # and fan one back out.
+                tag_in = ("coll", seq, 0)
+                tag_out = ("coll", seq, 1)
+                if self._rank == 0:
+                    for src in range(1, self.size):
+                        self._transport.get(self._key(src, 0, tag_in))
+                    for dst in range(1, self.size):
+                        self._put_key(0, dst, tag_out, None)
+                else:
+                    self._put_raw(0, tag_in, None)
+                    self._transport.get(self._key(0, self._rank, tag_out))
         self._charge_all(cc.allreduce_cost(self.size, 1, self._ledger.machine))
-
-    def _fan_in_fan_out(self, seq: int, token: Any) -> Any:
-        """Gather a token at group rank 0, then broadcast a token back."""
-        if self.size == 1:
-            return token
-        tag_in = ("coll", seq, 0)
-        tag_out = ("coll", seq, 1)
-        if self._rank == 0:
-            for src in range(1, self.size):
-                self._transport.get(self._key(src, 0, tag_in))
-            for dst in range(1, self.size):
-                self._put_key(0, dst, tag_out, token)
-            return token
-        self._put_key(self._rank, 0, tag_in, None)
-        return self._transport.get(self._key(0, self._rank, tag_out))
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` to all members."""
@@ -403,60 +497,101 @@ class Communicator:
         return result
 
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
-        """Gather one value per rank to ``root`` (returns None elsewhere)."""
-        self._check_peer(root, "root")
-        seq = self._advance_coll()
-        tag = ("coll", seq, 0)
-        words = _words_of(value) * self.size
-        self._charge_all(
-            cc.allgather_cost(self.size, words, self._ledger.machine),
-            words=words,
-            messages=1 if self.size > 1 else 0,
-        )
-        if self._rank == root:
-            out: list[Any] = [None] * self.size
-            out[root] = _copy_payload(value)
-            for src in range(self.size):
-                if src != root:
-                    out[src] = self._transport.get(self._key(src, root, tag))
-            return out
-        self._put_raw(root, tag, self._tx(value))
-        return None
+        """Gather one value per rank to ``root`` (returns None elsewhere).
 
-    def allgather(self, value: Any) -> list[Any]:
-        """Gather one value per rank onto every rank."""
+        Every member charges the tree cost of the *exact* total gathered
+        words — sizes may differ per rank, so the total is shared through
+        the window's size fence (or, on the point-to-point path, fanned
+        back out by the root uncharged, like ``split``'s setup exchange).
+        """
+        self._check_peer(root, "root")
         seq = self._advance_coll()
         tag_in = ("coll", seq, 0)
         tag_out = ("coll", seq, 1)
-        words = _words_of(value) * self.size
+        my_words = _words_of(value)
+        out: list[Any] | None = None
+        if self.size == 1:
+            total_words = my_words
+            out = [_copy_payload(value)]
+        else:
+            win = self._window_round(value, words=my_words)
+            if win is not None:
+                total_words = win.total_words()
+                if self._rank == root:
+                    out = [win.read(src) for src in range(self.size)]
+                win.finish()
+            elif self._rank == root:
+                out = [None] * self.size
+                out[root] = _copy_payload(value)
+                for src in range(self.size):
+                    if src != root:
+                        out[src] = self._transport.get(
+                            self._key(src, root, tag_in)
+                        )
+                total_words = sum(_words_of(v) for v in out)
+                for dst in range(self.size):
+                    if dst != root:
+                        self._put_key(root, dst, tag_out, total_words)
+            else:
+                self._put_raw(root, tag_in, self._tx(value))
+                total_words = self._transport.get(
+                    self._key(root, self._rank, tag_out)
+                )
         self._charge_all(
-            cc.allgather_cost(self.size, words, self._ledger.machine),
-            words=words,
+            cc.allgather_cost(self.size, total_words, self._ledger.machine),
+            words=total_words,
             messages=1 if self.size > 1 else 0,
         )
+        return out
+
+    def allgather(self, value: Any) -> list[Any]:
+        """Gather one value per rank onto every rank.
+
+        Charged from the *exact* total gathered words (every rank holds
+        the full result, so the total needs no extra exchange), keeping
+        the cost identical on all members even when sizes are uneven.
+        """
+        seq = self._advance_coll()
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
         if self.size == 1:
-            return [_copy_payload(value)]
-        win = self._window_round(value)
-        if win is not None:
-            out = [win.read(src) for src in range(self.size)]
-            win.finish()
-            return out
-        if self._rank == 0:
-            out = [None] * self.size
-            out[0] = _copy_payload(value)
-            for src in range(1, self.size):
-                out[src] = self._transport.get(self._key(src, 0, tag_in))
-            for dst in range(1, self.size):
-                # Fresh copies per destination: the root may mutate its own
-                # result list before receivers drain their mailboxes.
-                relay = [self._tx(v) for v in out]
-                self._put_key(0, dst, tag_out, relay)
-            return list(out)
-        self._put_raw(0, tag_in, self._tx(value))
-        return self._transport.get(self._key(0, self._rank, tag_out))
+            out = [_copy_payload(value)]
+        else:
+            win = self._window_round(value)
+            if win is not None:
+                out = [win.read(src) for src in range(self.size)]
+                win.finish()
+            elif self._rank == 0:
+                out = [None] * self.size
+                out[0] = _copy_payload(value)
+                for src in range(1, self.size):
+                    out[src] = self._transport.get(self._key(src, 0, tag_in))
+                for dst in range(1, self.size):
+                    # Fresh copies per destination: the root may mutate its
+                    # own result list before receivers drain their mailboxes.
+                    relay = [self._tx(v) for v in out]
+                    self._put_key(0, dst, tag_out, relay)
+                out = list(out)
+            else:
+                self._put_raw(0, tag_in, self._tx(value))
+                out = self._transport.get(self._key(0, self._rank, tag_out))
+        total_words = sum(_words_of(v) for v in out)
+        self._charge_all(
+            cc.allgather_cost(self.size, total_words, self._ledger.machine),
+            words=total_words,
+            messages=1 if self.size > 1 else 0,
+        )
+        return out
 
     def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Any:
-        """Scatter one value per rank from ``root``."""
+        """Scatter one value per rank from ``root``.
+
+        Every member charges the cost of the root's *exact* total — the
+        true ``sum(words)`` rides the window's size fence (or piggybacks
+        on each scattered message on the point-to-point path), so uneven
+        payloads no longer make non-roots charge a different cost than
+        the root.
+        """
         self._check_peer(root, "root")
         seq = self._advance_coll()
         tag = ("coll", seq, 0)
@@ -468,12 +603,31 @@ class Communicator:
                 )
             my_value = _copy_payload(values[root])
             total_words = sum(_words_of(v) for v in values)
-            for dst in range(self.size):
-                if dst != root:
-                    self._put_key(root, dst, tag, self._tx(values[dst]))
+            if self.size > 1:
+                win = self._scatter_window_round(values, root, total_words)
+                if win is not None:
+                    win.finish()
+                else:
+                    for dst in range(self.size):
+                        if dst != root:
+                            self._put_key(
+                                root,
+                                dst,
+                                tag,
+                                (self._tx(values[dst]), total_words),
+                            )
         else:
-            my_value = self._transport.get(self._key(root, self._rank, tag))
-            total_words = _words_of(my_value) * self.size
+            win = self._window_round(None, contribute=False)
+            if win is not None:
+                # Only the root posted a word count; the fence-shared sum
+                # is therefore exactly the root's total.
+                total_words = win.total_words()
+                my_value = win.read(self._rank)
+                win.finish()
+            else:
+                my_value, total_words = self._transport.get(
+                    self._key(root, self._rank, tag)
+                )
         self._charge_all(
             cc.bcast_cost(self.size, total_words, self._ledger.machine),
             words=total_words,
@@ -482,71 +636,111 @@ class Communicator:
         return my_value
 
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any | None:
-        """Reduce values to ``root`` with ``op`` (rank-ordered, deterministic)."""
-        self._check_peer(root, "root")
-        seq = self._advance_coll()
-        tag = ("coll", seq, 0)
-        words = _words_of(value)
-        self._charge_all(
-            cc.reduce_cost(self.size, words, self._ledger.machine),
-            words=words,
-            messages=1 if self.size > 1 else 0,
-        )
-        if self._rank == root:
-            contributions: list[Any] = [None] * self.size
-            contributions[root] = value
-            for src in range(self.size):
-                if src != root:
-                    contributions[src] = self._transport.get(
-                        self._key(src, root, tag)
-                    )
-            acc = _copy_payload(contributions[0])
-            for src in range(1, self.size):
-                acc = op(acc, contributions[src])
-            return acc
-        self._put_raw(root, tag, self._tx(value))
-        return None
+        """Reduce values to ``root`` with ``op`` (rank-ordered, deterministic).
 
-    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
-        """Reduce-then-broadcast; every rank gets the reduction."""
+        Contributions normally share one shape, but ops that broadcast
+        (NumPy ufuncs) tolerate uneven ones, so every member charges from
+        the *largest* contribution — shared on the window's size fence,
+        or fanned out by the root uncharged on the point-to-point path —
+        keeping the charge rank-independent either way.
+        """
+        self._check_peer(root, "root")
         seq = self._advance_coll()
         tag_in = ("coll", seq, 0)
         tag_out = ("coll", seq, 1)
-        words = _words_of(value)
+        my_words = _words_of(value)
+        acc: Any = None
+        if self.size == 1:
+            peak_words = my_words
+            acc = _copy_payload(value)
+        else:
+            win = self._window_round(value, words=my_words)
+            if win is not None:
+                peak_words = win.max_words()
+                if self._rank == root:
+                    # Only the root folds (in group-rank order, matching
+                    # the thread backend); the rest just fence through.
+                    acc = self._window_fold(win, op)
+                win.finish()
+            elif self._rank == root:
+                contributions: list[Any] = [None] * self.size
+                contributions[root] = value
+                for src in range(self.size):
+                    if src != root:
+                        contributions[src] = self._transport.get(
+                            self._key(src, root, tag_in)
+                        )
+                peak_words = max(_words_of(c) for c in contributions)
+                acc = _copy_payload(contributions[0])
+                for src in range(1, self.size):
+                    acc = op(acc, contributions[src])
+                for dst in range(self.size):
+                    if dst != root:
+                        self._put_key(root, dst, tag_out, peak_words)
+            else:
+                self._put_raw(root, tag_in, self._tx(value))
+                peak_words = self._transport.get(
+                    self._key(root, self._rank, tag_out)
+                )
+        self._charge_all(
+            cc.reduce_cost(self.size, peak_words, self._ledger.machine),
+            words=peak_words,
+            messages=1 if self.size > 1 else 0,
+        )
+        return acc
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce-then-broadcast; every rank gets the reduction.
+
+        Charged from the *result's* words (identical on every member by
+        construction), so even broadcasting ops with uneven contributions
+        charge rank-independent costs.
+        """
+        seq = self._advance_coll()
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        if self.size == 1:
+            acc = _copy_payload(value)
+        else:
+            win = self._window_round(value)
+            if win is not None:
+                # Every rank folds the slots in the same group-rank order
+                # the thread backend's root uses, so results stay
+                # bit-identical.
+                acc = self._window_fold(win, op)
+                win.finish()
+            elif self._rank == 0:
+                acc = _copy_payload(value)
+                received = []
+                for src in range(1, self.size):
+                    received.append(
+                        self._transport.get(self._key(src, 0, tag_in))
+                    )
+                for contribution in received:
+                    acc = op(acc, contribution)
+                for dst in range(1, self.size):
+                    self._put_key(0, dst, tag_out, self._tx(acc))
+            else:
+                self._put_raw(0, tag_in, self._tx(value))
+                acc = self._transport.get(self._key(0, self._rank, tag_out))
+        words = _words_of(acc)
         self._charge_all(
             cc.allreduce_cost(self.size, words, self._ledger.machine),
             words=words,
             messages=1 if self.size > 1 else 0,
         )
-        if self.size == 1:
-            return _copy_payload(value)
-        win = self._window_round(value)
-        if win is not None:
-            # Every rank folds the slots in the same group-rank order the
-            # thread backend's root uses, so results stay bit-identical.
-            acc = self._window_fold(win, op)
-            win.finish()
-            return acc
-        if self._rank == 0:
-            acc = _copy_payload(value)
-            received = []
-            for src in range(1, self.size):
-                received.append(self._transport.get(self._key(src, 0, tag_in)))
-            for contribution in received:
-                acc = op(acc, contribution)
-            for dst in range(1, self.size):
-                self._put_key(0, dst, tag_out, self._tx(acc))
-            return acc
-        self._put_raw(0, tag_in, self._tx(value))
-        return self._transport.get(self._key(0, self._rank, tag_out))
+        return acc
 
     def reduce_scatter_block(
         self, array: np.ndarray, op: ReduceOp = SUM
     ) -> np.ndarray:
         """Reduce an array then scatter equal blocks along axis 0.
 
-        ``array.shape[0]`` must be divisible by the communicator size.  Used
-        by the non-blocked TTM fast path (paper Sec. V-B).
+        ``array.shape[0]`` must be divisible by the communicator size, and
+        every member must pass the *same shape* (the root slices blocks
+        by its own shape, so mismatched shapes would mis-scatter — unlike
+        ``reduce``, broadcasting contributions are not meaningful here).
+        Used by the non-blocked TTM fast path (paper Sec. V-B).
         """
         if not isinstance(array, np.ndarray):
             raise TypeError("reduce_scatter_block requires a numpy.ndarray")
@@ -588,28 +782,55 @@ class Communicator:
         return _copy_payload(self._transport.get(self._key(0, self._rank, tag_out)))
 
     def alltoall(self, values: Sequence[Any]) -> list[Any]:
-        """Exchange ``values[j]`` with rank ``j`` for all j simultaneously."""
+        """Exchange ``values[j]`` with rank ``j`` for all j simultaneously.
+
+        Charged from the *heaviest* rank's row total (the bulk-synchronous
+        exchange finishes when the busiest rank does), shared through the
+        window's size fence or piggybacked on each pairwise message, so
+        every member charges the identical cost under uneven rows.
+        """
         if len(values) != self.size:
             raise CommunicatorError(
                 f"alltoall needs exactly {self.size} values, got {len(values)}"
             )
         seq = self._advance_coll()
         tag = ("coll", seq, 0)
-        words = sum(_words_of(v) for v in values)
-        # Pairwise-exchange cost: (P-1) messages of W/P words each.
         p = self.size
-        cost = (p - 1) * cc.send_recv_cost(
-            words / p if p else 0, self._ledger.machine
-        )
-        self._charge_all(cost, words=words, messages=1 if p > 1 else 0)
+        row_words = sum(_words_of(v) for v in values)
         out: list[Any] = [None] * p
         out[self._rank] = _copy_payload(values[self._rank])
-        for dst in range(p):
-            if dst != self._rank:
-                self._put_key(self._rank, dst, tag, self._tx(values[dst]))
-        for src in range(p):
-            if src != self._rank:
-                out[src] = self._transport.get(self._key(src, self._rank, tag))
+        peak_words = row_words
+        if p > 1:
+            win = self._matrix_round(
+                [(dst, values[dst]) for dst in range(p) if dst != self._rank],
+                words=row_words,
+            )
+            if win is not None:
+                peak_words = win.max_words()
+                for src in range(p):
+                    if src != self._rank:
+                        out[src] = win.read_pair(src)
+                win.finish()
+            else:
+                for dst in range(p):
+                    if dst != self._rank:
+                        self._put_key(
+                            self._rank,
+                            dst,
+                            tag,
+                            (self._tx(values[dst]), row_words),
+                        )
+                for src in range(p):
+                    if src != self._rank:
+                        out[src], src_words = self._transport.get(
+                            self._key(src, self._rank, tag)
+                        )
+                        peak_words = max(peak_words, src_words)
+        # Pairwise-exchange cost: (P-1) messages of ceil(W/P) words each.
+        cost = (p - 1) * cc.send_recv_cost(
+            -(-peak_words // p) if p > 1 else 0, self._ledger.machine
+        )
+        self._charge_all(cost, words=peak_words, messages=1 if p > 1 else 0)
         return out
 
     # -- communicator construction -------------------------------------------

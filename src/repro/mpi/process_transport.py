@@ -24,11 +24,15 @@ path cheap:
   segment.  The segment is recycled into the arena only when the last view
   dies (or :func:`release_view` is called), so large TTM operands are never
   copied on the receive side.
-* **Collective windows** (:class:`CollectiveWindow`): each communicator can
-  open a preallocated shm window (MPI-3 RMA style) that ``allgather``/
-  ``bcast``/``allreduce``/``reduce_scatter_block`` write into directly —
-  one barrier-fenced single-copy exchange instead of O(P) point-to-point
-  segment hops through rank 0.
+* **Collective windows** (:class:`CollectiveWindow`, :class:`MatrixWindow`):
+  each communicator can open preallocated shm windows (MPI-3 RMA style)
+  that every collective writes into directly — ``barrier``/``bcast``/
+  ``gather``/``allgather``/``reduce``/``allreduce``/
+  ``reduce_scatter_block`` through a P-slot window, ``scatter``/
+  ``alltoall`` through a P×P pair-slotted one — one barrier-fenced
+  single-copy exchange instead of O(P) point-to-point segment hops
+  through rank 0.  Initial slots are sized from the communicator's first
+  payload (``REPRO_SPMD_WINDOW_SLOT`` pins them instead).
 
 Poisoning uses a shared event: when any rank dies its transport sets the
 event, and every sibling blocked in :meth:`ProcessTransport.get` (or
@@ -64,6 +68,11 @@ SHM_MIN_BYTES = 256
 _POLL_MIN_INTERVAL = 0.001
 _POLL_MAX_INTERVAL = 0.05
 
+#: How long a window fence polls with bare ``sleep(0)`` scheduler yields
+#: before falling back to the exponential sleep above.  Fences between
+#: co-scheduled ranks resolve in this regime almost always.
+_FENCE_YIELD_SECONDS = 0.002
+
 #: Environment switch: ``0`` disables segment reuse (create/unlink per
 #: message, the pre-arena behaviour — useful when bisecting).
 ARENA_ENV_VAR = "REPRO_SHM_ARENA"
@@ -71,6 +80,11 @@ ARENA_ENV_VAR = "REPRO_SHM_ARENA"
 #: Environment switch: ``0`` disables collective windows (collectives fall
 #: back to the point-to-point implementation).
 WINDOWS_ENV_VAR = "REPRO_SPMD_WINDOWS"
+
+#: Fixed initial per-rank window slot in bytes; ``0`` (the default) sizes
+#: the first window of each communicator adaptively from the payload of
+#: its first windowed exchange.
+WINDOW_SLOT_ENV_VAR = "REPRO_SPMD_WINDOW_SLOT"
 
 #: Smallest arena bucket (one page), per-bucket free-list cap, and the
 #: total bytes an arena may keep pinned in its free lists — recycles
@@ -80,9 +94,20 @@ _BUCKET_MIN = 4096
 _BUCKET_MAX_FREE = 8
 _ARENA_MAX_FREE_BYTES = 128 << 20
 
-#: Default per-rank slot of a freshly created collective window; grows
-#: (power-of-two buckets) when a collective's payload does not fit.
-WINDOW_DEFAULT_SLOT = 1 << 18
+#: Smallest per-rank slot of a collective window (one page).  The first
+#: exchange on a communicator sizes the initial slot from its own payload
+#: (see :func:`window_slot_for`), so scalar-only communicators get
+#: page-sized windows instead of the former fixed 256 KiB slots; windows
+#: still grow in power-of-two buckets when a later payload does not fit.
+WINDOW_MIN_SLOT = 4096
+
+
+def window_slot_for(nbytes: int, base: int = WINDOW_MIN_SLOT) -> int:
+    """Smallest power-of-two multiple of ``base`` holding ``nbytes``."""
+    slot = max(base, WINDOW_MIN_SLOT)
+    while slot < nbytes:
+        slot <<= 1
+    return slot
 
 
 def _bucket_of(nbytes: int) -> int:
@@ -488,14 +513,22 @@ def _read_packed(slot: memoryview) -> Any:
 class CollectiveWindow:
     """A preallocated per-communicator shared-memory exchange window.
 
-    Layout: four int64 flag arrays of length P (``sizes``, ``posted``,
-    ``written``, ``done``) followed by P fixed-size data slots.  Every
-    flag slot has exactly one writer (its rank), so fences need no atomic
-    read-modify-write: a rank publishes by storing the current exchange
-    sequence number into its own slot and spins until every slot reaches
-    the sequence.  One exchange is write → fence → read → fence, i.e. a
-    single data copy per reader instead of the O(P) point-to-point hops
-    of the relayed collectives.
+    Layout: five int64 flag arrays of length P (``sizes``, ``posted``,
+    ``written``, ``done``, ``words``) followed by P fixed-size data
+    slots (P×P for :class:`MatrixWindow`).  Every flag slot has exactly
+    one writer (its rank), so fences need no atomic read-modify-write: a
+    rank publishes by storing the current exchange sequence number into
+    its own slot and spins until every slot reaches the sequence.  One
+    exchange is write → fence → read → fence, i.e. a single data copy
+    per reader instead of the O(P) point-to-point hops of the relayed
+    collectives.
+
+    ``words`` carries each rank's *modeled* contribution size (in
+    8-byte words) alongside the exchange: collectives whose closed-form
+    charge depends on sizes only some ranks know locally (gather's
+    total, alltoall's heaviest row) read :meth:`total_words` /
+    :meth:`max_words` after the size fence, so every member charges the
+    identical cost without extra messages.
 
     Portability note: the data-before-flag ordering relies on the
     total-store-order guarantee of x86-64 (the platform this toolchain
@@ -531,7 +564,8 @@ class CollectiveWindow:
             buf, np.int64, size, offset=2 * flag_bytes
         )
         self._done = np.frombuffer(buf, np.int64, size, offset=3 * flag_bytes)
-        self._data_off = 4 * flag_bytes
+        self._words = np.frombuffer(buf, np.int64, size, offset=4 * flag_bytes)
+        self._data_off = 5 * flag_bytes
         self._closed = False
 
     @property
@@ -539,10 +573,15 @@ class CollectiveWindow:
         return self._shm.name
 
     @classmethod
+    def _n_data_slots(cls, size: int) -> int:
+        """Data slots backing a P-member window (P×P for matrix windows)."""
+        return size
+
+    @classmethod
     def create(
         cls, size: int, index: int, slot_bytes: int, abort_event, timeout: float
     ) -> "CollectiveWindow":
-        total = 4 * 8 * size + size * slot_bytes
+        total = 5 * 8 * size + cls._n_data_slots(size) * slot_bytes
         shm = shared_memory.SharedMemory(create=True, size=total)
         # Fresh segments are zero-filled by the OS: all flags start at 0,
         # which is exactly "sequence 0 complete".
@@ -576,6 +615,11 @@ class CollectiveWindow:
             return
         deadline = time.monotonic() + self.timeout
         interval = _POLL_MIN_INTERVAL
+        # Fences usually resolve within microseconds of each other, so
+        # poll with a bare scheduler yield first; only a laggard fence
+        # falls back to the exponential sleep (which would otherwise
+        # floor every barrier-like exchange at the 1 ms poll interval).
+        yield_deadline = time.monotonic() + _FENCE_YIELD_SECONDS
         last_progress = int((flags >= threshold).sum())
         while True:
             if self._abort is not None and self._abort.is_set():
@@ -586,17 +630,21 @@ class CollectiveWindow:
             ready = int((flags >= threshold).sum())
             if ready >= self.size:
                 return
+            now = time.monotonic()
             if ready > last_progress:
                 # Progress restarts the window, like the point-to-point
                 # timeout: it detects a silent transport, not a slow peer.
                 last_progress = ready
-                deadline = time.monotonic() + self.timeout
+                deadline = now + self.timeout
                 interval = _POLL_MIN_INTERVAL
-            if time.monotonic() > deadline:
+            if now > deadline:
                 raise DeadlockError(
                     f"window {what} fence timed out after {self.timeout:g}s "
                     f"(likely mismatched collective ordering)"
                 )
+            if now < yield_deadline:
+                time.sleep(0)  # yield the core to the rank we wait on
+                continue
             time.sleep(interval)
             interval = min(interval * 2, _POLL_MAX_INTERVAL)
 
@@ -606,15 +654,59 @@ class CollectiveWindow:
         self._wait(self._done, self.seq - 1, "reuse")
         return self.seq
 
-    def post_size(self, nbytes: int) -> int:
-        """Publish this rank's packed size; return the max over ranks."""
+    def fence(self) -> int:
+        """One zero-byte rendezvous (the whole of ``barrier``).
+
+        A fence moves no data, so the rank publishes its arrival
+        (``posted``) and its round completion (``done``) in the same
+        breath before waiting: nobody reads after the wait, and the next
+        round's reuse check is satisfied the moment everyone has posted
+        — one global rendezvous per barrier instead of three fences.
+        The reuse wait up front still protects the *previous* round's
+        readers from this rank's flag overwrites.
+        """
+        self.seq += 1
+        self._wait(self._done, self.seq - 1, "reuse")
+        self._sizes[self.index] = 0
+        self._words[self.index] = 0
+        self._done[self.index] = self.seq
+        self._posted[self.index] = self.seq
+        self._wait(self._posted, self.seq, "fence")
+        return self.seq
+
+    def post_size(self, nbytes: int, words: int = 0) -> int:
+        """Publish this rank's packed size (bytes) and modeled ``words``;
+        return the max packed size over ranks (drives window growth)."""
+        self._words[self.index] = words
         self._sizes[self.index] = nbytes
         self._posted[self.index] = self.seq
         self._wait(self._posted, self.seq, "size exchange")
         return int(self._sizes.max())
 
+    def total_words(self) -> int:
+        """Sum of all ranks' posted modeled words (valid after the size
+        fence and until this rank's next :meth:`post_size`)."""
+        return int(self._words.sum())
+
+    def max_words(self) -> int:
+        """Largest posted modeled word count over ranks (same validity
+        window as :meth:`total_words`)."""
+        return int(self._words.max())
+
     def write(self, prefix: bytes, payload: np.ndarray | None) -> None:
-        off = self._data_off + self.index * self.slot_bytes
+        self.write_to(self.index, prefix, payload)
+
+    def write_to(
+        self, slot: int, prefix: bytes, payload: np.ndarray | None
+    ) -> None:
+        """Write a packed contribution into an arbitrary data slot.
+
+        Data slots need one writer *per round*, not one writer forever:
+        scatter's root fills every member's slot in its round (nobody
+        else writes that round), which is as single-writer as the usual
+        own-slot discipline.  The flag arrays stay strictly per-rank.
+        """
+        off = self._data_off + slot * self.slot_bytes
         _write_packed(
             self._shm.buf[off : off + self.slot_bytes], prefix, payload
         )
@@ -638,7 +730,7 @@ class CollectiveWindow:
             return
         self._closed = True
         # The flag arrays export shm.buf; drop them before closing.
-        del self._sizes, self._posted, self._written, self._done
+        del self._sizes, self._posted, self._written, self._done, self._words
         try:
             self._shm.close()
         except BufferError:  # pragma: no cover - lingering export
@@ -648,6 +740,51 @@ class CollectiveWindow:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover
                 pass
+
+
+class MatrixWindow(CollectiveWindow):
+    """A P×P pair-slotted window for ``alltoall``.
+
+    Slot ``(src, dst)`` has exactly one writer (rank ``src``) and one
+    reader (rank ``dst``), so a full personalized exchange needs a single
+    write → fence → read round: rank ``i`` writes its row with
+    :meth:`write_pair`, the shared commit fence orders all P² writes, and
+    every rank reads its column with :meth:`read_pair`.  (Scatter, whose
+    only writer is the root, rides the plain P-slot window instead: the
+    root fills each member's slot via ``write_to``.)  Fences and growth
+    are inherited unchanged from :class:`CollectiveWindow`;
+    ``slot_bytes`` bounds one *pair* payload, and the posted size is
+    each rank's largest pair, so growth decisions stay collective.
+    """
+
+    @classmethod
+    def _n_data_slots(cls, size: int) -> int:
+        return size * size
+
+    def _pair_off(self, src: int, dst: int) -> int:
+        return self._data_off + (src * self.size + dst) * self.slot_bytes
+
+    def write_pair(
+        self, dst: int, prefix: bytes, payload: np.ndarray | None
+    ) -> None:
+        """Write this rank's contribution destined for rank ``dst``."""
+        off = self._pair_off(self.index, dst)
+        _write_packed(
+            self._shm.buf[off : off + self.slot_bytes], prefix, payload
+        )
+
+    def read_pair(self, src: int) -> Any:
+        """Read the contribution rank ``src`` wrote for this rank."""
+        off = self._pair_off(src, self.index)
+        return _read_packed(self._shm.buf[off : off + self.slot_bytes])
+
+    # The per-rank slot accessors make no sense on a pair matrix; fail
+    # loudly if a collective confuses its window kinds.
+    def write(self, prefix, payload):  # pragma: no cover - guard
+        raise TypeError("MatrixWindow requires write_pair(dst, ...)")
+
+    def read(self, rank):  # pragma: no cover - guard
+        raise TypeError("MatrixWindow requires read_pair(src)")
 
 
 class ProcessTransport(TransportBase):
@@ -668,6 +805,14 @@ class ProcessTransport(TransportBase):
         workers reuse inbox queues across runs; a message enveloped with a
         different ``run_seq`` is a straggler from an earlier run and is
         dropped (its segments reclaimed) instead of being delivered.
+    windows:
+        Collective-window override: ``True``/``False`` force the window
+        fast path on/off; ``None`` (default) consults
+        ``REPRO_SPMD_WINDOWS``.
+    window_slot:
+        Fixed initial window slot in bytes; ``0`` sizes the first window
+        of each communicator from its first payload; ``None`` consults
+        ``REPRO_SPMD_WINDOW_SLOT`` (default adaptive).
     """
 
     #: Sends already copy into a fresh segment (or a pickle), so the
@@ -681,6 +826,8 @@ class ProcessTransport(TransportBase):
         abort_event,
         timeout: float = 60.0,
         run_seq: int = 0,
+        windows: bool | None = None,
+        window_slot: int | None = None,
     ):
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -691,7 +838,16 @@ class ProcessTransport(TransportBase):
         self._run_seq = run_seq
         self._stash: dict[Hashable, deque[Any]] = {}
         self._windows: list[CollectiveWindow] = []
-        self.windows_enabled = os.environ.get(WINDOWS_ENV_VAR, "1") != "0"
+        if windows is None:
+            windows = os.environ.get(WINDOWS_ENV_VAR, "1") != "0"
+        self.windows_enabled = windows
+        if window_slot is None:
+            window_slot = int(os.environ.get(WINDOW_SLOT_ENV_VAR, "0") or 0)
+        if window_slot < 0:
+            raise ValueError(
+                f"window_slot must be non-negative, got {window_slot}"
+            )
+        self._window_slot = window_slot
 
     @property
     def arena(self) -> SegmentArena:
@@ -775,19 +931,34 @@ class ProcessTransport(TransportBase):
 
     # -- collective windows --------------------------------------------------
 
+    def window_slot(self, needed: int) -> int:
+        """Slot size (bytes) for a window that must hold ``needed`` bytes.
+
+        Adaptive by default: the bucket covering ``needed`` (at least one
+        page), so the first exchange sizes the window.  A fixed
+        ``window_slot`` knob raises the floor instead.
+        """
+        base = self._window_slot if self._window_slot > 0 else WINDOW_MIN_SLOT
+        return window_slot_for(needed, base)
+
     def create_window(
-        self, size: int, index: int, slot_bytes: int
+        self, size: int, index: int, slot_bytes: int, matrix: bool = False
     ) -> CollectiveWindow:
-        win = CollectiveWindow.create(
-            size, index, slot_bytes, self._abort, self.timeout
-        )
+        cls = MatrixWindow if matrix else CollectiveWindow
+        win = cls.create(size, index, slot_bytes, self._abort, self.timeout)
         self._windows.append(win)
         return win
 
     def attach_window(
-        self, name: str, size: int, index: int, slot_bytes: int
+        self,
+        name: str,
+        size: int,
+        index: int,
+        slot_bytes: int,
+        matrix: bool = False,
     ) -> CollectiveWindow:
-        win = CollectiveWindow.attach(
+        cls = MatrixWindow if matrix else CollectiveWindow
+        win = cls.attach(
             name, size, index, slot_bytes, self._abort, self.timeout
         )
         self._windows.append(win)

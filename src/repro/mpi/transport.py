@@ -47,6 +47,50 @@ class TransportBase(abc.ABC):
     #: thread transport delivers by reference and keeps the default.
     copies_on_send = False
 
+    #: Collective-window protocol (optional).  A transport that sets
+    #: ``windows_enabled`` must implement :meth:`window_slot`,
+    #: :meth:`create_window`, :meth:`attach_window` and
+    #: :meth:`release_window`; the communicator then routes the data
+    #: movement of every collective through per-communicator exchange
+    #: windows (single-copy, fence-ordered) instead of relaying
+    #: point-to-point messages through group rank 0.  The thread
+    #: transport keeps the default: all ranks share one address space,
+    #: so its "relay" is already a pointer handoff.
+    windows_enabled = False
+
+    def window_slot(self, needed: int) -> int:
+        """Collective slot size (bytes) for a first payload of ``needed``
+        bytes — the adaptive-sizing hint consulted at window creation."""
+        raise NotImplementedError("transport has no collective windows")
+
+    def create_window(
+        self, size: int, index: int, slot_bytes: int, matrix: bool = False
+    ):
+        """Create (and own) an exchange window for ``size`` members.
+
+        ``matrix=True`` asks for a P×P pair-slotted window (alltoall /
+        scatter); otherwise one slot per member.  Returns an object with
+        the :class:`~repro.mpi.process_transport.CollectiveWindow`
+        surface (``begin``/``post_size``/``write``/``commit``/``read``/
+        ``finish``/``name``/``slot_bytes``...).
+        """
+        raise NotImplementedError("transport has no collective windows")
+
+    def attach_window(
+        self,
+        name: str,
+        size: int,
+        index: int,
+        slot_bytes: int,
+        matrix: bool = False,
+    ):
+        """Attach the window another member created under ``name``."""
+        raise NotImplementedError("transport has no collective windows")
+
+    def release_window(self, win) -> None:
+        """Close (and, for the owner, unlink) a window grown out of use."""
+        raise NotImplementedError("transport has no collective windows")
+
     @abc.abstractmethod
     def put(self, key: Hashable, payload: Any, dst: int | None = None) -> None:
         """Deposit a message (non-blocking; mailboxes are unbounded)."""

@@ -79,6 +79,55 @@ class TestBitIdenticalResults:
             np.testing.assert_allclose(recon, seq, atol=1e-8)
 
 
+def _nine_collectives(comm, x):
+    """All nine collectives (uneven payloads), bit-comparable results."""
+    comm.barrier()
+    out = [comm.bcast({"a": x, "r": comm.rank} if comm.rank == 1 else None,
+                      root=1)["a"].tobytes()]
+    g = comm.gather(x[: comm.rank + 4] * comm.rank, root=2)
+    out.append(None if g is None else [v.tobytes() for v in g])
+    out.append([v.tobytes() for v in comm.allgather(x * (comm.rank + 1))])
+    s = comm.scatter(
+        [x[: 7 * (n + 1)] + n for n in range(comm.size)]
+        if comm.rank == 0 else None,
+        root=0,
+    )
+    out.append(s.tobytes())
+    r = comm.reduce(x + comm.rank, op=lambda a, b: a + b, root=3)
+    out.append(None if r is None else r.tobytes())
+    out.append(comm.allreduce(x * 0.3).tobytes())
+    out.append(
+        comm.reduce_scatter_block(
+            np.outer(np.arange(float(2 * comm.size)), x[:6]) + comm.rank
+        ).tobytes()
+    )
+    out.append(
+        [v.tobytes()
+         for v in comm.alltoall([x[: comm.rank + j + 1] * j
+                                 for j in range(comm.size)])]
+    )
+    return out
+
+
+class TestAllCollectivesParity:
+    """Window-riding collectives: same bits and charges as the thread
+    backend's in-process relay, even under uneven payloads."""
+
+    def test_results_and_ledgers_match(self):
+        x = np.random.default_rng(21).standard_normal(64)
+        results = {
+            name: run_spmd(N_RANKS, _nine_collectives, x, backend=name)
+            for name in ("thread", "process")
+        }
+        assert results["thread"].values == results["process"].values
+        t, p = results["thread"].ledger, results["process"].ledger
+        assert t.summary() == p.summary()
+        for rank in range(N_RANKS):
+            assert t.rank_costs(rank).time == p.rank_costs(rank).time
+            assert t.rank_costs(rank).words_sent == p.rank_costs(rank).words_sent
+            assert t.rank_costs(rank).messages == p.rank_costs(rank).messages
+
+
 class TestIdenticalLedgers:
     def test_event_counts_and_modeled_time(self):
         x = low_rank_tensor((8, 6, 4), (3, 3, 2), seed=11, noise=0.02)

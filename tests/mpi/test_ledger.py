@@ -151,6 +151,72 @@ class TestCollectiveCharging:
         assert _words_of({"x": 1}) == 1
         assert _words_of([np.zeros(2), (np.zeros(3), 5)]) == 6
 
+    def test_sendrecv_uneven_legs_charge_their_own_sizes(self):
+        # Regression: the receive leg used to be charged with the cost of
+        # the *sent* payload, double-charging the send cost whenever the
+        # two legs carried different sizes.
+        def prog(comm):
+            mine = np.zeros(8 if comm.rank == 0 else 24)
+            other = comm.sendrecv(mine, dest=1 - comm.rank, source=1 - comm.rank)
+            return other.size
+
+        res = spmd_unit(2, prog)
+        assert res.values == [24, 8]
+        # Each rank: send leg alpha+beta*own + recv leg alpha+beta*theirs.
+        expected = (1 + 8) + (1 + 24)
+        for rank in range(2):
+            row = res.ledger.rank_costs(rank)
+            assert row.time == pytest.approx(expected)
+            assert row.words_sent == 8 + 24
+            assert row.messages == 2
+
+    def test_sendrecv_even_legs_unchanged(self):
+        def prog(comm):
+            comm.sendrecv(np.zeros(4), dest=1 - comm.rank, source=1 - comm.rank)
+            return None
+
+        res = spmd_unit(2, prog)
+        for rank in range(2):
+            assert res.ledger.rank_costs(rank).time == pytest.approx(2 * (1 + 4))
+
+    def test_alltoall_rounds_fractional_words_up(self):
+        # Regression: 7 words across 4 ranks used to charge W/P = 1.75
+        # words per message; the model counts whole words, so the share
+        # must be ceil(7/4) = 2.
+        p = 4
+
+        def prog(comm):
+            values = [np.zeros(1) for _ in range(comm.size)]
+            values[0] = np.zeros(4)  # row total 7 words on every rank
+            comm.alltoall(values)
+            return None
+
+        res = spmd_unit(p, prog)
+        expected = (p - 1) * (1 + 2)  # (P-1) * (alpha + beta * ceil(7/4))
+        for rank in range(p):
+            assert res.ledger.rank_costs(rank).time == pytest.approx(expected)
+
+    def test_scatter_uneven_payloads_charge_the_roots_total(self):
+        # Regression: non-roots used to extrapolate their own slice
+        # (my_words * P), diverging from the root's exact sum under
+        # uneven payloads.
+        p, sizes = 3, (1, 9, 2)
+
+        def prog(comm):
+            values = (
+                [np.zeros(n) for n in sizes] if comm.rank == 0 else None
+            )
+            comm.scatter(values, root=0)
+            return None
+
+        res = spmd_unit(p, prog)
+        total = sum(sizes)
+        expected = math.log2(p) + (p - 1) / p * total  # bcast tree cost
+        for rank in range(p):
+            row = res.ledger.rank_costs(rank)
+            assert row.time == pytest.approx(expected)
+            assert row.words_sent == total
+
     def test_size_one_collectives_free(self):
         def prog(comm):
             comm.allreduce(np.zeros(100), SUM)

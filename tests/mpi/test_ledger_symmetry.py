@@ -1,0 +1,169 @@
+"""Ledger-symmetry property suite: collectives charge rank-independent costs.
+
+The paper's model is bulk-synchronous — a collective completes on every
+member simultaneously and charges each of them the same closed-form tree
+cost.  This suite pins that property for all nine collectives: identical
+(seconds, words, messages) on every rank, under both executor backends,
+with the shared-memory windows on and off, including *uneven* payloads
+(where historical bugs lived: non-root ``scatter`` extrapolating its own
+slice, ``gather``/``allgather`` extrapolating ``my_words * P``,
+``alltoall`` charging its own row).
+
+Backends come from the package-level ``spmd_backend`` sweep; the window
+toggle is a local parameterization (pools are recycled around each test
+so workers observe the right environment).  Rank functions live at module
+scope so the process runs ride the warm pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, shutdown_worker_pools
+from repro.mpi.process_transport import WINDOWS_ENV_VAR
+from tests.conftest import spmd_unit
+
+
+@pytest.fixture(params=["1", "0"], ids=["windows", "p2p"], autouse=True)
+def window_mode(request, monkeypatch, spmd_backend):
+    """Sweep the window fast path on/off (process backend only)."""
+    if spmd_backend == "thread" and request.param == "0":
+        pytest.skip("thread backend has no windows; one sweep suffices")
+    shutdown_worker_pools()  # drop workers forked under the old env
+    monkeypatch.setenv(WINDOWS_ENV_VAR, request.param)
+    yield request.param
+    shutdown_worker_pools()
+
+
+def _uneven(rank: int, scale: int = 1) -> np.ndarray:
+    """A per-rank array whose word count depends on the rank."""
+    return np.arange(float(scale * (rank + 1) + 1)) + rank
+
+
+def _barrier(comm):
+    comm.barrier()
+
+
+def _bcast(comm):
+    comm.bcast(_uneven(2, 5) if comm.rank == comm.size - 1 else None,
+               root=comm.size - 1)
+
+
+def _gather_even(comm):
+    comm.gather(np.full(6, float(comm.rank)), root=0)
+
+
+def _gather_uneven(comm):
+    comm.gather(_uneven(comm.rank), root=1)
+
+
+def _allgather_even(comm):
+    comm.allgather(np.full(5, float(comm.rank)))
+
+
+def _allgather_uneven(comm):
+    comm.allgather(_uneven(comm.rank))
+
+
+def _scatter_even(comm):
+    values = None
+    if comm.rank == 0:
+        values = [np.full(4, float(i)) for i in range(comm.size)]
+    comm.scatter(values, root=0)
+
+
+def _scatter_uneven(comm):
+    values = None
+    if comm.rank == 1:
+        values = [_uneven(i, 3) for i in range(comm.size)]
+    comm.scatter(values, root=1)
+
+
+def _reduce(comm):
+    comm.reduce(np.full(7, float(comm.rank)), SUM, root=comm.size - 1)
+
+
+def _reduce_uneven(comm):
+    # NumPy's SUM broadcasts, so a scalar on rank 0 against arrays
+    # elsewhere is legal; the charge must still be the largest
+    # contribution on every member.
+    v = np.float64(2.0) if comm.rank == 0 else np.arange(8.0) + comm.rank
+    comm.reduce(v, SUM, root=1)
+
+
+def _allreduce(comm):
+    comm.allreduce(np.full(3, float(comm.rank)), SUM)
+
+
+def _allreduce_uneven(comm):
+    v = np.float64(1.5) if comm.rank == comm.size - 1 else (
+        np.arange(6.0) * comm.rank
+    )
+    comm.allreduce(v, SUM)
+
+
+def _reduce_scatter_block(comm):
+    comm.reduce_scatter_block(
+        np.arange(float(3 * comm.size)) + comm.rank, SUM
+    )
+
+
+def _alltoall_even(comm):
+    comm.alltoall([np.full(4, float(10 * comm.rank + j))
+                   for j in range(comm.size)])
+
+
+def _alltoall_uneven(comm):
+    # Both per-pair sizes and per-rank row totals differ.
+    comm.alltoall([_uneven(comm.rank + j) for j in range(comm.size)])
+
+
+COLLECTIVES = [
+    _barrier,
+    _bcast,
+    _gather_even,
+    _gather_uneven,
+    _allgather_even,
+    _allgather_uneven,
+    _scatter_even,
+    _scatter_uneven,
+    _reduce,
+    _reduce_uneven,
+    _allreduce,
+    _allreduce_uneven,
+    _reduce_scatter_block,
+    _alltoall_even,
+    _alltoall_uneven,
+]
+
+
+@pytest.mark.parametrize("prog", COLLECTIVES, ids=lambda f: f.__name__.strip("_"))
+@pytest.mark.parametrize("p", [3, 4])
+def test_collective_charges_are_rank_independent(prog, p):
+    res = spmd_unit(p, prog)
+    rows = [res.ledger.rank_costs(r) for r in range(p)]
+    reference = (rows[0].time, rows[0].words_sent, rows[0].messages)
+    for rank, row in enumerate(rows):
+        assert (row.time, row.words_sent, row.messages) == pytest.approx(
+            reference
+        ), f"rank {rank} charged {row} != rank 0's {reference} in {prog.__name__}"
+
+
+def _sub_communicator_battery(comm):
+    # Collectives on split-off communicators must stay symmetric within
+    # each group as well (each group has its own window generation).
+    sub = comm.split(color=comm.rank % 2)
+    sub.gather(_uneven(sub.rank), root=0)
+    sub.alltoall([_uneven(sub.rank + j) for j in range(sub.size)])
+    sub.barrier()
+
+
+def test_sub_communicator_collectives_stay_symmetric():
+    res = spmd_unit(4, _sub_communicator_battery)
+    rows = [res.ledger.rank_costs(r) for r in range(4)]
+    # Groups {0,2} and {1,3} ran identical programs on equal-sized groups
+    # with rank-symmetric payloads... but payloads depend on *group* rank,
+    # so symmetry must hold within each parity class.
+    for a, b in ((0, 2), (1, 3)):
+        assert (rows[a].time, rows[a].words_sent, rows[a].messages) == (
+            rows[b].time, rows[b].words_sent, rows[b].messages
+        )

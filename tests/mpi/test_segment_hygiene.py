@@ -114,7 +114,12 @@ class TestSegmentHygiene:
             run_spmd(2, _deadlock, backend="process", timeout=0.4)
 
     def test_pool_teardown_reaps_workers(self):
-        run_spmd(2, _unmatched_sender, backend="process")
+        # Force pooling: the claim under test is that *warm workers* are
+        # reaped, regardless of any REPRO_SPMD_POOL=0 in the environment
+        # (the CI fallback leg runs this whole suite with the pool off).
+        from repro.mpi import ProcessBackend
+
+        run_spmd(2, _unmatched_sender, backend=ProcessBackend(pool=True))
         assert _children() >= 2  # warm workers alive
         shutdown_worker_pools()
         assert _children() == 0

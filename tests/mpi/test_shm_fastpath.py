@@ -21,8 +21,10 @@ from repro.mpi import (
 )
 from repro.mpi.backends import POOL_ENV_VAR, _POOLS
 from repro.mpi.process_transport import (
+    ARENA_ENV_VAR,
     SegmentArena,
     ShmArrayView,
+    WINDOW_SLOT_ENV_VAR,
     WINDOWS_ENV_VAR,
     _bucket_of,
 )
@@ -32,6 +34,16 @@ from repro.mpi.process_transport import (
 def spmd_backend():
     """Shadow the package sweep: every test names its backend."""
     return None
+
+
+@pytest.fixture(autouse=True)
+def fastpath_env(monkeypatch):
+    """Pin the fast-path knobs to their defaults: this suite tests the
+    fast path itself, so the CI leg that exports the 0s (to exercise the
+    fallback paths elsewhere) must not reach it."""
+    for var in (POOL_ENV_VAR, ARENA_ENV_VAR, WINDOWS_ENV_VAR,
+                WINDOW_SLOT_ENV_VAR):
+        monkeypatch.delenv(var, raising=False)
 
 
 @pytest.fixture(autouse=True)
@@ -240,13 +252,48 @@ def _windows_enabled_prog(comm):
     return comm._transport.windows_enabled
 
 
+def _window_rounds(comm):
+    """Run all nine collectives once; report the window round counters."""
+    comm.barrier()
+    comm.bcast(comm.rank if comm.rank == 0 else None, root=0)
+    comm.gather(comm.rank, root=0)
+    comm.allgather(comm.rank)
+    comm.reduce(float(comm.rank), SUM, root=0)
+    comm.allreduce(float(comm.rank), SUM)
+    comm.reduce_scatter_block(np.arange(float(2 * comm.size)), SUM)
+    comm.scatter(list(range(comm.size)) if comm.rank == 0 else None, root=0)
+    comm.alltoall([comm.rank * 10 + j for j in range(comm.size)])
+    # 8 exchanges through the P-slot window (scatter is a root-writes
+    # round on it), 1 through the P×P matrix (alltoall only).
+    return comm._win.seq, comm._mwin.seq
+
+
+def _window_slots(comm):
+    comm.allreduce(comm.rank, SUM)  # scalar first exchange
+    small = comm._win.slot_bytes
+    comm.allreduce(np.arange(6000.0), SUM)  # ~48 KiB forces growth
+    return small, comm._win.slot_bytes
+
+
 def _collective_battery(comm, x):
+    comm.barrier()
     total = comm.allreduce(x, SUM)
     gathered = comm.allgather(x * (comm.rank + 1))
     seen = comm.bcast({"arr": x, "tag": comm.rank} if comm.rank == 1 else None,
                       root=1)
     block = comm.reduce_scatter_block(
         np.outer(np.arange(float(2 * comm.size)), x[:5]) + comm.rank, SUM
+    )
+    at_root = comm.gather(x * (comm.rank + 2), root=1)
+    folded = comm.reduce(x + comm.rank, SUM, root=2)
+    mine = comm.scatter(
+        # Uneven slices, small first: the P×P window opens small and must
+        # grow when the full-size alltoall rows arrive next.
+        [x[: n + 3] * n for n in range(comm.size)] if comm.rank == 0 else None,
+        root=0,
+    )
+    swapped = comm.alltoall(
+        [x * (j + 1) + comm.rank for j in range(comm.size)]
     )
     sub = comm.split(color=comm.rank % 2)
     sub_total = sub.allreduce(float(comm.rank))
@@ -256,6 +303,10 @@ def _collective_battery(comm, x):
         seen["arr"].tobytes(),
         seen["tag"],
         block.tobytes(),
+        None if at_root is None else [g.tobytes() for g in at_root],
+        None if folded is None else folded.tobytes(),
+        mine.tobytes(),
+        [s.tobytes() for s in swapped],
         sub_total,
     )
 
@@ -282,6 +333,31 @@ class TestCollectiveWindows:
             == p2p.ledger.summary()
             == threaded.ledger.summary()
         )
+
+    def test_all_nine_collectives_ride_the_windows(self):
+        assert run_spmd(3, _window_rounds, backend="process").values == [
+            (8, 1)
+        ] * 3
+
+    def test_first_exchange_sizes_the_window(self):
+        # Scalar-only traffic gets a page-sized slot; array traffic gets
+        # the bucket covering its first payload — not a fixed 256 KiB.
+        small, big = run_spmd(2, _window_slots, backend="process")[0]
+        assert small == 4096
+        assert big == 65536  # 4096 doubles up to cover ~48 KiB packed
+
+    def test_window_slot_knob_pins_initial_slot(self):
+        backend = ProcessBackend(window_slot=1 << 17)
+        res = run_spmd(2, _window_slots, backend=backend)
+        assert res[0] == (1 << 17, 1 << 17)
+
+    def test_windows_knob_overrides_env(self):
+        # Constructor knob beats the (unset => enabled) environment.
+        backend = ProcessBackend(windows=False)
+        assert not run_spmd(2, _windows_enabled_prog, backend=backend)[0]
+        assert run_spmd(
+            2, _windows_enabled_prog, backend=ProcessBackend(windows=True)
+        )[0]
 
     def test_window_growth_preserves_fortran_order(self):
         f_big = np.asfortranarray(
