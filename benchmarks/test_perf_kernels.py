@@ -1,0 +1,246 @@
+"""Distributed-kernel overlap and local-kernel batching microbenchmarks.
+
+Not a paper figure: this benchmark pins the communication/computation
+overlap introduced with the deferred-completion transport (isendrecv,
+ireduce on double-buffered windows) and the batched local TTM.  Results
+go to ``BENCH_kernels.json`` at the repo root so the perf trajectory is
+visible across PRs:
+
+* ``dist_gram_overlap`` — the Alg. 4 ring at 4 ranks, overlap on vs off
+  (pipelined: all hops posted before the dgemms);
+* ``dist_ttm_overlap``  — the Alg. 3 blocked TTM at 4 ranks, overlap on
+  vs off (each block-row ireduce completed after the next block's local
+  TTM);
+* ``ttm_batched``       — skinny-sub-block ``ttm_blocked``, batched
+  dgemms vs the per-block Python loop;
+* ``dist_sthosvd_overlap`` — the end-to-end driver with the knob flipped
+  (recorded for the trajectory; the per-kernel rows carry the asserts).
+
+The overlap rows measure the latency-bound regime (small blocks, many
+exchanges) where the blocking schedule genuinely idles on its peers —
+that idle time is what pipelining removes, on any core count.  Wall-clock
+numbers, so absolute values depend on the machine; the asserted claims
+are the *ratios* the overlap exists to deliver (>= 1.0, i.e. pipelining
+never loses; observed 1.1-1.6x even on one core).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributed import (
+    OVERLAP_ENV_VAR,
+    DistTensor,
+    dist_gram,
+    dist_sthosvd,
+    dist_ttm,
+)
+from repro.mpi import CartGrid, ProcessBackend, run_spmd, shutdown_worker_pools
+from repro.tensor import ttm_blocked
+
+from benchmarks.conftest import table
+
+_OUT = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+
+#: The overlap rows measure the production configuration — collective
+#: windows on — independent of the environment sweep the CI legs apply
+#: (the ireduce pipeline exists to hide the window fences; with windows
+#: forced off there is nothing to measure).
+_BACKEND = ProcessBackend(windows=True)
+
+_RESULTS: dict = {}
+
+
+def _record(key: str, payload: dict) -> None:
+    _RESULTS[key] = payload
+    existing = {}
+    if _OUT.exists():
+        try:
+            existing = json.loads(_OUT.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    existing.update(_RESULTS)
+    existing["meta"] = {
+        "cpus": os.cpu_count(),
+        "unit": "seconds unless stated",
+    }
+    _OUT.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def _gram_prog(comm, x, iters, overlap):
+    g = CartGrid(comm, (comm.size, 1, 1))
+    dt = DistTensor.from_global(g, x)
+    dist_gram(dt, 0, overlap=overlap)  # warm (windows, arena, pyc)
+    comm.barrier()
+    start = time.perf_counter()
+    for _ in range(iters):
+        s = dist_gram(dt, 0, overlap=overlap)
+    return time.perf_counter() - start, float(s[0, 0])
+
+
+def _ttm_prog(comm, x, v, new_dim, iters, overlap):
+    g = CartGrid(comm, (comm.size, 1, 1))
+    dt = DistTensor.from_global(g, x)
+    v_local = np.ascontiguousarray(v[:, dt.local_slices[0]])
+    dist_ttm(dt, v_local, 0, new_dim, strategy="blocked", overlap=overlap)
+    comm.barrier()
+    start = time.perf_counter()
+    for _ in range(iters):
+        z = dist_ttm(dt, v_local, 0, new_dim, strategy="blocked",
+                     overlap=overlap)
+    return time.perf_counter() - start, float(z.local.ravel()[0])
+
+
+def _sthosvd_prog(comm, x, ranks, overlap):
+    # The driver has no overlap kwarg by design (the env knob is the
+    # production switch); flip it inside the rank so pooled workers see
+    # the requested mode for exactly this run.
+    os.environ[OVERLAP_ENV_VAR] = "1" if overlap else "0"
+    g = CartGrid(comm, (2, 2, 1))
+    dt = DistTensor.from_global(g, x)
+    comm.barrier()
+    start = time.perf_counter()
+    t = dist_sthosvd(dt, ranks=ranks, ttm_strategy="blocked")
+    elapsed = time.perf_counter() - start
+    return elapsed, t.core.local.tobytes()
+
+
+def _best_of(n, prog, *args, ranks=4):
+    """Min over ``n`` launches of the slowest rank's loop time."""
+    per_run = []
+    for _ in range(n):
+        res = run_spmd(ranks, prog, *args, backend=_BACKEND, timeout=120.0)
+        per_run.append(max(v[0] for v in res.values))
+    return min(per_run)
+
+
+def test_dist_gram_ring_overlap(benchmark):
+    # Latency-bound ring: small blocks, 3 hops per call — the regime
+    # where the blocking schedule pays one peer-wait per hop per call.
+    p, iters = 4, 60
+    x = np.random.default_rng(3).standard_normal((32, 12, 8))
+    run_spmd(p, _gram_prog, x, 1, True, backend=_BACKEND)  # prime pool
+
+    blocking = _best_of(4, _gram_prog, x, iters, False) / iters
+    overlapped = benchmark.pedantic(
+        lambda: _best_of(4, _gram_prog, x, iters, True) / iters,
+        rounds=1, iterations=1,
+    )
+    gain = blocking / overlapped
+    table(
+        f"dist_gram ring, {p} ranks, {x.shape} tensor (best of 4 x {iters})",
+        ["schedule", "sec/call", "gain"],
+        [["blocking", blocking, 1.0], ["overlapped", overlapped, gain]],
+    )
+    _record(
+        "dist_gram_overlap",
+        {"ranks": p, "shape": list(x.shape), "blocking": blocking,
+         "overlap": overlapped, "gain": gain},
+    )
+    # Pipelining must never lose to the blocking ring (observed 1.1-1.3x).
+    assert gain >= 1.0
+
+
+def test_dist_ttm_blocked_overlap(benchmark):
+    p, iters, k = 4, 20, 16
+    x = np.random.default_rng(4).standard_normal((64, 24, 16))
+    v = np.random.default_rng(5).standard_normal((k, x.shape[0]))
+    run_spmd(p, _ttm_prog, x, v, k, 1, True, backend=_BACKEND)
+
+    blocking = _best_of(4, _ttm_prog, x, v, k, iters, False) / iters
+    overlapped = benchmark.pedantic(
+        lambda: _best_of(4, _ttm_prog, x, v, k, iters, True) / iters,
+        rounds=1, iterations=1,
+    )
+    gain = blocking / overlapped
+    table(
+        f"dist_ttm blocked, {p} ranks, {x.shape} -> K={k} (best of 4 x {iters})",
+        ["schedule", "sec/call", "gain"],
+        [["blocking", blocking, 1.0], ["overlapped", overlapped, gain]],
+    )
+    _record(
+        "dist_ttm_overlap",
+        {"ranks": p, "shape": list(x.shape), "new_dim": k,
+         "blocking": blocking, "overlap": overlapped, "gain": gain},
+    )
+    # The block-row reduces ride the double-buffered windows; hiding
+    # their fences behind the dgemms is the headline win (1.4-1.7x).
+    assert gain >= 1.0
+
+
+def test_ttm_blocked_batched_vs_loop(benchmark):
+    # Skinny sub-blocks: lead=2 columns per block, 4096 blocks — the
+    # shape where the per-block Python loop overhead dominates.
+    iters = 5
+    x = np.asfortranarray(
+        np.random.default_rng(6).standard_normal((2, 96, 4096))
+    )
+    v = np.random.default_rng(7).standard_normal((24, 96))
+
+    def timed(batched):
+        ttm_blocked(x, v, 1, batched=batched)  # warm
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(iters):
+                ttm_blocked(x, v, 1, batched=batched)
+            best = min(best, (time.perf_counter() - start) / iters)
+        return best
+
+    loop = timed(False)
+    batched = benchmark.pedantic(lambda: timed(True), rounds=1, iterations=1)
+    gain = loop / batched
+    table(
+        f"ttm_blocked {x.shape} mode 1 (skinny blocks, best of 3 x {iters})",
+        ["path", "sec/call", "gain"],
+        [["python loop", loop, 1.0], ["batched dgemm", batched, gain]],
+    )
+    _record(
+        "ttm_batched",
+        {"shape": list(x.shape), "mode": 1, "loop": loop,
+         "batched": batched, "gain": gain},
+    )
+    # Collapsing the loop must pay for its staging (observed 2-5x).
+    assert gain >= 1.0
+
+
+def test_dist_sthosvd_overlap_end_to_end(benchmark):
+    # End-to-end driver with the knob flipped: recorded for the perf
+    # trajectory (and the bit-identity acceptance), not asserted — the
+    # driver mixes overlap-insensitive phases (evecs, reduce-scatter)
+    # with the pipelined kernels, so its ratio is diluted by design.
+    p, ranks = 4, (6, 4, 4)
+    x = np.random.default_rng(8).standard_normal((24, 16, 12))
+    run_spmd(p, _sthosvd_prog, x, ranks, True, backend=_BACKEND)
+
+    def best(overlap):
+        per_run = []
+        cores = []
+        for _ in range(4):
+            res = run_spmd(p, _sthosvd_prog, x, ranks, overlap,
+                           backend=_BACKEND, timeout=120.0)
+            per_run.append(max(v[0] for v in res.values))
+            cores.append(tuple(v[1] for v in res.values))
+        assert len(set(cores)) == 1  # deterministic across launches
+        return min(per_run), cores[0]
+
+    blocking, core_off = best(False)
+    (overlapped, core_on) = benchmark.pedantic(
+        lambda: best(True), rounds=1, iterations=1
+    )
+    assert core_on == core_off  # bit-identical with the knob flipped
+    gain = blocking / overlapped
+    table(
+        f"dist_sthosvd, {p} ranks, {x.shape} -> {ranks} (best of 4)",
+        ["schedule", "sec/run", "gain"],
+        [["blocking", blocking, 1.0], ["overlapped", overlapped, gain]],
+    )
+    _record(
+        "dist_sthosvd_overlap",
+        {"ranks": p, "shape": list(x.shape), "tucker_ranks": list(ranks),
+         "blocking": blocking, "overlap": overlapped, "gain": gain},
+    )
+    shutdown_worker_pools()

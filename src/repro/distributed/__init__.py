@@ -14,12 +14,16 @@ implement the paper's parallel system:
   redundant eigensolve).
 * :func:`dist_sthosvd` / :func:`dist_hooi` — the full parallel algorithms.
 * :func:`choose_grid` — processor-grid selection heuristics (Sec. VIII-B).
+* :mod:`repro.distributed.overlap` — the ``REPRO_SPMD_OVERLAP`` knob: the
+  Gram ring and the blocked TTM pipeline their communication behind the
+  local dgemms by default (bit-identical results with the knob off).
 
 Every public entry point is exercised against the sequential reference
 implementation in the test suite.
 """
 
 from repro.distributed.layout import block_range, block_ranges, local_block
+from repro.distributed.overlap import OVERLAP_ENV_VAR, overlap_enabled
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.ttm import dist_ttm
 from repro.distributed.gram import dist_gram
@@ -34,6 +38,8 @@ __all__ = [
     "block_range",
     "block_ranges",
     "local_block",
+    "OVERLAP_ENV_VAR",
+    "overlap_enabled",
     "DistTensor",
     "dist_ttm",
     "dist_gram",

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.layout import block_ranges
+from repro.distributed.overlap import overlap_enabled
 from repro.mpi.reduce_ops import SUM
 from repro.util.validation import check_axis
 
@@ -34,7 +35,10 @@ def _unfold_peer(w, mode: int) -> np.ndarray:
 
 
 def dist_gram(
-    dt: DistTensor, mode: int, exploit_symmetry: bool = False
+    dt: DistTensor,
+    mode: int,
+    exploit_symmetry: bool = False,
+    overlap: bool | None = None,
 ) -> np.ndarray:
     """Parallel ``S = Y_(n) Y_(n)^T`` (Alg. 4).
 
@@ -48,6 +52,18 @@ def dist_gram(
     multiplied once and the transpose is shipped to the symmetric partner
     — halving the ring length and the off-diagonal flops at the price of
     one extra (small) block exchange per retained ring step.
+
+    ``overlap`` controls communication/computation pipelining (default:
+    the ``REPRO_SPMD_OVERLAP`` environment switch, on unless ``"0"``):
+    every ring step sends the *same* local tensor, so the pipelined
+    schedule posts all hops' exchanges up front and every dgemm computes
+    with the remaining exchanges in flight — no receive ever idles the
+    rank once its peers have posted.  Results, charges and fold order are
+    bit-identical either way; the price is memory, not time: up to
+    ``P_n - 1`` exchanges are in flight instead of one, and the noted
+    ``M_GRAM`` live set grows accordingly (the paper's eq. (2) bound
+    assumes the one-in-flight blocking ring — disable overlap to stay
+    inside it on memory-critical runs).
     """
     mode = check_axis(mode, dt.ndim)
     col = dt.grid.mode_column(mode)
@@ -56,6 +72,7 @@ def dist_gram(
     jn = dt.global_shape[mode]
     ranges = block_ranges(jn, pn)
     my_unf = dt.local_unfolding(mode)  # (my rows) x (local columns)
+    pipelined = pn > 1 and overlap_enabled(overlap)
 
     blocks: list[np.ndarray | None] = [None] * pn
     if pn == 1:
@@ -65,41 +82,85 @@ def dist_gram(
         dt.comm.add_flops(my_unf.shape[0] * (my_unf.shape[0] + 1) * my_unf.shape[1])
         blocks[0] = s_local
     elif not exploit_symmetry:
-        blocks[my_pn] = my_unf @ my_unf.T
-        dt.comm.add_flops(2 * my_unf.shape[0] ** 2 * my_unf.shape[1])
         # Ring exchange (Alg. 4 lines 6-12): at step i send the local tensor
         # i hops "down" the column and receive from i hops "up"; sendrecv
-        # avoids the blocking-order deadlock.
+        # (or its deferred isendrecv form) avoids the blocking-order
+        # deadlock.  Pipelined, every hop's exchange is posted before the
+        # diagonal dgemm — all hops carry the same payload, so there is
+        # nothing to wait for before shipping them — and each wait then
+        # finds its peer block already delivered.
+        def _hop(i: int) -> tuple[int, int]:
+            return (my_pn - i) % pn, (my_pn + i) % pn  # (dest, source)
+
+        reqs = {}
+        if pipelined:
+            for i in range(1, pn):
+                j, k = _hop(i)
+                reqs[i] = col.isendrecv(dt.local, dest=j, source=k, tag=i)
+        blocks[my_pn] = my_unf @ my_unf.T
+        dt.comm.add_flops(2 * my_unf.shape[0] ** 2 * my_unf.shape[1])
         for i in range(1, pn):
-            j = (my_pn - i) % pn  # destination (Alg. 4 line 7)
-            k = (my_pn + i) % pn  # source (Alg. 4 line 8)
-            w = col.sendrecv(dt.local, dest=j, source=k, tag=i)
+            j, k = _hop(i)  # destination / source (Alg. 4 lines 7-8)
+            if pipelined:
+                w = reqs.pop(i).wait()
+            else:
+                w = col.sendrecv(dt.local, dest=j, source=k, tag=i)
             w_unf = _unfold_peer(w, mode)
             blocks[k] = my_unf @ w_unf.T
             dt.comm.add_flops(2 * my_unf.shape[0] * w_unf.shape[0] * my_unf.shape[1])
     else:
+        # Halved ring: `half` paired steps, plus one antipodal step for
+        # even P_n.  Pipelined, every step's local-tensor exchange is
+        # posted before the diagonal dgemm (they all ship ``dt.local``);
+        # only the symT block shipments stay synchronous, since each
+        # carries a block computed in that very step.
+        half = (pn - 1) // 2
+        steps: list[tuple[str, int]] = [("sym", i) for i in range(1, half + 1)]
+        if pn % 2 == 0:
+            steps.append(("symA", pn // 2))
+
+        def _post(step: tuple[str, int]):
+            kind, i = step
+            if kind == "sym":
+                return col.isendrecv(
+                    dt.local,
+                    dest=(my_pn - i) % pn,
+                    source=(my_pn + i) % pn,
+                    tag=("sym", i),
+                )
+            anti = (my_pn + i) % pn
+            return col.isendrecv(dt.local, dest=anti, source=anti, tag=("symA", i))
+
+        reqs = {}
+        if pipelined:
+            for idx, step in enumerate(steps):
+                reqs[idx] = _post(step)
         # Diagonal block with symmetric flop count.
         diag = my_unf @ my_unf.T
         blocks[my_pn] = (diag + diag.T) * 0.5
         dt.comm.add_flops(my_unf.shape[0] * (my_unf.shape[0] + 1) * my_unf.shape[1])
-        half = (pn - 1) // 2
-        for i in range(1, half + 1):
+        for idx, (kind, i) in enumerate(steps):
             j = (my_pn - i) % pn
             k = (my_pn + i) % pn
-            w = col.sendrecv(dt.local, dest=j, source=k, tag=("sym", i))
-            w_unf = _unfold_peer(w, mode)
-            blocks[k] = my_unf @ w_unf.T
-            dt.comm.add_flops(2 * my_unf.shape[0] * w_unf.shape[0] * my_unf.shape[1])
-            # Ship block (my, k) to rank k, whose (k, my) block is its
-            # transpose; receive my (my, j) block from rank j in return.
-            received = col.sendrecv(blocks[k], dest=k, source=j, tag=("symT", i))
-            blocks[j] = np.asarray(received).T
-        if pn % 2 == 0:
-            # The antipodal pair: only the lower-coordinate rank multiplies.
-            i = pn // 2
-            k = (my_pn + i) % pn
-            w = col.sendrecv(dt.local, dest=k, source=k, tag=("symA", i))
-            if my_pn < k:
+            if pipelined:
+                w = reqs.pop(idx).wait()
+            elif kind == "sym":
+                w = col.sendrecv(dt.local, dest=j, source=k, tag=("sym", i))
+            else:
+                w = col.sendrecv(dt.local, dest=k, source=k, tag=("symA", i))
+            if kind == "sym":
+                w_unf = _unfold_peer(w, mode)
+                blocks[k] = my_unf @ w_unf.T
+                dt.comm.add_flops(
+                    2 * my_unf.shape[0] * w_unf.shape[0] * my_unf.shape[1]
+                )
+                # Ship block (my, k) to rank k, whose (k, my) block is its
+                # transpose; receive my (my, j) block from rank j in return.
+                received = col.sendrecv(blocks[k], dest=k, source=j, tag=("symT", i))
+                blocks[j] = np.asarray(received).T
+            elif my_pn < k:
+                # The antipodal pair: only the lower-coordinate rank
+                # multiplies.
                 w_unf = _unfold_peer(w, mode)
                 blocks[k] = my_unf @ w_unf.T
                 dt.comm.add_flops(
@@ -114,6 +175,13 @@ def dist_gram(
     slab = np.empty((my_unf.shape[0], jn))
     for k, (start, stop) in enumerate(ranges):
         slab[:, start:stop] = blocks[k]
-    # M_GRAM live set: local tensor + one in-flight peer tensor + V + S.
-    dt.comm.note_memory(2 * dt.local.size + 2 * slab.size)
+    # M_GRAM live set: local tensor + in-flight peer tensors + V + S.  The
+    # blocking ring holds one exchange in flight (the paper's eq. (2)
+    # accounting); the pipelined ring trades memory for time and holds
+    # them all, which the noted peak reports honestly.
+    if pipelined:
+        inflight = (pn - 1) if not exploit_symmetry else max(1, len(steps))
+    else:
+        inflight = 1
+    dt.comm.note_memory((1 + inflight) * dt.local.size + 2 * slab.size)
     return np.asarray(row.allreduce(slab, SUM))

@@ -1,0 +1,41 @@
+"""Communication/computation overlap knob for the distributed kernels.
+
+The paper's cost model (Alg. 3/4, Secs. V–VI) treats communication and
+computation as additive because its reference implementation runs them
+back-to-back.  With the runtime's deferred-completion requests
+(:meth:`~repro.mpi.comm.Communicator.isendrecv`,
+:meth:`~repro.mpi.comm.Communicator.ireduce`, ...) the hot kernels can
+instead *pipeline*: :func:`~repro.distributed.gram.dist_gram` posts the
+next ring hop before multiplying the current peer block, and the blocked
+:func:`~repro.distributed.ttm.dist_ttm` overlaps each block-row reduce
+with the next block's local TTM.
+
+Results are bit-identical with the overlap on or off — only the order in
+which communication is *initiated* changes, never the data, the fold
+order, or the charged costs — so the knob exists for apples-to-apples
+benchmarking (``benchmarks/test_perf_kernels.py``) and for bisecting,
+not for correctness.
+
+Resolution order: an explicit ``overlap=`` keyword on the kernel wins;
+otherwise the ``REPRO_SPMD_OVERLAP`` environment variable decides
+(anything but ``"0"`` enables it; the default is on).
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment switch: ``0`` disables communication/computation overlap
+#: in the distributed kernels (the pre-pipelining blocking schedule).
+OVERLAP_ENV_VAR = "REPRO_SPMD_OVERLAP"
+
+
+def overlap_enabled(override: bool | None = None) -> bool:
+    """Whether the distributed kernels should pipeline communication.
+
+    ``override`` is a kernel keyword (``True``/``False`` forces the
+    choice); ``None`` defers to ``REPRO_SPMD_OVERLAP``.
+    """
+    if override is not None:
+        return bool(override)
+    return os.environ.get(OVERLAP_ENV_VAR, "1") != "0"

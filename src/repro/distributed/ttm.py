@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.layout import block_range, block_ranges
+from repro.distributed.overlap import overlap_enabled
 from repro.mpi.reduce_ops import SUM
 from repro.tensor.ttm import ttm_blocked
 from repro.util.validation import check_axis
@@ -45,6 +46,7 @@ def dist_ttm(
     mode: int,
     new_dim: int,
     strategy: str = "auto",
+    overlap: bool | None = None,
 ) -> DistTensor:
     """Parallel ``Z = Y x_n V`` (Alg. 3).
 
@@ -62,6 +64,12 @@ def dist_ttm(
         shows the local column count).
     strategy:
         ``"blocked"``, ``"reduce_scatter"``, or ``"auto"``.
+    overlap:
+        Communication/computation pipelining for the blocked strategy
+        (default: the ``REPRO_SPMD_OVERLAP`` environment switch): each
+        block-row reduce is posted non-blocking and completed only after
+        the next block's local TTM, hiding the reduce fences behind the
+        dgemms.  Results and charges are bit-identical either way.
 
     Returns
     -------
@@ -97,7 +105,7 @@ def dist_ttm(
     if strategy == "reduce_scatter":
         return _ttm_reduce_scatter(dt, v_local, mode, new_dim)
     if strategy == "blocked":
-        return _ttm_blocked(dt, v_local, mode, new_dim)
+        return _ttm_blocked(dt, v_local, mode, new_dim, overlap=overlap)
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
@@ -108,27 +116,68 @@ def _out_shape(dt: DistTensor, mode: int, new_dim: int) -> tuple[int, ...]:
 
 
 def _ttm_blocked(
-    dt: DistTensor, v_local: np.ndarray, mode: int, new_dim: int
+    dt: DistTensor,
+    v_local: np.ndarray,
+    mode: int,
+    new_dim: int,
+    overlap: bool | None = None,
 ) -> DistTensor:
-    """Alg. 3 verbatim: P_n iterations of (local TTM block row, reduce)."""
+    """Alg. 3: P_n iterations of (local TTM block row, reduce to member l).
+
+    Pipelined (the default), every block row's reduce is posted
+    non-blocking and completed only after the *next* block's local TTM,
+    so the reduce's fences hide behind the dgemms — on the process
+    backend the reduces ride the double-buffered collective windows,
+    which is exactly the two-deep pipeline they exist for.  The same
+    contributions are folded in the same group-rank order at the same
+    roots either way, so results and charges are bit-identical.
+    """
     col = dt.grid.mode_column(mode)
     pn, my_pn = col.size, col.rank
     local = dt.local
+    pipelined = pn > 1 and overlap_enabled(overlap)
     z_local: np.ndarray | None = None
+    z_words: int | None = None  # size of this rank's reduced block row
+    pending = None  # (root, request) of the previous block row's reduce
+    inflight_w = 0  # previous block row still held by its pending reduce
     for ell, (start, stop) in enumerate(block_ranges(new_dim, pn)):
         # Local mode-n TTM with the ell-th block row of V (layout-respecting
         # dgemms, Sec. IV-C).
         w = ttm_blocked(local, v_local[start:stop], mode)
         dt.comm.add_flops(2 * (stop - start) * local.size)
-        # M_TTM live set: local input + factor block + temporary + result.
+        # M_TTM live set: local input + factor block + temporary + result,
+        # plus — pipelined — the previous block row, which stays alive in
+        # its posted reduce until the wait below (the same memory-for-time
+        # trade dist_gram's overlapped ring notes; off, the extra term is
+        # zero and the noted peak matches the paper's blocking schedule).
         dt.comm.note_memory(
             local.size
             + v_local.size
             + w.size
-            + (z_local.size if z_local is not None else w.size)
+            + inflight_w
+            + (z_words if z_words is not None else w.size)
         )
-        reduced = col.reduce(w, SUM, root=ell)
         if ell == my_pn:
+            z_words = w.size
+        if pipelined:
+            inflight_w = w.size
+            req = col.ireduce(w, SUM, root=ell)
+            if pending is not None:
+                prev_root, prev_req = pending
+                reduced = prev_req.wait()
+                if prev_root == my_pn:
+                    assert reduced is not None
+                    z_local = reduced
+            pending = (ell, req)
+        else:
+            reduced = col.reduce(w, SUM, root=ell)
+            if ell == my_pn:
+                assert reduced is not None
+                z_local = reduced
+    if pending is not None:
+        prev_root, prev_req = pending
+        reduced = prev_req.wait()
+        if prev_root == my_pn:
             assert reduced is not None
             z_local = reduced
     assert z_local is not None
@@ -155,7 +204,21 @@ def _ttm_reduce_scatter(
     dt.comm.add_flops(2 * new_dim * local.size)
     # Reduce-scatter along the mode axis: move mode to front so equal blocks
     # along axis 0 correspond to the K partition.
-    w_front = np.ascontiguousarray(np.moveaxis(w, mode, 0))
-    z_front = col.reduce_scatter_block(w_front, SUM)
+    z_front = col.reduce_scatter_block(_mode_front(w, mode), SUM)
     z_local = np.moveaxis(z_front, 0, mode)
     return DistTensor(dt.grid, _out_shape(dt, mode, new_dim), z_local)
+
+
+def _mode_front(w: np.ndarray, mode: int) -> np.ndarray:
+    """``w`` with ``mode`` moved to axis 0, copied only when necessary.
+
+    For ``mode == 0`` (a Fortran-ordered TTM result) the moved view *is*
+    the array, so the historical unconditional ``ascontiguousarray`` was a
+    full extra copy of the intermediate on the hot path; the collectives
+    accept any contiguous layout, so only a genuinely strided view (mode
+    moved from the interior) still needs materializing.
+    """
+    w_front = np.moveaxis(w, mode, 0)
+    if w_front.flags.c_contiguous or w_front.flags.f_contiguous:
+        return w_front
+    return np.ascontiguousarray(w_front)

@@ -14,7 +14,10 @@ A backend decides *how* the N ranks of an SPMD run execute:
   genuinely in parallel on multi-core hardware, which is what the paper's
   strong/weak-scaling experiments (Fig. 9) actually measure.
 
-Both backends present identical semantics — same collectives, same
+Both backends present identical semantics — same collectives (blocking
+and non-blocking: the process backend completes ``ireduce``-family
+requests over double-buffered shm windows, the thread backend over the
+point-to-point relay, with identical results and charges), same
 deterministic reduction order, same poisoning/fail-fast behavior on rank
 error, same deadlock timeout, same cost-ledger contents — and are held to
 that by one shared conformance suite (``tests/mpi/test_backends.py``).

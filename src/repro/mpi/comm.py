@@ -16,6 +16,12 @@ the distributed algorithms read like ordinary MPI code.  Differences:
   group rank 0 elsewhere; either way their *charged* cost is the
   closed-form tree cost, identical on every member, not the cost of the
   implementation used to move the bytes.
+* Non-blocking operations (``isend``/``irecv``/``isendrecv``,
+  ``ireduce``/``iallreduce``/``ireduce_scatter_block``) defer completion
+  to ``Request.wait()``: sends and window deposits are staged at post
+  time, the blocking receives and fence waits — and every ledger charge —
+  land at completion, so pipelined kernels overlap communication with
+  compute while charging exactly what the blocking ops would.
 
 Determinism: reductions fold contributions in group-rank order, so repeated
 runs give bitwise-identical floating-point results.
@@ -61,7 +67,21 @@ def _identity(obj: Any) -> Any:
 
 
 class Request:
-    """Handle for a nonblocking operation (already satisfied or deferred)."""
+    """Handle for a nonblocking operation with deferred completion.
+
+    ``wait()`` runs the deferred completion exactly once — any blocking
+    receive/fence happens there, and that is also where the operation's
+    ledger charge lands, so pipelined code charges exactly what the
+    blocking ops would — and caches the result for repeated waits.
+    ``test()`` reports whether the handle has completed; there is no
+    background progress thread, so a request only completes inside
+    ``wait()`` (or when the communicator force-completes it to recycle a
+    non-blocking collective's window buffer).
+
+    SPMD discipline: like the blocking collectives, the posts *and* the
+    waits of non-blocking collectives must occur in the same order on
+    every member relative to the communicator's other collectives.
+    """
 
     def __init__(self, wait_fn: Callable[[], Any]):
         self._wait_fn = wait_fn
@@ -119,6 +139,17 @@ class Communicator:
         self._win = None
         self._mwin = None
         self._win_gen = 0
+        # Double-buffered non-blocking collective windows: posts alternate
+        # between two dedicated window generations so round i+1 can be
+        # posted while stragglers are still fencing round i.  (A single
+        # window would deadlock the post-then-wait pipeline: round i+1's
+        # reuse fence waits on `done` flags the other ranks only publish
+        # at their wait of round i, which follows their own post of round
+        # i+1.)  ``_nb_pending`` remembers this rank's outstanding request
+        # per buffer so a third post force-completes the round it reuses.
+        self._nb_wins: list[Any] = [None, None]
+        self._nb_pending: list[Request | None] = [None, None]
+        self._nb_toggle = 0
 
     # -- identity ----------------------------------------------------------
 
@@ -201,15 +232,68 @@ class Communicator:
         return obj
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
-        """Nonblocking send.  Delivery is immediate; returns a no-op request."""
-        self.send(obj, dest, tag)
-        req = Request(lambda: None)
-        req.wait()
-        return req
+        """Nonblocking send with deferred completion.
+
+        The payload is staged into the transport immediately (MPI's eager
+        protocol — the receiver can match it before this rank waits), but
+        the request only completes at ``wait()``, which is where the
+        send's ledger charge lands; a pipelined sender therefore charges
+        exactly what a blocking :meth:`send` would.  The payload must not
+        be mutated between post and ``wait()``.
+        """
+        self._check_peer(dest, "dest")
+        words = _words_of(obj)
+        self._put_raw(dest, ("p2p", tag), self._tx(obj))
+
+        def complete() -> None:
+            self._ledger.charge_message(
+                self._world_rank,
+                words,
+                cc.send_recv_cost(words, self._ledger.machine),
+            )
+
+        return Request(complete)
 
     def irecv(self, source: int, tag: int = 0) -> Request:
-        """Nonblocking receive; the message is consumed at ``wait()``."""
+        """Nonblocking receive; the message is consumed (and the receive
+        charged) at ``wait()``."""
         return Request(lambda: self.recv(source, tag))
+
+    def isendrecv(
+        self, obj: Any, dest: int, source: int, tag: int = 0
+    ) -> Request:
+        """Nonblocking combined exchange — the ring-shift workhorse.
+
+        The send leg is staged immediately so the peer can match it while
+        this rank computes; ``wait()`` blocks for the matching receive and
+        returns it.  Both legs' charges land at completion and equal
+        :meth:`sendrecv`'s exactly (send leg from the sent words, receive
+        leg from the received words), so a pipelined ring ledger-matches
+        the blocking one.
+        """
+        self._check_peer(dest, "dest")
+        self._check_peer(source, "source")
+        words = _words_of(obj)
+        self._put_raw(dest, ("p2p", tag), self._tx(obj))
+
+        def complete() -> Any:
+            self._ledger.charge_message(
+                self._world_rank,
+                words,
+                cc.send_recv_cost(words, self._ledger.machine),
+            )
+            received = self._transport.get(
+                self._key(source, self._rank, ("p2p", tag))
+            )
+            recv_words = _words_of(received)
+            self._ledger.charge_message(
+                self._world_rank,
+                recv_words,
+                cc.send_recv_cost(recv_words, self._ledger.machine),
+            )
+            return received
+
+        return Request(complete)
 
     def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
         """Buffer send (mpi4py-style uppercase): NumPy arrays only."""
@@ -279,6 +363,26 @@ class Communicator:
             self._ledger.charge_message(self._world_rank, words, seconds)
         else:
             self._ledger.charge_time(self._world_rank, seconds)
+
+    def _charge_reduction(self, kind: str, words: int) -> None:
+        """The one charge site for the reduction-family collectives.
+
+        Blocking and non-blocking, window and relay, size-1 and grown —
+        every path of ``reduce``/``allreduce``/``reduce_scatter_block``
+        charges through here, which makes the "non-blocking charges
+        exactly what blocking charges" invariant structural instead of
+        merely test-enforced.
+        """
+        machine = self._ledger.machine
+        if kind == "reduce":
+            cost = cc.reduce_cost(self.size, words, machine)
+        elif kind == "allreduce":
+            cost = cc.allreduce_cost(self.size, words, machine)
+        else:
+            cost = cc.reduce_scatter_cost(self.size, words, machine)
+        self._charge_all(
+            cost, words=words, messages=1 if self.size > 1 else 0
+        )
 
     # -- collective windows --------------------------------------------------
     #
@@ -646,8 +750,6 @@ class Communicator:
         """
         self._check_peer(root, "root")
         seq = self._advance_coll()
-        tag_in = ("coll", seq, 0)
-        tag_out = ("coll", seq, 1)
         my_words = _words_of(value)
         acc: Any = None
         if self.size == 1:
@@ -662,32 +764,48 @@ class Communicator:
                     # the thread backend); the rest just fence through.
                     acc = self._window_fold(win, op)
                 win.finish()
-            elif self._rank == root:
-                contributions: list[Any] = [None] * self.size
-                contributions[root] = value
-                for src in range(self.size):
-                    if src != root:
-                        contributions[src] = self._transport.get(
-                            self._key(src, root, tag_in)
-                        )
-                peak_words = max(_words_of(c) for c in contributions)
-                acc = _copy_payload(contributions[0])
-                for src in range(1, self.size):
-                    acc = op(acc, contributions[src])
-                for dst in range(self.size):
-                    if dst != root:
-                        self._put_key(root, dst, tag_out, peak_words)
             else:
-                self._put_raw(root, tag_in, self._tx(value))
-                peak_words = self._transport.get(
-                    self._key(root, self._rank, tag_out)
+                # The root never puts its own contribution, so only the
+                # senders need the transport-safe copy.
+                acc, peak_words = self._reduce_p2p(
+                    value if self._rank == root else self._tx(value),
+                    op,
+                    root,
+                    seq,
                 )
-        self._charge_all(
-            cc.reduce_cost(self.size, peak_words, self._ledger.machine),
-            words=peak_words,
-            messages=1 if self.size > 1 else 0,
-        )
+        self._charge_reduction("reduce", peak_words)
         return acc
+
+    def _reduce_p2p(
+        self, value_tx: Any, op: ReduceOp, root: int, seq: int
+    ) -> tuple[Any, int]:
+        """Point-to-point relay body of :meth:`reduce`: move the bytes,
+        fold at the root (group-rank order), fan the peak contribution
+        size back out.  Uncharged — callers charge from the returned
+        ``(acc_or_None, peak_words)``.  Non-root callers must pass a
+        transport-safe ``value_tx`` (pre-copied on by-reference
+        transports); the root's contribution is never put, and the fold
+        copies before accumulating."""
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        if self._rank == root:
+            contributions: list[Any] = [None] * self.size
+            contributions[root] = value_tx
+            for src in range(self.size):
+                if src != root:
+                    contributions[src] = self._transport.get(
+                        self._key(src, root, tag_in)
+                    )
+            peak_words = max(_words_of(c) for c in contributions)
+            acc = _copy_payload(contributions[0])
+            for src in range(1, self.size):
+                acc = op(acc, contributions[src])
+            for dst in range(self.size):
+                if dst != root:
+                    self._put_key(root, dst, tag_out, peak_words)
+            return acc, peak_words
+        self._put_raw(root, tag_in, value_tx)
+        return None, self._transport.get(self._key(root, self._rank, tag_out))
 
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Reduce-then-broadcast; every rank gets the reduction.
@@ -697,8 +815,6 @@ class Communicator:
         charge rank-independent costs.
         """
         seq = self._advance_coll()
-        tag_in = ("coll", seq, 0)
-        tag_out = ("coll", seq, 1)
         if self.size == 1:
             acc = _copy_payload(value)
         else:
@@ -709,27 +825,33 @@ class Communicator:
                 # bit-identical.
                 acc = self._window_fold(win, op)
                 win.finish()
-            elif self._rank == 0:
-                acc = _copy_payload(value)
-                received = []
-                for src in range(1, self.size):
-                    received.append(
-                        self._transport.get(self._key(src, 0, tag_in))
-                    )
-                for contribution in received:
-                    acc = op(acc, contribution)
-                for dst in range(1, self.size):
-                    self._put_key(0, dst, tag_out, self._tx(acc))
             else:
-                self._put_raw(0, tag_in, self._tx(value))
-                acc = self._transport.get(self._key(0, self._rank, tag_out))
+                acc = self._allreduce_p2p(
+                    value if self._rank == 0 else self._tx(value), op, seq
+                )
         words = _words_of(acc)
-        self._charge_all(
-            cc.allreduce_cost(self.size, words, self._ledger.machine),
-            words=words,
-            messages=1 if self.size > 1 else 0,
-        )
+        self._charge_reduction("allreduce", words)
         return acc
+
+    def _allreduce_p2p(self, value_tx: Any, op: ReduceOp, seq: int) -> Any:
+        """Point-to-point relay body of :meth:`allreduce` (fold at group
+        rank 0 in rank order, broadcast the result); uncharged."""
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        if self._rank == 0:
+            acc = _copy_payload(value_tx)
+            received = []
+            for src in range(1, self.size):
+                received.append(
+                    self._transport.get(self._key(src, 0, tag_in))
+                )
+            for contribution in received:
+                acc = op(acc, contribution)
+            for dst in range(1, self.size):
+                self._put_key(0, dst, tag_out, self._tx(acc))
+            return acc
+        self._put_raw(0, tag_in, value_tx)
+        return self._transport.get(self._key(0, self._rank, tag_out))
 
     def reduce_scatter_block(
         self, array: np.ndarray, op: ReduceOp = SUM
@@ -749,14 +871,7 @@ class Communicator:
                 f"axis 0 of shape {array.shape} not divisible by size {self.size}"
             )
         seq = self._advance_coll()
-        tag_in = ("coll", seq, 0)
-        tag_out = ("coll", seq, 1)
-        words = _words_of(array)
-        self._charge_all(
-            cc.reduce_scatter_cost(self.size, words, self._ledger.machine),
-            words=words,
-            messages=1 if self.size > 1 else 0,
-        )
+        self._charge_reduction("reduce_scatter", _words_of(array))
         block = array.shape[0] // self.size
         if self.size == 1:
             return np.array(array, copy=True)
@@ -766,8 +881,20 @@ class Communicator:
             win.finish()
             lo = self._rank * block
             return np.array(acc[lo : lo + block], copy=True)
+        return self._reduce_scatter_p2p(
+            array if self._rank == 0 else self._tx(array), op, seq
+        )
+
+    def _reduce_scatter_p2p(
+        self, array_tx: np.ndarray, op: ReduceOp, seq: int
+    ) -> np.ndarray:
+        """Point-to-point relay body of :meth:`reduce_scatter_block`
+        (fold at group rank 0, scatter equal axis-0 blocks); uncharged."""
+        tag_in = ("coll", seq, 0)
+        tag_out = ("coll", seq, 1)
+        block = array_tx.shape[0] // self.size
         if self._rank == 0:
-            acc = np.array(array, copy=True)
+            acc = np.array(array_tx, copy=True)
             for src in range(1, self.size):
                 acc = op(acc, self._transport.get(self._key(src, 0, tag_in)))
             for dst in range(1, self.size):
@@ -778,8 +905,214 @@ class Communicator:
                     np.array(acc[dst * block : (dst + 1) * block], copy=True),
                 )
             return np.array(acc[:block], copy=True)
-        self._put_raw(0, tag_in, self._tx(array))
-        return _copy_payload(self._transport.get(self._key(0, self._rank, tag_out)))
+        self._put_raw(0, tag_in, array_tx)
+        return _copy_payload(
+            self._transport.get(self._key(0, self._rank, tag_out))
+        )
+
+    # -- non-blocking collectives --------------------------------------------
+    #
+    # ireduce / iallreduce / ireduce_scatter_block return a Request whose
+    # wait() yields exactly what the blocking op returns and charges
+    # exactly what the blocking op charges — completion-time charging, so
+    # the ledger-symmetry invariants hold however far compute is pipelined
+    # between post and wait.
+    #
+    # On the window transport a post deposits this rank's contribution
+    # immediately: it opens the round, publishes the packed size and
+    # modeled words, and — when the payload fits the current slot — writes
+    # its slot and commit-flags it, all without waiting on any peer.  The
+    # fence *waits* (size exchange, write fence) are deferred to the
+    # request's wait(): by the time a rank stops computing and waits, the
+    # stragglers have usually posted too, so the spins resolve
+    # immediately — that deferral is what lets compute overlap the fences.
+    # Rounds alternate between two dedicated windows (double buffering,
+    # see ``_nb_wins`` in ``__init__``); posting to a buffer whose
+    # previous round this rank has not waited force-completes it first.
+    # Only the transport of the bytes differs from the blocking path: the
+    # fold order (group-rank), the results, and the charges are identical.
+
+    def ireduce(
+        self, value: Any, op: ReduceOp = SUM, root: int = 0
+    ) -> Request:
+        """Nonblocking :meth:`reduce`: ``wait()`` returns the root's
+        folded result (``None`` elsewhere) and lands the blocking op's
+        exact charge.  A non-root completes as soon as the size fence
+        resolves — it never waits on the write fence."""
+        self._check_peer(root, "root")
+        return self._nb_post(value, op, "reduce", root)
+
+    def iallreduce(self, value: Any, op: ReduceOp = SUM) -> Request:
+        """Nonblocking :meth:`allreduce` (deferred fences, charge and
+        rank-ordered fold at ``wait()``)."""
+        return self._nb_post(value, op, "allreduce", 0)
+
+    def ireduce_scatter_block(
+        self, array: np.ndarray, op: ReduceOp = SUM
+    ) -> Request:
+        """Nonblocking :meth:`reduce_scatter_block` (same validation; this
+        rank's block arrives at ``wait()``)."""
+        if not isinstance(array, np.ndarray):
+            raise TypeError("reduce_scatter_block requires a numpy.ndarray")
+        if array.shape[0] % self.size != 0:
+            raise CommunicatorError(
+                f"axis 0 of shape {array.shape} not divisible by size {self.size}"
+            )
+        return self._nb_post(array, op, "reduce_scatter", 0)
+
+    def _complete_pending(self, buf: int) -> None:
+        """Force-complete this rank's outstanding request on ``buf``.
+
+        Reusing a buffer whose round this rank never waited would spin on
+        its own unpublished ``done`` flag; completing the old request
+        first (idempotent — a later user ``wait()`` returns the cached
+        value) keeps any depth of posted requests deadlock-free."""
+        req = self._nb_pending[buf]
+        if req is not None:
+            req.wait()
+
+    def _nb_window(self, buf: int, needed: int):
+        win = self._nb_wins[buf]
+        if win is None:
+            win = self._open_window(self._transport.window_slot(needed))
+            self._nb_wins[buf] = win
+        return win
+
+    def _grow_nb_window(self, buf: int, needed: int):
+        """Non-blocking-round variant of :meth:`_grow_window`."""
+        new = self._open_window(self._transport.window_slot(needed))
+        old, self._nb_wins[buf] = self._nb_wins[buf], new
+        if old is not None:
+            self._transport.release_window(old)
+        return new
+
+    def _nb_post(self, value: Any, op: ReduceOp, kind: str, root: int) -> Request:
+        """Post one non-blocking reduction collective; see the section
+        comment for the overlap protocol.  The contribution must not be
+        mutated between post and ``wait()`` (MPI's usual rule)."""
+        seq = self._advance_coll()
+        my_words = _words_of(value)
+        if self.size == 1:
+            return Request(
+                lambda: self._nb_complete_single(kind, value, op, my_words)
+            )
+        if not self._transport.windows_enabled:
+            value_tx = self._tx(value)
+            return Request(
+                lambda: self._nb_complete_p2p(
+                    kind, value_tx, op, root, seq, my_words
+                )
+            )
+        buf = self._nb_toggle
+        self._nb_toggle = 1 - self._nb_toggle
+        self._complete_pending(buf)
+        prefix, payload = pack_collective(value)
+        needed = packed_nbytes(prefix, payload)
+        win = self._nb_window(buf, needed)
+        win.begin()
+        win.post_size_nowait(needed, my_words)
+        written = needed <= win.slot_bytes
+        if written:
+            # Optimistic deposit: our slot has no other writer this
+            # round, and readers only look after the (deferred) write
+            # fence, so writing before the size fence is safe.  If some
+            # other rank's payload forces growth the round is replayed
+            # on a grown window and these bytes are simply abandoned.
+            win.write(prefix, payload)
+            win.commit_nowait()
+        req = Request(
+            lambda: self._nb_complete_window(
+                buf, kind, op, root, my_words, prefix, payload, written
+            )
+        )
+        self._nb_pending[buf] = req
+        return req
+
+    def _nb_complete_single(
+        self, kind: str, value: Any, op: ReduceOp, my_words: int
+    ) -> Any:
+        """Size-1 completion: mirror the blocking ops' shortcut charges."""
+        if kind == "reduce_scatter":
+            self._charge_reduction(kind, my_words)
+            return np.array(value, copy=True)
+        acc = _copy_payload(value)
+        self._charge_reduction(
+            kind, my_words if kind == "reduce" else _words_of(acc)
+        )
+        return acc
+
+    def _nb_complete_p2p(
+        self,
+        kind: str,
+        value_tx: Any,
+        op: ReduceOp,
+        root: int,
+        seq: int,
+        my_words: int,
+    ) -> Any:
+        """Windows-off completion: run the blocking relay body (tags were
+        reserved at post time, so interleaved posts stay matched)."""
+        if kind == "reduce":
+            acc, peak_words = self._reduce_p2p(value_tx, op, root, seq)
+            self._charge_reduction(kind, peak_words)
+            return acc
+        if kind == "allreduce":
+            acc = self._allreduce_p2p(value_tx, op, seq)
+            self._charge_reduction(kind, _words_of(acc))
+            return acc
+        out = self._reduce_scatter_p2p(value_tx, op, seq)
+        self._charge_reduction(kind, my_words)
+        return out
+
+    def _nb_complete_window(
+        self,
+        buf: int,
+        kind: str,
+        op: ReduceOp,
+        root: int,
+        my_words: int,
+        prefix: bytes,
+        payload: np.ndarray | None,
+        written: bool,
+    ) -> Any:
+        """Window completion: finish the deferred fences, read, charge."""
+        self._nb_pending[buf] = None
+        win = self._nb_wins[buf]
+        largest = win.wait_posted()
+        if largest > win.slot_bytes:
+            # Rare growth replay: some rank's payload outgrew the slots.
+            # Retire the optimistic round (flags only — nobody reads it)
+            # and replay it as one blocking round on a grown window; every
+            # member reaches the identical decision from the shared max,
+            # so the replacement stays collective.
+            if not written:
+                win.commit_nowait()
+            win.finish()
+            win = self._grow_nb_window(buf, largest)
+            win.begin()
+            win.post_size(packed_nbytes(prefix, payload), my_words)
+            win.write(prefix, payload)
+            win.commit()
+        acc: Any = None
+        if kind != "reduce" or self._rank == root:
+            # Only readers pay the write fence; a non-root ireduce
+            # completes off the size fence alone (its charge needs the
+            # shared peak, nothing else, and window reuse is still gated
+            # by the root's own done flag).
+            win.wait_written()
+            acc = self._window_fold(win, op)
+        peak_words = win.max_words()
+        win.finish()
+        if kind == "reduce":
+            self._charge_reduction(kind, peak_words)
+            return acc
+        if kind == "allreduce":
+            self._charge_reduction(kind, _words_of(acc))
+            return acc
+        self._charge_reduction(kind, my_words)
+        block = acc.shape[0] // self.size
+        lo = self._rank * block
+        return np.array(acc[lo : lo + block], copy=True)
 
     def alltoall(self, values: Sequence[Any]) -> list[Any]:
         """Exchange ``values[j]`` with rank ``j`` for all j simultaneously.

@@ -32,7 +32,12 @@ path cheap:
   ``alltoall`` through a P×P pair-slotted one — one barrier-fenced
   single-copy exchange instead of O(P) point-to-point segment hops
   through rank 0.  Initial slots are sized from the communicator's first
-  payload (``REPRO_SPMD_WINDOW_SLOT`` pins them instead).
+  payload (``REPRO_SPMD_WINDOW_SLOT`` pins them instead).  Every fence
+  is split into a non-blocking publish half (``post_size_nowait`` /
+  ``commit_nowait``) and a wait half (``wait_posted`` / ``wait_written``)
+  so the communicator's non-blocking collectives can deposit their
+  contribution at post time and defer the fence spins to ``wait()``,
+  overlapping them with local compute.
 
 Poisoning uses a shared event: when any rank dies its transport sets the
 event, and every sibling blocked in :meth:`ProcessTransport.get` (or
@@ -674,14 +679,26 @@ class CollectiveWindow:
         self._wait(self._posted, self.seq, "fence")
         return self.seq
 
-    def post_size(self, nbytes: int, words: int = 0) -> int:
-        """Publish this rank's packed size (bytes) and modeled ``words``;
-        return the max packed size over ranks (drives window growth)."""
+    def post_size_nowait(self, nbytes: int, words: int = 0) -> None:
+        """Publish this rank's packed size (bytes) and modeled ``words``
+        without waiting for the peers — the non-blocking half of
+        :meth:`post_size`.  Pair with :meth:`wait_posted` (typically at a
+        request's ``wait()``) before trusting ``max``/``total`` readers."""
         self._words[self.index] = words
         self._sizes[self.index] = nbytes
         self._posted[self.index] = self.seq
+
+    def wait_posted(self) -> int:
+        """Finish the size fence: wait until every rank posted this round's
+        size, then return the max packed size (drives window growth)."""
         self._wait(self._posted, self.seq, "size exchange")
         return int(self._sizes.max())
+
+    def post_size(self, nbytes: int, words: int = 0) -> int:
+        """Publish this rank's packed size (bytes) and modeled ``words``;
+        return the max packed size over ranks (drives window growth)."""
+        self.post_size_nowait(nbytes, words)
+        return self.wait_posted()
 
     def total_words(self) -> int:
         """Sum of all ranks' posted modeled words (valid after the size
@@ -711,9 +728,19 @@ class CollectiveWindow:
             self._shm.buf[off : off + self.slot_bytes], prefix, payload
         )
 
-    def commit(self) -> None:
+    def commit_nowait(self) -> None:
+        """Publish this rank's write without waiting for the peers — the
+        non-blocking half of :meth:`commit`.  Readers must still call
+        :meth:`wait_written` before touching other ranks' slots."""
         self._written[self.index] = self.seq
+
+    def wait_written(self) -> None:
+        """Finish the write fence: wait until every rank committed."""
         self._wait(self._written, self.seq, "write fence")
+
+    def commit(self) -> None:
+        self.commit_nowait()
+        self.wait_written()
 
     def read(self, rank: int) -> Any:
         off = self._data_off + rank * self.slot_bytes

@@ -72,7 +72,11 @@ class TransportBase(abc.ABC):
         scatter); otherwise one slot per member.  Returns an object with
         the :class:`~repro.mpi.process_transport.CollectiveWindow`
         surface (``begin``/``post_size``/``write``/``commit``/``read``/
-        ``finish``/``name``/``slot_bytes``...).
+        ``finish``/``name``/``slot_bytes``..., plus the split fence
+        halves ``post_size_nowait``/``wait_posted`` and
+        ``commit_nowait``/``wait_written`` that the communicator's
+        non-blocking collectives use to defer fence waits to
+        ``Request.wait()``).
         """
         raise NotImplementedError("transport has no collective windows")
 

@@ -8,7 +8,7 @@ Everything here is sequential; the distributed algorithms in
 :mod:`repro.distributed` call these kernels on per-rank local blocks.
 """
 
-from repro.tensor.dense import Tensor, fold, unfold
+from repro.tensor.dense import Tensor, as_f_contiguous, fold, unfold
 from repro.tensor.ttm import multi_ttm, ttm, ttm_blocked
 from repro.tensor.gram import gram, gram_blocked
 from repro.tensor.eig import (
@@ -21,6 +21,7 @@ from repro.tensor.random import low_rank_tensor, random_factor, random_tensor
 
 __all__ = [
     "Tensor",
+    "as_f_contiguous",
     "fold",
     "unfold",
     "ttm",

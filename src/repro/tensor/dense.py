@@ -162,3 +162,20 @@ class Tensor:
 def as_ndarray(x: "Tensor | np.ndarray") -> np.ndarray:
     """Accept either a Tensor or a raw ndarray and return the ndarray."""
     return x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+
+
+def as_f_contiguous(arr: np.ndarray) -> np.ndarray:
+    """``arr`` itself when already Fortran-contiguous, else an F-ordered copy.
+
+    The blocked kernels view their input as contiguous Fortran sub-blocks;
+    this helper is their layout normalization.  Returning the *same object*
+    for compliant inputs matters on the distributed hot path: received
+    tensors are read-only zero-copy views backed by shared memory
+    (:class:`~repro.mpi.process_transport.ShmArrayView`), and
+    ``np.asfortranarray`` would wrap them in a fresh base-class view —
+    harmless for data, but this way the no-copy property is explicit and
+    regression-testable (``tests/tensor`` asserts identity).
+    """
+    if arr.flags.f_contiguous:
+        return arr
+    return np.asfortranarray(arr)

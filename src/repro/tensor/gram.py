@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor.dense import Tensor, as_ndarray, unfold
+from repro.tensor.dense import Tensor, as_f_contiguous, as_ndarray, unfold
 from repro.util.validation import check_axis, prod
 
 
@@ -42,10 +42,19 @@ def gram_blocked(x: "Tensor | np.ndarray", mode: int) -> np.ndarray:
     shape = arr.shape
     lead = prod(shape[:mode])
     trail = prod(shape[mode + 1 :])
-    flat = np.reshape(np.asfortranarray(arr), (lead, shape[mode], trail), order="F")
+    flat = np.reshape(as_f_contiguous(arr), (lead, shape[mode], trail), order="F")
     n = shape[mode]
     s = np.zeros((n, n))
-    for b in range(trail):
-        block = flat[:, :, b]  # lead x I_n; the unfolding block is its transpose
-        s += block.T @ block
+    if trail == 1:
+        block = flat[:, :, 0]
+        np.matmul(block.T, block, out=s)
+    else:
+        # One preallocated product buffer, accumulated in place: the
+        # historical ``s += block.T @ block`` allocated a fresh n x n
+        # temporary per sub-block, which dominated for skinny blocks.
+        tmp = np.empty((n, n))
+        for b in range(trail):
+            block = flat[:, :, b]  # lead x I_n; the unfolding block is its transpose
+            np.matmul(block.T, block, out=tmp)
+            s += tmp
     return (s + s.T) * 0.5

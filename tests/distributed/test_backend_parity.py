@@ -11,8 +11,8 @@ import numpy as np
 import pytest
 
 from repro.core import sthosvd
-from repro.distributed import DistTensor, dist_sthosvd
-from repro.mpi import CartGrid, run_spmd
+from repro.distributed import OVERLAP_ENV_VAR, DistTensor, dist_sthosvd
+from repro.mpi import SUM, CartGrid, run_spmd, shutdown_worker_pools
 from repro.tensor import low_rank_tensor
 
 GRID = (1, 2, 2)
@@ -126,6 +126,92 @@ class TestAllCollectivesParity:
             assert t.rank_costs(rank).time == p.rank_costs(rank).time
             assert t.rank_costs(rank).words_sent == p.rank_costs(rank).words_sent
             assert t.rank_costs(rank).messages == p.rank_costs(rank).messages
+
+
+def _nonblocking_battery(comm, x):
+    """Deferred p2p + all three non-blocking collectives, pipelined and
+    with uneven payloads; returns bit-comparable results."""
+    out = []
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    # Two isendrecv hops in flight at once (the dist_gram ring pattern).
+    reqs = [
+        comm.isendrecv(x[: 5 * (comm.rank + 1)] * i, dest=right, source=left,
+                       tag=i)
+        for i in (1, 2)
+    ]
+    out.append([r.wait().tobytes() for r in reqs])
+    send_req = comm.isend({"r": comm.rank, "x": x[:9]}, dest=right, tag=7)
+    got = comm.irecv(source=left, tag=7).wait()
+    send_req.wait()
+    out.append((got["r"], got["x"].tobytes()))
+    # Pipelined non-blocking reductions deeper than the double buffer.
+    nb = [
+        comm.ireduce(x[:6] * (comm.rank + 1) + i, op=SUM, root=i % comm.size)
+        for i in range(3)
+    ]
+    nb.append(comm.iallreduce(x * (comm.rank + 1), op=SUM))
+    nb.append(
+        comm.ireduce_scatter_block(
+            np.outer(np.arange(float(2 * comm.size)), x[:7]) + comm.rank,
+            op=SUM,
+        )
+    )
+    for req in nb:
+        value = req.wait()
+        out.append(None if value is None else np.asarray(value).tobytes())
+    return out
+
+
+class TestNonblockingParity:
+    """Deferred requests: same bits and charges on both backends (the
+    process backend completes them over double-buffered windows, the
+    thread backend over the p2p relay)."""
+
+    def test_results_and_ledgers_match(self):
+        x = np.random.default_rng(33).standard_normal(48)
+        results = {
+            name: run_spmd(N_RANKS, _nonblocking_battery, x, backend=name)
+            for name in ("thread", "process")
+        }
+        assert results["thread"].values == results["process"].values
+        t, p = results["thread"].ledger, results["process"].ledger
+        assert t.summary() == p.summary()
+        for rank in range(N_RANKS):
+            assert t.rank_costs(rank).time == p.rank_costs(rank).time
+            assert t.rank_costs(rank).words_sent == p.rank_costs(rank).words_sent
+            assert t.rank_costs(rank).messages == p.rank_costs(rank).messages
+
+
+class TestOverlapBitIdentity:
+    """The acceptance bar for the overlap knob: a 4-rank distributed
+    ST-HOSVD must produce bit-identical factors, core and ledger with
+    ``REPRO_SPMD_OVERLAP`` on and off, on both backends (the knob only
+    moves when communication is initiated, never what is computed)."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_dist_sthosvd_overlap_on_off(self, backend, monkeypatch):
+        x = low_rank_tensor((8, 6, 4), (3, 3, 2), seed=17, noise=0.03)
+        prog = _factors_prog(x, ranks=(3, 3, 2))
+        by_mode = {}
+        for mode in ("1", "0"):
+            # Fresh pool so process workers inherit the right env.
+            shutdown_worker_pools()
+            monkeypatch.setenv(OVERLAP_ENV_VAR, mode)
+            by_mode[mode] = run_spmd(N_RANKS, prog, backend=backend)
+        shutdown_worker_pools()
+        on, off = by_mode["1"], by_mode["0"]
+        for on_val, off_val in zip(on.values, off.values):
+            assert on_val[0].tobytes() == off_val[0].tobytes()  # core
+            for f_on, f_off in zip(on_val[1], off_val[1]):
+                assert f_on.tobytes() == f_off.tobytes()
+            assert on_val[2] == off_val[2]  # ranks
+        assert on.ledger.summary() == off.ledger.summary()
+        for rank in range(N_RANKS):
+            a, b = on.ledger.rank_costs(rank), off.ledger.rank_costs(rank)
+            assert (a.time, a.words_sent, a.messages, a.flops) == (
+                b.time, b.words_sent, b.messages, b.flops
+            )
 
 
 class TestIdenticalLedgers:

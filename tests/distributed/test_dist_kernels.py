@@ -247,3 +247,76 @@ class TestDistEvecs:
 
         with pytest.raises(SpmdError, match="does not match"):
             spmd(4, prog)
+
+
+class TestReduceScatterLayout:
+    def test_mode_front_no_copy_for_mode_zero(self, rng):
+        # The reduce-scatter strategy historically ascontiguousarray-copied
+        # the moveaxis view unconditionally; for mode 0 (the Fortran TTM
+        # output itself) the view *is* the array and must pass through.
+        from repro.distributed.ttm import _mode_front
+
+        w = np.asfortranarray(rng.standard_normal((8, 5, 3)))
+        front = _mode_front(w, 0)
+        assert front is w or np.shares_memory(front, w)
+
+    def test_mode_front_copies_interior_mode(self, rng):
+        from repro.distributed.ttm import _mode_front
+
+        w = np.asfortranarray(rng.standard_normal((8, 5, 3)))
+        front = _mode_front(w, 1)
+        assert front.shape == (5, 8, 3)
+        assert front.flags.c_contiguous or front.flags.f_contiguous
+        np.testing.assert_array_equal(front, np.moveaxis(w, 1, 0))
+
+    @pytest.mark.parametrize("mode", [0, 1])
+    def test_reduce_scatter_results_unchanged(self, mode):
+        # End-to-end guard for the copy skip: same bits as the blocked
+        # strategy's output on an evenly divisible problem.
+        x = _x((8, 6, 4), seed=44)
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 2, 1))
+            dt = DistTensor.from_global(g, x)
+            v = np.random.default_rng(5).standard_normal((2, x.shape[mode]))
+            rs = dist_ttm(dt, _v_local(dt, v, mode), mode, 2,
+                          strategy="reduce_scatter")
+            bl = dist_ttm(dt, _v_local(dt, v, mode), mode, 2,
+                          strategy="blocked")
+            return rs.to_global(), bl.to_global(), v
+
+        for rs, bl, v in spmd(4, prog):
+            np.testing.assert_allclose(rs, ttm(x, v, mode), atol=1e-10)
+            np.testing.assert_allclose(bl, ttm(x, v, mode), atol=1e-10)
+
+
+class TestTtmOverlap:
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_blocked_overlap_bit_identical(self, mode):
+        x = _x((6, 9, 4), seed=45)
+
+        def prog(comm):
+            g = CartGrid(comm, (2, 3, 2))
+            dt = DistTensor.from_global(g, x)
+            v = np.random.default_rng(6).standard_normal((6, x.shape[mode]))
+            on = dist_ttm(dt, _v_local(dt, v, mode), mode, 6,
+                          strategy="blocked", overlap=True)
+            off = dist_ttm(dt, _v_local(dt, v, mode), mode, 6,
+                           strategy="blocked", overlap=False)
+            return on.local.tobytes() == off.local.tobytes()
+
+        assert all(spmd(12, prog).values)
+
+    def test_uneven_blocks_overlap(self):
+        x = _x((7, 5, 3), seed=46)
+
+        def prog(comm):
+            g = CartGrid(comm, (3, 1, 1))
+            dt = DistTensor.from_global(g, x)
+            v = np.random.default_rng(7).standard_normal((5, 7))
+            z = dist_ttm(dt, _v_local(dt, v, 0), 0, 5, strategy="blocked",
+                         overlap=True)
+            return z.to_global(), v
+
+        z, v = spmd(3, prog)[0]
+        np.testing.assert_allclose(z, ttm(x, v, 0), atol=1e-10)

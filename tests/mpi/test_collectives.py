@@ -234,3 +234,149 @@ class TestSplitAndDup:
 
         res = spmd(4, prog)
         assert res.values == [(2, 1), (2, 1), (2, 5), (2, 5)]
+
+
+class TestNonblockingCollectives:
+    """ireduce / iallreduce / ireduce_scatter_block: deferred completion
+    with bit-identical results and charges to the blocking ops."""
+
+    def test_ireduce_matches_reduce_bitwise(self):
+        def prog(comm):
+            value = np.arange(6.0) * (comm.rank + 1)
+            nb = comm.ireduce(value, SUM, root=1).wait()
+            blocking = comm.reduce(value, SUM, root=1)
+            if comm.rank == 1:
+                return nb.tobytes(), blocking.tobytes()
+            return nb, blocking  # both None off-root
+
+        for nb, blocking in spmd(4, prog):
+            assert nb == blocking
+
+    def test_iallreduce_matches_allreduce_bitwise(self):
+        def prog(comm):
+            value = np.arange(8.0) + comm.rank
+            nb = comm.iallreduce(value, SUM).wait()
+            blocking = comm.allreduce(value, SUM)
+            return nb.tobytes() == blocking.tobytes()
+
+        assert all(spmd(4, prog).values)
+
+    def test_ireduce_scatter_block_matches_blocking(self):
+        def prog(comm):
+            arr = np.outer(np.arange(float(2 * comm.size)), np.arange(5.0))
+            arr = arr + comm.rank
+            nb = comm.ireduce_scatter_block(arr, SUM).wait()
+            blocking = comm.reduce_scatter_block(arr, SUM)
+            return nb.tobytes() == blocking.tobytes()
+
+        assert all(spmd(3, prog).values)
+
+    def test_other_ops_and_roots(self):
+        def prog(comm):
+            out = []
+            for op in (MAX, MIN, PROD):
+                got = comm.iallreduce(float(comm.rank + 1), op).wait()
+                out.append(got)
+            for root in range(comm.size):
+                r = comm.ireduce(comm.rank, SUM, root=root).wait()
+                out.append(r)
+            return out
+
+        p = 3
+        for rank, got in enumerate(spmd(p, prog)):
+            assert got[:3] == [3.0, 1.0, 6.0]
+            expected = [3 if root == rank else None for root in range(p)]
+            assert got[3:] == expected
+
+    def test_pipelined_posts_force_completion(self):
+        # More outstanding requests than window buffers: the third post
+        # must transparently complete the first, and user-side waits stay
+        # idempotent (cached values).
+        def prog(comm):
+            reqs = [
+                comm.ireduce(np.full(4, float(comm.rank + i)), SUM, root=0)
+                for i in range(5)
+            ]
+            values = [req.wait() for req in reqs]
+            again = [req.wait() for req in reqs]  # cached
+            assert all(
+                (a is b) or np.array_equal(a, b)
+                for a, b in zip(values, again)
+            )
+            if comm.rank == 0:
+                return [v[0] for v in values]
+            return values
+
+        p = 4
+        res = spmd(p, prog)
+        base = sum(range(p)) * 1.0
+        assert res[0] == [base + p * i for i in range(5)]
+        assert res[1] == [None] * 5
+
+    def test_window_growth_mid_pipeline(self):
+        # A later round's payload outgrows the slots sized by the first
+        # round: the round is replayed on a grown window collectively.
+        def prog(comm):
+            small = comm.iallreduce(np.arange(4.0)).wait()
+            big = comm.iallreduce(np.full(60_000, float(comm.rank))).wait()
+            small2 = comm.iallreduce(np.arange(3.0) * comm.rank).wait()
+            return small.tobytes(), float(big[0]), small2.tobytes()
+
+        p = 4
+        res = spmd(p, prog)
+        expected_big = float(sum(range(p)))
+        assert all(v[1] == expected_big for v in res.values)
+        assert len({v[0] for v in res.values}) == 1
+        assert len({v[2] for v in res.values}) == 1
+
+    def test_interleaved_with_blocking_collectives(self):
+        # A non-blocking request may stay outstanding across unrelated
+        # blocking collectives; SPMD ordering keeps everything matched.
+        def prog(comm):
+            req = comm.ireduce(np.full(5, float(comm.rank)), SUM, root=2)
+            token = comm.bcast("mid" if comm.rank == 0 else None, root=0)
+            gathered = comm.allgather(comm.rank)
+            reduced = req.wait()
+            comm.barrier()
+            return token, gathered, None if reduced is None else reduced[0]
+
+        p = 4
+        res = spmd(p, prog)
+        for rank, (token, gathered, reduced) in enumerate(res.values):
+            assert token == "mid" and gathered == list(range(p))
+            assert reduced == (float(sum(range(p))) if rank == 2 else None)
+
+    def test_single_rank(self):
+        def prog(comm):
+            a = comm.ireduce(np.arange(3.0), SUM).wait()
+            b = comm.iallreduce(np.arange(2.0), SUM).wait()
+            c = comm.ireduce_scatter_block(np.arange(4.0).reshape(2, 2), SUM)
+            return a.tolist(), b.tolist(), c.wait().tolist()
+
+        a, b, c = spmd(1, prog)[0]
+        assert a == [0.0, 1.0, 2.0]
+        assert b == [0.0, 1.0]
+        assert c == [[0.0, 1.0], [2.0, 3.0]]
+
+    def test_ireduce_invalid_root(self):
+        def prog(comm):
+            comm.ireduce(1.0, SUM, root=9)
+
+        with pytest.raises(SpmdError, match="root=9 out of range"):
+            spmd(2, prog)
+
+    def test_ireduce_scatter_block_validates_at_post(self):
+        def prog(comm):
+            comm.ireduce_scatter_block(np.arange(5.0), SUM)
+
+        with pytest.raises(SpmdError, match="not divisible"):
+            spmd(2, prog)
+
+    def test_sub_communicator_nonblocking(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            got = sub.iallreduce(np.full(3, float(comm.rank))).wait()
+            return got[0]
+
+        res = spmd(4, prog)
+        assert res.values == [2.0, 4.0, 2.0, 4.0]

@@ -117,6 +117,58 @@ def _alltoall_uneven(comm):
     comm.alltoall([_uneven(comm.rank + j) for j in range(comm.size)])
 
 
+def _ireduce(comm):
+    comm.ireduce(np.full(7, float(comm.rank)), SUM, root=comm.size - 1).wait()
+
+
+def _ireduce_uneven(comm):
+    v = np.float64(2.0) if comm.rank == 0 else np.arange(8.0) + comm.rank
+    comm.ireduce(v, SUM, root=1).wait()
+
+
+def _iallreduce(comm):
+    comm.iallreduce(np.full(3, float(comm.rank)), SUM).wait()
+
+
+def _iallreduce_uneven(comm):
+    v = np.float64(1.5) if comm.rank == comm.size - 1 else (
+        np.arange(6.0) * comm.rank
+    )
+    comm.iallreduce(v, SUM).wait()
+
+
+def _ireduce_scatter_block(comm):
+    comm.ireduce_scatter_block(
+        np.arange(float(3 * comm.size)) + comm.rank, SUM
+    ).wait()
+
+
+def _ireduce_pipelined(comm):
+    # Deeper than the double buffer: posts 3 and 4 force-complete rounds
+    # 1 and 2; the user waits must still charge exactly once each.
+    reqs = [
+        comm.ireduce(np.full(5, float(comm.rank + i)), SUM, root=i % comm.size)
+        for i in range(4)
+    ]
+    for req in reqs:
+        req.wait()
+
+
+def _isendrecv_ring(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.isendrecv(np.arange(5.0) + comm.rank, dest=right, source=left).wait()
+
+
+def _isend_irecv_ring(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    send_req = comm.isend(np.full(6, float(comm.rank)), dest=right)
+    recv_req = comm.irecv(source=left)
+    recv_req.wait()
+    send_req.wait()
+
+
 COLLECTIVES = [
     _barrier,
     _bcast,
@@ -133,6 +185,24 @@ COLLECTIVES = [
     _reduce_scatter_block,
     _alltoall_even,
     _alltoall_uneven,
+    _ireduce,
+    _ireduce_uneven,
+    _iallreduce,
+    _iallreduce_uneven,
+    _ireduce_scatter_block,
+    _ireduce_pipelined,
+    _isendrecv_ring,
+    _isend_irecv_ring,
+]
+
+#: (blocking, non-blocking) pairs that must charge identically: deferred
+#: completion moves *when* the charge lands, never what is charged.
+NONBLOCKING_PAIRS = [
+    (_reduce, _ireduce),
+    (_reduce_uneven, _ireduce_uneven),
+    (_allreduce, _iallreduce),
+    (_allreduce_uneven, _iallreduce_uneven),
+    (_reduce_scatter_block, _ireduce_scatter_block),
 ]
 
 
@@ -146,6 +216,49 @@ def test_collective_charges_are_rank_independent(prog, p):
         assert (row.time, row.words_sent, row.messages) == pytest.approx(
             reference
         ), f"rank {rank} charged {row} != rank 0's {reference} in {prog.__name__}"
+
+
+@pytest.mark.parametrize(
+    "blocking_prog,nb_prog",
+    NONBLOCKING_PAIRS,
+    ids=lambda f: f.__name__.strip("_") if callable(f) else f,
+)
+def test_nonblocking_charges_equal_blocking(blocking_prog, nb_prog):
+    p = 4
+    blocking = spmd_unit(p, blocking_prog)
+    nonblocking = spmd_unit(p, nb_prog)
+    for rank in range(p):
+        b = blocking.ledger.rank_costs(rank)
+        nb = nonblocking.ledger.rank_costs(rank)
+        assert (b.time, b.words_sent, b.messages) == (
+            nb.time, nb.words_sent, nb.messages
+        ), f"rank {rank}: {nb_prog.__name__} diverged from {blocking_prog.__name__}"
+
+
+def _sendrecv_ring_uneven(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.sendrecv(_uneven(comm.rank, 2), dest=right, source=left)
+
+
+def _isendrecv_ring_uneven(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.isendrecv(_uneven(comm.rank, 2), dest=right, source=left).wait()
+
+
+def test_isendrecv_charges_equal_sendrecv():
+    # Uneven per-rank payloads: each rank's deferred exchange must charge
+    # exactly what its blocking one did (send leg from the sent words,
+    # recv leg from the *received* words).
+    blocking = spmd_unit(4, _sendrecv_ring_uneven)
+    deferred = spmd_unit(4, _isendrecv_ring_uneven)
+    for rank in range(4):
+        b = blocking.ledger.rank_costs(rank)
+        d = deferred.ledger.rank_costs(rank)
+        assert (b.time, b.words_sent, b.messages) == (
+            d.time, d.words_sent, d.messages
+        )
 
 
 def _sub_communicator_battery(comm):

@@ -152,3 +152,101 @@ class TestNonblocking:
             return value
 
         assert spmd(2, prog)[1] == 99
+
+    def test_isend_completes_at_wait_not_post(self):
+        # Deferred completion: the request is not done after posting...
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(6.0), dest=1)
+                assert not req.test()
+                # ...but the payload is already staged (eager protocol):
+                # the receiver can match the message before we wait.
+                token = comm.recv(source=1)
+                assert token == "received"
+                req.wait()
+                assert req.test()
+                return None
+            value = comm.recv(source=0)
+            comm.send("received", dest=0)
+            return value
+
+        np.testing.assert_array_equal(spmd(2, prog)[1], np.arange(6.0))
+
+    def test_isend_charge_lands_at_wait(self):
+        # An unwaited isend must not have charged the ledger yet; the
+        # waited one must charge exactly what a blocking send does.
+        from tests.conftest import spmd_unit
+
+        def prog(comm):
+            if comm.rank == 0:
+                before = comm.ledger.rank_costs(comm.world_rank).messages
+                req = comm.isend(np.arange(8.0), dest=1)
+                posted = comm.ledger.rank_costs(comm.world_rank).messages
+                req.wait()
+                after = comm.ledger.rank_costs(comm.world_rank).messages
+                return before, posted, after
+            comm.recv(source=0)
+            return None
+
+        before, posted, after = spmd_unit(2, prog)[0]
+        assert posted == before  # nothing charged at post
+        assert after == before + 1  # exactly one message at completion
+
+    def test_isendrecv_ring_shift(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            req = comm.isendrecv(comm.rank, dest=right, source=left)
+            assert not req.test()
+            return req.wait()
+
+        res = spmd(4, prog)
+        assert res.values == [3, 0, 1, 2]
+
+    def test_isendrecv_matches_blocking_sendrecv(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            payload = np.arange(5.0) + comm.rank
+            a = comm.isendrecv(payload, dest=right, source=left, tag=1).wait()
+            b = comm.sendrecv(payload, dest=right, source=left, tag=2)
+            return np.asarray(a).tobytes(), np.asarray(b).tobytes()
+
+        for a, b in spmd(3, prog):
+            assert a == b
+
+    def test_pipelined_ring_all_hops_in_flight(self):
+        # The dist_gram pattern: every hop's exchange is posted before
+        # the previous hop's wait; per-tag mailboxes keep them matched.
+        def prog(comm):
+            p = comm.size
+            reqs = [
+                comm.isendrecv(
+                    (comm.rank, i),
+                    dest=(comm.rank - i) % p,
+                    source=(comm.rank + i) % p,
+                    tag=i,
+                )
+                for i in range(1, p)
+            ]
+            return [req.wait() for req in reqs]
+
+        res = spmd(4, prog)
+        for rank, hops in enumerate(res.values):
+            for i, (src, hop) in enumerate(hops, start=1):
+                assert src == (rank + i) % 4 and hop == i
+
+    def test_isendrecv_uneven_sizes(self):
+        # The two legs may carry different sizes (the recv leg must be
+        # charged from the received payload, like blocking sendrecv).
+        from tests.conftest import spmd_unit
+
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            payload = np.arange(float(4 * (comm.rank + 1)))
+            got = comm.isendrecv(payload, dest=right, source=left).wait()
+            return got.size
+
+        res = spmd_unit(3, prog)
+        assert res.values == [12, 4, 8]

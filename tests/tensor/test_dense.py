@@ -107,3 +107,45 @@ class TestTensorClass:
     def test_getitem(self, rng):
         x = rng.standard_normal((3, 4))
         assert Tensor(x)[1, 2] == x[1, 2]
+
+
+class TestAsFContiguous:
+    """Layout normalization for the blocked kernels: no copy — and no
+    rewrapping — when the input already complies."""
+
+    def test_identity_for_fortran_input(self):
+        x = np.asfortranarray(np.arange(24.0).reshape(2, 3, 4))
+        from repro.tensor import as_f_contiguous
+
+        assert as_f_contiguous(x) is x
+
+    def test_copies_c_ordered_input(self):
+        from repro.tensor import as_f_contiguous
+
+        x = np.ascontiguousarray(np.arange(24.0).reshape(2, 3, 4))
+        y = as_f_contiguous(x)
+        assert y.flags.f_contiguous
+        assert not np.shares_memory(x, y)
+        np.testing.assert_array_equal(x, y)
+
+    def test_no_copy_for_shared_memory_backed_view(self):
+        # Regression for the distributed receive path: an F-contiguous
+        # read-only array whose base is a shared-memory segment must pass
+        # through untouched — the zero-copy receive stays zero-copy.
+        from multiprocessing import shared_memory
+
+        from repro.tensor import as_f_contiguous
+
+        shm = shared_memory.SharedMemory(create=True, size=24 * 8)
+        try:
+            arr = np.ndarray((2, 3, 4), dtype=np.float64, buffer=shm.buf,
+                             order="F")
+            arr[...] = np.arange(24.0).reshape(2, 3, 4)
+            arr.flags.writeable = False
+            out = as_f_contiguous(arr)
+            assert out is arr
+            assert np.shares_memory(out, arr)
+            del arr, out
+        finally:
+            shm.close()
+            shm.unlink()

@@ -46,3 +46,25 @@ class TestGramBlocked:
         # For mode 0 there is one contiguous block; results must still match.
         x = rng.standard_normal((6, 35))
         np.testing.assert_allclose(gram_blocked(x, 0), gram(x, 0), atol=1e-10)
+
+
+class TestGramBlockedAccumulator:
+    def test_bit_identical_to_unblocked_sum(self, rng):
+        # The preallocated in-place accumulator computes the same dgemm
+        # per block and the same elementwise adds as the historical
+        # per-iteration temporaries — bitwise equal by construction.
+        x = rng.standard_normal((3, 8, 64))
+        flat = np.reshape(np.asfortranarray(x), (3, 8, 64), order="F")
+        s = np.zeros((8, 8))
+        for b in range(64):
+            block = flat[:, :, b]
+            s += block.T @ block
+        expected = (s + s.T) * 0.5
+        assert gram_blocked(x, 1).tobytes() == expected.tobytes()
+
+    def test_read_only_fortran_input(self, rng):
+        x = np.asfortranarray(rng.standard_normal((2, 9, 32)))
+        x.flags.writeable = False
+        np.testing.assert_allclose(
+            gram_blocked(x, 1), gram(np.array(x), 1), atol=1e-10
+        )

@@ -124,3 +124,60 @@ class TestMultiTtm:
         mats = [np.eye(3), np.eye(4)]
         with pytest.raises(ValueError, match="permutation"):
             multi_ttm(x, mats, order=[0, 0])
+
+
+class TestTtmBlockedBatched:
+    """The skinny-block fast path: batched/stacked dgemms instead of the
+    per-sub-block Python loop, gated on block shape."""
+
+    @pytest.mark.parametrize("shape,mode", [
+        ((1, 24, 40), 1),    # lead == 1: single-dgemm collapse
+        ((2, 24, 40), 1),    # small lead: stacked matmul
+        ((3, 4, 5, 64), 2),  # interior mode, many skinny blocks
+        ((64, 24, 3), 1),    # wide blocks: gate keeps the loop
+    ])
+    def test_batched_matches_loop(self, rng, shape, mode):
+        x = rng.standard_normal(shape)
+        v = rng.standard_normal((6, shape[mode]))
+        loop = ttm_blocked(x, v, mode, batched=False)
+        auto = ttm_blocked(x, v, mode)
+        forced = ttm_blocked(x, v, mode, batched=True)
+        np.testing.assert_allclose(auto, loop, atol=1e-12)
+        np.testing.assert_allclose(forced, loop, atol=1e-12)
+        np.testing.assert_allclose(loop, ttm(x, v, mode), atol=1e-12)
+
+    def test_stacked_path_is_bit_identical_to_loop(self, rng):
+        # lead > 1 batching runs the very same per-block dgemm from C, so
+        # the bits must match the Python loop exactly.
+        x = rng.standard_normal((2, 32, 128))
+        v = rng.standard_normal((5, 32))
+        assert ttm_blocked(x, v, 1, batched=True).tobytes() == ttm_blocked(
+            x, v, 1, batched=False
+        ).tobytes()
+
+    def test_batched_transpose_direction(self, rng):
+        x = rng.standard_normal((2, 16, 64))
+        u = rng.standard_normal((16, 3))
+        np.testing.assert_allclose(
+            ttm_blocked(x, u, 1, transpose=True, batched=True),
+            ttm(x, u, 1, transpose=True),
+            atol=1e-12,
+        )
+
+    def test_batched_output_fortran_ordered(self, rng):
+        for shape, mode in [((1, 8, 32), 1), ((2, 8, 32), 1)]:
+            y = ttm_blocked(
+                rng.standard_normal(shape), rng.standard_normal((4, 8)), mode,
+                batched=True,
+            )
+            assert y.flags.f_contiguous
+
+    def test_read_only_fortran_input_not_copied_or_written(self, rng):
+        # The distributed hot path hands the kernel read-only shm-backed
+        # views; the kernel must neither write to nor copy them.
+        x = np.asfortranarray(rng.standard_normal((2, 12, 48)))
+        x.flags.writeable = False
+        v = rng.standard_normal((4, 12))
+        np.testing.assert_allclose(
+            ttm_blocked(x, v, 1), ttm(np.array(x), v, 1), atol=1e-12
+        )
