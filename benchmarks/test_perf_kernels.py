@@ -13,6 +13,12 @@ visible across PRs:
   TTM);
 * ``ttm_batched``       — skinny-sub-block ``ttm_blocked``, batched
   dgemms vs the per-block Python loop;
+* ``dist_mode_svd_overlap`` — the Sec. IX TSQR/SVD kernel's mode-column
+  ring at 4 ranks, overlap on vs off (the shared ``ring_exchange``
+  pipeline: all hops posted before the slab scatter and local QR);
+* ``tsqr_tree``         — butterfly vs eliminate-and-broadcast TSQR at
+  4 ranks (the butterfly drops the broadcast and folds on every rank in
+  parallel; bit-identical R either way);
 * ``dist_sthosvd_overlap`` — the end-to-end driver with the knob flipped
   (recorded for the trajectory; the per-kernel rows carry the asserts).
 
@@ -30,15 +36,21 @@ import time
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 from repro.distributed import (
     OVERLAP_ENV_VAR,
     DistTensor,
     dist_gram,
+    dist_mode_svd,
     dist_sthosvd,
     dist_ttm,
+    tsqr_r,
 )
+from repro.distributed.layout import block_ranges
 from repro.mpi import CartGrid, ProcessBackend, run_spmd, shutdown_worker_pools
+from repro.mpi.backends import POOL_ENV_VAR
+from repro.mpi.process_transport import ARENA_ENV_VAR, WINDOWS_ENV_VAR
 from repro.tensor import ttm_blocked
 
 from benchmarks.conftest import table
@@ -46,10 +58,30 @@ from benchmarks.conftest import table
 _OUT = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
 
 #: The overlap rows measure the production configuration — collective
-#: windows on — independent of the environment sweep the CI legs apply
-#: (the ireduce pipeline exists to hide the window fences; with windows
-#: forced off there is nothing to measure).
-_BACKEND = ProcessBackend(windows=True)
+#: windows on, warm rank pool — independent of the environment sweep the
+#: CI legs apply (the ireduce pipeline exists to hide the window fences;
+#: with windows forced off there is nothing to measure, and fork-per-run
+#: cold starts drown the per-call ratios in scheduling noise).
+_BACKEND = ProcessBackend(windows=True, pool=True)
+
+
+@pytest.fixture(autouse=True)
+def production_fastpath(monkeypatch):
+    """Pin the whole fast path on for the workers these tests fork.
+
+    The CI knob sweep exists to keep the *fallback* pipelines correct;
+    the ratios measured here only exist on the production configuration
+    (the arena in particular has no per-backend constructor knob — with
+    per-message segment churn the butterfly's extra exchanges cost more
+    than the broadcast they remove, on any schedule).  Fresh pools around
+    each test so workers actually observe the pinned environment.
+    """
+    shutdown_worker_pools()
+    for var in (POOL_ENV_VAR, ARENA_ENV_VAR, WINDOWS_ENV_VAR,
+                OVERLAP_ENV_VAR):
+        monkeypatch.setenv(var, "1")
+    yield
+    shutdown_worker_pools()
 
 _RESULTS: dict = {}
 
@@ -92,6 +124,41 @@ def _ttm_prog(comm, x, v, new_dim, iters, overlap):
         z = dist_ttm(dt, v_local, 0, new_dim, strategy="blocked",
                      overlap=overlap)
     return time.perf_counter() - start, float(z.local.ravel()[0])
+
+
+def _mode_svd_prog(comm, x, iters):
+    """Times the blocking and the pipelined schedule back-to-back in the
+    *same* launch, so slow drift on a loaded machine (cache state, sibling
+    tests) hits both sides of the ratio equally."""
+    g = CartGrid(comm, (comm.size, 1, 1))
+    dt = DistTensor.from_global(g, x)
+    elapsed = {}
+    for overlap in (False, True):
+        dist_mode_svd(dt, 0, rank=4, overlap=overlap)  # warm
+        comm.barrier()
+        start = time.perf_counter()
+        for _ in range(iters):
+            _, eig = dist_mode_svd(dt, 0, rank=4, overlap=overlap)
+        elapsed[overlap] = time.perf_counter() - start
+    return elapsed[False], elapsed[True], float(eig.values[0])
+
+
+def _tsqr_prog(comm, full, rows, iters):
+    """Times both trees back-to-back in the same launch (drift hits both
+    sides of the ratio equally); also returns the two R factors' bytes so
+    the bench doubles as a bit-identity check."""
+    start_row, stop_row = rows[comm.rank]
+    local = full[start_row:stop_row]
+    elapsed, bits = {}, {}
+    for tree in ("binary", "butterfly"):
+        r = tsqr_r(comm, local, tree=tree)  # warm
+        bits[tree] = r.tobytes()
+        comm.barrier()
+        start = time.perf_counter()
+        for _ in range(iters):
+            tsqr_r(comm, local, tree=tree)
+        elapsed[tree] = time.perf_counter() - start
+    return elapsed["binary"], elapsed["butterfly"], bits["binary"] == bits["butterfly"]
 
 
 def _sthosvd_prog(comm, x, ranks, overlap):
@@ -141,6 +208,81 @@ def test_dist_gram_ring_overlap(benchmark):
          "overlap": overlapped, "gain": gain},
     )
     # Pipelining must never lose to the blocking ring (observed 1.1-1.3x).
+    assert gain >= 1.0
+
+
+def test_dist_mode_svd_ring_overlap(benchmark):
+    # The Sec. IX kernel's mode-column ring in the same latency-bound
+    # regime as the Gram row: small local blocks, 3 hops per call, plus a
+    # TSQR+SVD tail that the pipeline cannot help — the asserted claim is
+    # that posting all hops up front never loses to the blocking ring.
+    p, iters = 4, 60
+    x = np.random.default_rng(9).standard_normal((24, 16, 8))
+    run_spmd(p, _mode_svd_prog, x, 1, backend=_BACKEND)  # prime pool
+
+    def paired_best():
+        # Min over launches of the slowest rank, per schedule; both
+        # schedules measured inside each launch (see _mode_svd_prog).
+        blocking, overlapped = float("inf"), float("inf")
+        for _ in range(4):
+            res = run_spmd(p, _mode_svd_prog, x, iters,
+                           backend=_BACKEND, timeout=120.0)
+            blocking = min(blocking, max(v[0] for v in res.values))
+            overlapped = min(overlapped, max(v[1] for v in res.values))
+        return blocking / iters, overlapped / iters
+
+    blocking, overlapped = benchmark.pedantic(
+        paired_best, rounds=1, iterations=1
+    )
+    gain = blocking / overlapped
+    table(
+        f"dist_mode_svd ring, {p} ranks, {x.shape} tensor (best of 4 x {iters})",
+        ["schedule", "sec/call", "gain"],
+        [["blocking", blocking, 1.0], ["overlapped", overlapped, gain]],
+    )
+    _record(
+        "dist_mode_svd_overlap",
+        {"ranks": p, "shape": list(x.shape), "blocking": blocking,
+         "overlap": overlapped, "gain": gain},
+    )
+    # Pipelining must never lose (observed 1.05-1.15x on one core).
+    assert gain >= 1.0
+
+
+def test_tsqr_butterfly_vs_binary(benchmark):
+    # Communication-bound TSQR: modest triangles, so the binary tree's
+    # serialized root folds + broadcast dominate.  The butterfly folds on
+    # every rank in parallel and needs no broadcast; results are
+    # bit-identical, so the row isolates pure schedule gain.
+    p, iters, n = 4, 60, 32
+    full = np.random.default_rng(10).standard_normal((48 * p, n))
+    rows = block_ranges(48 * p, p)
+    run_spmd(p, _tsqr_prog, full, rows, 1, backend=_BACKEND)  # prime pool
+
+    def paired_best():
+        binary, butterfly = float("inf"), float("inf")
+        for _ in range(4):
+            res = run_spmd(p, _tsqr_prog, full, rows, iters,
+                           backend=_BACKEND, timeout=120.0)
+            assert all(same for _, _, same in res.values)  # bit-identical
+            binary = min(binary, max(v[0] for v in res.values))
+            butterfly = min(butterfly, max(v[1] for v in res.values))
+        return binary / iters, butterfly / iters
+
+    binary, butterfly = benchmark.pedantic(paired_best, rounds=1, iterations=1)
+    gain = binary / butterfly
+    table(
+        f"tsqr_r, {p} ranks, {full.shape} matrix (best of 4 x {iters})",
+        ["tree", "sec/call", "gain"],
+        [["binary", binary, 1.0], ["butterfly", butterfly, gain]],
+    )
+    _record(
+        "tsqr_tree",
+        {"ranks": p, "shape": list(full.shape), "binary": binary,
+         "butterfly": butterfly, "gain": gain},
+    )
+    # Dropping the broadcast must pay for the extra folds (observed
+    # 1.3-1.45x even on one core).
     assert gain >= 1.0
 
 

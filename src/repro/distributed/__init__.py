@@ -24,6 +24,7 @@ implementation in the test suite.
 
 from repro.distributed.layout import block_range, block_ranges, local_block
 from repro.distributed.overlap import OVERLAP_ENV_VAR, overlap_enabled
+from repro.distributed.ring import RingHop, mode_ring_hops, ring_exchange
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.ttm import dist_ttm
 from repro.distributed.gram import dist_gram
@@ -31,7 +32,12 @@ from repro.distributed.evecs import dist_evecs
 from repro.distributed.sthosvd import DistTucker, dist_sthosvd
 from repro.distributed.hooi import dist_hooi
 from repro.distributed.grid import choose_grid
-from repro.distributed.tsqr import dist_mode_svd, tsqr_r
+from repro.distributed.tsqr import (
+    TSQR_TREE_ENV_VAR,
+    dist_mode_svd,
+    tsqr_r,
+    tsqr_tree,
+)
 from repro.distributed.streaming import DistStreamingTucker
 
 __all__ = [
@@ -40,6 +46,11 @@ __all__ = [
     "local_block",
     "OVERLAP_ENV_VAR",
     "overlap_enabled",
+    "RingHop",
+    "mode_ring_hops",
+    "ring_exchange",
+    "TSQR_TREE_ENV_VAR",
+    "tsqr_tree",
     "DistTensor",
     "dist_ttm",
     "dist_gram",

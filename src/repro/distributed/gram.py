@@ -10,6 +10,11 @@ processor row (an all-reduce) yields this rank's *block row* ``S[rows, :]``
 of the Gram matrix, replicated across its processor row — exactly the
 input distribution Alg. 5 expects.
 
+The ring itself is the shared :func:`~repro.distributed.ring.ring_exchange`
+pipeline (also driving :func:`~repro.distributed.tsqr.dist_mode_svd`):
+pipelined, every hop's exchange is posted before the diagonal dgemm and
+each block multiply overlaps the remaining in-flight hops.
+
 When ``P_n == 1`` the ring disappears: one symmetric local Gram (dsyrk-
 style, exploiting symmetry) followed by the all-reduce, the fully-symmetric
 fast path the paper highlights.
@@ -22,16 +27,14 @@ import numpy as np
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.layout import block_ranges
 from repro.distributed.overlap import overlap_enabled
+from repro.distributed.ring import (
+    RingHop,
+    mode_ring_hops,
+    ring_exchange,
+    unfold_peer as _unfold_peer,
+)
 from repro.mpi.reduce_ops import SUM
 from repro.util.validation import check_axis
-
-
-def _unfold_peer(w, mode: int) -> np.ndarray:
-    """Mode-``mode`` unfolding of a received peer tensor block."""
-    arr = np.asarray(w)
-    return np.reshape(
-        np.moveaxis(arr, mode, 0), (arr.shape[mode], -1), order="F"
-    )
 
 
 def dist_gram(
@@ -73,6 +76,7 @@ def dist_gram(
     ranges = block_ranges(jn, pn)
     my_unf = dt.local_unfolding(mode)  # (my rows) x (local columns)
     pipelined = pn > 1 and overlap_enabled(overlap)
+    inflight = 1
 
     blocks: list[np.ndarray | None] = [None] * pn
     if pn == 1:
@@ -82,73 +86,41 @@ def dist_gram(
         dt.comm.add_flops(my_unf.shape[0] * (my_unf.shape[0] + 1) * my_unf.shape[1])
         blocks[0] = s_local
     elif not exploit_symmetry:
-        # Ring exchange (Alg. 4 lines 6-12): at step i send the local tensor
-        # i hops "down" the column and receive from i hops "up"; sendrecv
-        # (or its deferred isendrecv form) avoids the blocking-order
-        # deadlock.  Pipelined, every hop's exchange is posted before the
-        # diagonal dgemm — all hops carry the same payload, so there is
-        # nothing to wait for before shipping them — and each wait then
-        # finds its peer block already delivered.
-        def _hop(i: int) -> tuple[int, int]:
-            return (my_pn - i) % pn, (my_pn + i) % pn  # (dest, source)
-
-        reqs = {}
-        if pipelined:
-            for i in range(1, pn):
-                j, k = _hop(i)
-                reqs[i] = col.isendrecv(dt.local, dest=j, source=k, tag=i)
+        # Full ring (Alg. 4 lines 6-12) on the shared pipeline.  The
+        # exchange generator posts every hop before the first block is
+        # consumed (pipelined) — the diagonal dgemm then runs with all
+        # hops in flight, and each peer multiply overlaps the rest.
+        hops = mode_ring_hops(pn, my_pn)
+        exchanges = ring_exchange(col, dt.local, hops, pipelined)
         blocks[my_pn] = my_unf @ my_unf.T
         dt.comm.add_flops(2 * my_unf.shape[0] ** 2 * my_unf.shape[1])
-        for i in range(1, pn):
-            j, k = _hop(i)  # destination / source (Alg. 4 lines 7-8)
-            if pipelined:
-                w = reqs.pop(i).wait()
-            else:
-                w = col.sendrecv(dt.local, dest=j, source=k, tag=i)
+        for hop, w in exchanges:
             w_unf = _unfold_peer(w, mode)
-            blocks[k] = my_unf @ w_unf.T
+            blocks[hop.source] = my_unf @ w_unf.T
             dt.comm.add_flops(2 * my_unf.shape[0] * w_unf.shape[0] * my_unf.shape[1])
+        inflight = pn - 1 if pipelined else 1
     else:
         # Halved ring: `half` paired steps, plus one antipodal step for
-        # even P_n.  Pipelined, every step's local-tensor exchange is
-        # posted before the diagonal dgemm (they all ship ``dt.local``);
-        # only the symT block shipments stay synchronous, since each
-        # carries a block computed in that very step.
+        # even P_n.  All local-tensor shipments ride the shared pipeline
+        # (they all carry ``dt.local``); only the symT block shipments
+        # stay synchronous, since each carries a block computed in that
+        # very step.
         half = (pn - 1) // 2
-        steps: list[tuple[str, int]] = [("sym", i) for i in range(1, half + 1)]
+        hops = mode_ring_hops(pn, my_pn, tag="sym")[:half]
         if pn % 2 == 0:
-            steps.append(("symA", pn // 2))
-
-        def _post(step: tuple[str, int]):
-            kind, i = step
-            if kind == "sym":
-                return col.isendrecv(
-                    dt.local,
-                    dest=(my_pn - i) % pn,
-                    source=(my_pn + i) % pn,
-                    tag=("sym", i),
-                )
-            anti = (my_pn + i) % pn
-            return col.isendrecv(dt.local, dest=anti, source=anti, tag=("symA", i))
-
-        reqs = {}
-        if pipelined:
-            for idx, step in enumerate(steps):
-                reqs[idx] = _post(step)
+            anti = (my_pn + pn // 2) % pn
+            hops.append(
+                RingHop(step=pn // 2, dest=anti, source=anti, tag=("symA", pn // 2))
+            )
+        exchanges = ring_exchange(col, dt.local, hops, pipelined)
         # Diagonal block with symmetric flop count.
         diag = my_unf @ my_unf.T
         blocks[my_pn] = (diag + diag.T) * 0.5
         dt.comm.add_flops(my_unf.shape[0] * (my_unf.shape[0] + 1) * my_unf.shape[1])
-        for idx, (kind, i) in enumerate(steps):
+        for hop, w in exchanges:
+            i, k = hop.step, hop.source
             j = (my_pn - i) % pn
-            k = (my_pn + i) % pn
-            if pipelined:
-                w = reqs.pop(idx).wait()
-            elif kind == "sym":
-                w = col.sendrecv(dt.local, dest=j, source=k, tag=("sym", i))
-            else:
-                w = col.sendrecv(dt.local, dest=k, source=k, tag=("symA", i))
-            if kind == "sym":
+            if hop.tag[0] == "sym":
                 w_unf = _unfold_peer(w, mode)
                 blocks[k] = my_unf @ w_unf.T
                 dt.comm.add_flops(
@@ -169,6 +141,7 @@ def dist_gram(
                 col.send(blocks[k], dest=k, tag=("symAT", i))
             else:
                 blocks[k] = np.asarray(col.recv(source=k, tag=("symAT", i))).T
+        inflight = max(1, len(hops)) if pipelined else 1
 
     # Assemble the (my rows) x J_n slab, ordering peer blocks by their global
     # row ranges, then sum contributions over the processor row.
@@ -179,9 +152,5 @@ def dist_gram(
     # blocking ring holds one exchange in flight (the paper's eq. (2)
     # accounting); the pipelined ring trades memory for time and holds
     # them all, which the noted peak reports honestly.
-    if pipelined:
-        inflight = (pn - 1) if not exploit_symmetry else max(1, len(steps))
-    else:
-        inflight = 1
     dt.comm.note_memory((1 + inflight) * dt.local.size + 2 * slab.size)
     return np.asarray(row.allreduce(slab, SUM))

@@ -5,10 +5,16 @@ computation as additive because its reference implementation runs them
 back-to-back.  With the runtime's deferred-completion requests
 (:meth:`~repro.mpi.comm.Communicator.isendrecv`,
 :meth:`~repro.mpi.comm.Communicator.ireduce`, ...) the hot kernels can
-instead *pipeline*: :func:`~repro.distributed.gram.dist_gram` posts the
-next ring hop before multiplying the current peer block, and the blocked
+instead *pipeline*: :func:`~repro.distributed.gram.dist_gram` and the
+mode-column ring of :func:`~repro.distributed.tsqr.dist_mode_svd` post
+every ring hop up front (the shared
+:func:`~repro.distributed.ring.ring_exchange` pipeline) and compute with
+the remaining exchanges in flight, the blocked
 :func:`~repro.distributed.ttm.dist_ttm` overlaps each block-row reduce
-with the next block's local TTM.
+with the next block's local TTM, and the butterfly
+:func:`~repro.distributed.tsqr.tsqr_r` posts its non-power-of-two
+fix-up fan-out as deferred-completion sends (its exchange rounds have
+no schedule freedom: each round ships the previous round's fold).
 
 Results are bit-identical with the overlap on or off — only the order in
 which communication is *initiated* changes, never the data, the fold

@@ -137,6 +137,7 @@ def dist_sthosvd(
     mode_order: Sequence[int] | None = None,
     ttm_strategy: str = "auto",
     method: str = "gram",
+    tsqr_tree: str | None = None,
 ) -> DistTucker:
     """Parallel ST-HOSVD (Alg. 1 on the Sec. V kernels).
 
@@ -145,7 +146,10 @@ def dist_sthosvd(
     identical arguments.  ``method="svd"`` replaces the Gram + eigenvector
     kernels with the TSQR-based factor computation of
     :func:`repro.distributed.tsqr.dist_mode_svd` (the paper's Sec. IX
-    numerical improvement, at roughly twice the cost).
+    numerical improvement, at roughly twice the cost); ``tsqr_tree``
+    selects its reduction tree (``"binary"``/``"butterfly"``, default the
+    ``REPRO_TSQR_TREE`` environment switch — factors are bit-identical
+    across tree choices).
     """
     n_modes = dt.ndim
     if (tol is None) == (ranks is None):
@@ -191,10 +195,13 @@ def dist_sthosvd(
             with comm.section("svd"):
                 if threshold is not None:
                     u_local, eig = dist_mode_svd(
-                        y, n, threshold=threshold, min_rank=pn
+                        y, n, threshold=threshold, min_rank=pn,
+                        tree=tsqr_tree,
                     )
                 else:
-                    u_local, eig = dist_mode_svd(y, n, rank=ranks[n])  # type: ignore[index]
+                    u_local, eig = dist_mode_svd(
+                        y, n, rank=ranks[n], tree=tsqr_tree  # type: ignore[index]
+                    )
                 rn = u_local.shape[1]
         else:
             with comm.section("gram"):

@@ -6,15 +6,32 @@ is typically very tall and skinny, we can compute the SVD using a QR
 decomposition as a preprocessing step at roughly twice the cost".  This
 module implements that improvement on the distributed substrate:
 
-* :func:`tsqr_r` — the R factor of a tall-skinny QR across a communicator,
-  by binary-tree reduction of stacked local R factors (Demmel et al.'s
-  communication-avoiding TSQR; only R is needed here, so Q is never formed).
+* :func:`tsqr_r` — the R factor of a tall-skinny QR across a communicator
+  (Demmel et al.'s communication-avoiding TSQR; only R is needed here, so
+  Q is never formed), with two reduction trees:
+
+  - ``tree="binary"`` — eliminate-and-broadcast: a binary reduction of
+    stacked local R factors to group rank 0, then a broadcast.
+  - ``tree="butterfly"`` — the allreduce-style butterfly: ``log2 P``
+    pairwise exchange rounds after which *every* rank holds the global
+    R, no broadcast.  Non-power-of-two sizes work by skipping absent
+    partners and fanning the finished R out to the (few) ranks the
+    truncated butterfly leaves incomplete.
+
+  Both trees stack partner triangles lower-group-rank first at every
+  node, so they perform the *same* floating-point folds in the same
+  bracketing and return bit-identical R factors (up to nothing — the
+  bits match exactly, before and after the sign convention).
+
 * :func:`dist_mode_svd` — this rank's block row of ``U^(n)`` computed from
-  the *transposed* local unfolding: each rank QR-factorizes its local
-  ``(local columns) x (local J_n)`` slab, the tree combines R factors over
-  the whole grid, and a small ``J_n x J_n`` SVD of the final R yields the
-  singular values and right singular vectors — which are the left singular
-  vectors of ``Y_(n)``.
+  the *transposed* local unfolding: the local tensors travel around the
+  mode-column ring (the shared :func:`~repro.distributed.ring.ring_exchange`
+  pipeline, all hops posted up front under ``REPRO_SPMD_OVERLAP``), each
+  rank assembles complete rows of ``Y_(n)^T`` for its share of the column
+  range while later hops are still in flight, the local QR of the
+  assembled slab runs at the pipeline tail, and the TSQR tree combines
+  the R factors over the whole grid; a small ``J_n x J_n`` SVD of the
+  final R yields the spectrum and this rank's factor rows.
 
 Unlike Alg. 4 + Alg. 5 this path never squares the condition number, so
 epsilon-truncation remains reliable down to machine precision.
@@ -22,71 +39,233 @@ epsilon-truncation remains reliable down to machine precision.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.layout import block_range
+from repro.distributed.overlap import overlap_enabled
+from repro.distributed.ring import mode_ring_hops, ring_exchange, unfold_peer
 from repro.mpi.comm import Communicator
 from repro.tensor.eig import EigResult, _fix_signs, rank_from_tolerance
 from repro.util.validation import check_axis
 
+#: Environment switch for the TSQR reduction tree: ``binary`` (default,
+#: eliminate-and-broadcast) or ``butterfly`` (allreduce-style exchange
+#: rounds, no broadcast).  A ``tree=`` keyword on the kernels overrides it.
+TSQR_TREE_ENV_VAR = "REPRO_TSQR_TREE"
+
+_TREES = ("binary", "butterfly")
+
+
+def tsqr_tree(override: str | None = None) -> str:
+    """Resolve the TSQR tree variant: kwarg > ``REPRO_TSQR_TREE`` > binary."""
+    tree = override if override is not None else os.environ.get(
+        TSQR_TREE_ENV_VAR, "binary"
+    )
+    if tree not in _TREES:
+        raise ValueError(f"unknown TSQR tree {tree!r}; use one of {_TREES}")
+    return tree
+
 
 def _local_r(matrix: np.ndarray) -> np.ndarray:
-    """Upper-triangular R of a (possibly short) local QR, padded to n x n.
+    """Upper-triangular R of a local QR, in its *true* shape.
 
-    For an ``m x n`` slab with ``m < n`` the R factor is ``m x n``; we pad
-    with zero rows so tree nodes always combine ``n x n`` blocks.
+    For an ``m x n`` slab with ``m < n`` the R factor is ``m x n``; tree
+    nodes stack true shapes (no zero-row padding), so flop charges reflect
+    the rows actually factorized.
     """
-    r = np.linalg.qr(matrix, mode="r")
-    n = matrix.shape[1]
-    if r.shape[0] < n:
-        r = np.vstack([r, np.zeros((n - r.shape[0], n))])
+    return np.linalg.qr(matrix, mode="r")
+
+
+def _fold(comm: Communicator, mine: np.ndarray, other, lower_first: bool):
+    """One tree node: stack two R factors (lower group rank on top) and
+    re-factorize, charging the true stacked shape."""
+    other = np.asarray(other)
+    stacked = np.vstack([mine, other] if lower_first else [other, mine])
+    n = stacked.shape[1]
+    r = _local_r(stacked)
+    comm.add_flops(2 * stacked.shape[0] * n * n)
     return r
 
 
-def tsqr_r(comm: Communicator, local: np.ndarray) -> np.ndarray:
+def _tsqr_binary(comm: Communicator, r: np.ndarray) -> np.ndarray:
+    """Eliminate-and-broadcast: binary reduction to rank 0, then bcast.
+
+    At round k, ranks with bit k set send their triangle to
+    ``rank - 2^k`` and drop out; rank 0 ends with the global R and
+    broadcasts it.
+    """
+    rank, size = comm.rank, comm.size
+    step = 1
+    while step < size:
+        if rank % (2 * step) == 0:
+            partner = rank + step
+            if partner < size:
+                other = comm.recv(source=partner, tag=("tsqr", step))
+                r = _fold(comm, r, other, lower_first=True)
+        else:
+            comm.send(r, dest=rank - step, tag=("tsqr", step))
+            break  # eliminated; rejoin at the broadcast
+        step *= 2
+    return np.asarray(comm.bcast(r if rank == 0 else None, root=0))
+
+
+def _butterfly_complete(size: int) -> list[bool]:
+    """Which ranks of a skip-absent-partner butterfly end holding the
+    global R.  Pure arithmetic on group ranks — every member derives the
+    identical schedule locally, so the fix-up fan-out needs no extra
+    coordination round."""
+    cover = [1 << i for i in range(size)]
+    step = 1
+    while step < size:
+        cover = [
+            c | cover[i ^ step] if i ^ step < size else c
+            for i, c in enumerate(cover)
+        ]
+        step *= 2
+    full = (1 << size) - 1
+    return [c == full for c in cover]
+
+
+def _tsqr_butterfly(
+    comm: Communicator, r: np.ndarray, pipelined: bool
+) -> np.ndarray:
+    """Butterfly (allreduce-style) TSQR: ``log2 P`` pairwise exchange
+    rounds; every rank folds its partner's triangle each round, stacking
+    the lower group rank first — the same folds, in the same bracketing,
+    as the binary tree, so the result is bit-identical to it.
+
+    A rank whose partner ``rank ^ 2^k`` falls outside the group skips
+    that round (its R is simply carried forward).  For non-power-of-two
+    sizes a few ranks therefore finish without every contribution; the
+    ranks that did finish fan the global R out to them — far cheaper
+    than the binary tree's full broadcast, and absent entirely at
+    power-of-two sizes.  The exchange rounds themselves have no schedule
+    freedom (each round's send is the previous round's fold, so
+    ``sendrecv``'s staged send leg is already maximally eager); overlap
+    only changes the fix-up fan-out, whose sends are posted ``isend`` s
+    completed after the receivers are served.
+    """
+    rank, size = comm.rank, comm.size
+    step = 1
+    while step < size:
+        partner = rank ^ step
+        if partner < size:
+            other = comm.sendrecv(
+                r, dest=partner, source=partner, tag=("tsqr-bfly", step)
+            )
+            r = _fold(comm, r, other, lower_first=rank < partner)
+        step *= 2
+
+    if size & (size - 1) == 0:
+        return r  # power of two: every rank already holds the global R
+    complete = _butterfly_complete(size)
+    if not all(complete):
+        donors = [i for i, done in enumerate(complete) if done]
+        needy = [i for i, done in enumerate(complete) if not done]
+        posted = []
+        for t, dst in enumerate(needy):
+            src = donors[t % len(donors)]
+            if rank == src:
+                if pipelined:
+                    posted.append(
+                        comm.isend(r, dest=dst, tag=("tsqr-fix", t))
+                    )
+                else:
+                    comm.send(r, dest=dst, tag=("tsqr-fix", t))
+            elif rank == dst:
+                r = np.asarray(
+                    comm.recv(source=src, tag=("tsqr-fix", t))
+                )
+        for req in posted:
+            req.wait()
+    return r
+
+
+def tsqr_r(
+    comm: Communicator,
+    local: np.ndarray,
+    tree: str | None = None,
+    overlap: bool | None = None,
+) -> np.ndarray:
     """R factor of the QR of the row-stacked distributed matrix.
 
     Every rank passes its local ``m_i x n`` slab (``n`` identical across
     ranks); all ranks return the same ``n x n`` R factor (up to a
     deterministic sign convention on the diagonal).
 
-    Communication: a binary reduction tree of ``n x n`` triangles
-    (``log2 P`` rounds), then a broadcast of the root's result — the
-    standard TSQR pattern.
+    ``tree`` selects the reduction tree (``"binary"`` /
+    ``"butterfly"``, default the ``REPRO_TSQR_TREE`` environment switch);
+    the returned factor is bit-identical across tree choices.
+    ``overlap`` (default ``REPRO_SPMD_OVERLAP``) posts the butterfly's
+    non-power-of-two fix-up fan-out as deferred-completion sends;
+    charges and bits are identical either way.
+
+    Intermediate R factors keep their true row counts — short local
+    slabs (``m_i < n``) stack as-is instead of being zero-padded, so
+    each node's flop charge is ``2 (m_a + m_b) n^2`` for the rows it
+    actually factorizes; only the final factor is padded to ``n x n``.
     """
     local = np.asarray(local, dtype=np.float64)
     if local.ndim != 2:
         raise ValueError(f"tsqr_r expects a matrix, got ndim={local.ndim}")
+    variant = tsqr_tree(tree)
+    pipelined = overlap_enabled(overlap)
     n = local.shape[1]
     r = _local_r(local)
     comm.add_flops(2 * local.shape[0] * n * n)
 
-    # Binary tree over group ranks: at round k, ranks with bit k set send
-    # their triangle to (rank - 2^k) and drop out.
-    rank, size = comm.rank, comm.size
-    step = 1
-    active = True
-    while step < size:
-        if active:
-            if rank % (2 * step) == 0:
-                partner = rank + step
-                if partner < size:
-                    other = comm.recv(source=partner, tag=("tsqr", step))
-                    r = _local_r(np.vstack([r, other]))
-                    comm.add_flops(2 * (2 * n) * n * n)
-            else:
-                partner = rank - step
-                comm.send(r, dest=partner, tag=("tsqr", step))
-                active = False
-        step *= 2
-    # Root holds the global R; broadcast it.
-    r = comm.bcast(r if rank == 0 else None, root=0)
+    if comm.size > 1:
+        if variant == "butterfly":
+            r = _tsqr_butterfly(comm, r, pipelined)
+        else:
+            r = _tsqr_binary(comm, r)
 
+    # Every rank now holds the same global R in its true shape; pad to
+    # n x n so downstream consumers always see the full triangle.
+    if r.shape[0] < n:
+        r = np.vstack([r, np.zeros((n - r.shape[0], n))])
     # Deterministic sign convention: make the diagonal non-negative.
     signs = np.sign(np.diag(r))
     signs[signs == 0] = 1.0
     return signs[:, None] * r
+
+
+def _assemble_slab_t(
+    dt: DistTensor,
+    local_unf: np.ndarray,
+    mode: int,
+    keep: slice,
+    jn: int,
+    pn: int,
+    my_pn: int,
+    row_start: int,
+    row_stop: int,
+    pipelined: bool,
+) -> np.ndarray:
+    """Assemble the *transposed* slab ``Y_(n)^T[:, keep].T`` — shape
+    ``(J_n, kept columns)``, C-ordered, so its ``.T`` is the F-ordered
+    ``(kept columns) x J_n`` slab LAPACK's QR consumes without a copy.
+
+    Each row block is written straight from the peer unfolding (one copy,
+    no intermediate transposed temporaries: the former C-ordered slab
+    forced every block through a strided transpose assignment).  The ring
+    pipeline posts all hops up front, so each arriving block's
+    unfold/scatter overlaps the hops still in flight.
+    """
+    col = dt.grid.mode_column(mode)
+    slab_t = np.zeros((jn, keep.stop - keep.start))
+    exchanges = ring_exchange(
+        col, dt.local, mode_ring_hops(pn, my_pn, tag="svd"), pipelined
+    ) if pn > 1 else iter(())
+    slab_t[row_start:row_stop, :] = local_unf[:, keep]
+    for hop, w in exchanges:
+        w_unf = unfold_peer(w, mode)
+        w_rows = block_range(jn, pn, hop.source)
+        slab_t[w_rows[0] : w_rows[1], :] = w_unf[:, keep]
+    return slab_t
 
 
 def dist_mode_svd(
@@ -95,6 +274,8 @@ def dist_mode_svd(
     rank: int | None = None,
     threshold: float | None = None,
     min_rank: int = 1,
+    overlap: bool | None = None,
+    tree: str | None = None,
 ) -> tuple[np.ndarray, EigResult]:
     """Gram-free factor computation: left singular vectors of ``Y_(n)``.
 
@@ -106,11 +287,17 @@ def dist_mode_svd(
     Construction: a row of ``Y_(n)^T`` is one column of the unfolding —
     complete only when the ``P_n`` ranks of a mode column (which share the
     column range but own different ``J_n`` rows) combine their pieces.  As
-    in Alg. 4 the local tensors travel around the mode-column ring; each
-    rank assembles complete rows for *its* share of the column range (a
-    ``1/P_n`` slice, so no row is duplicated across the grid), and the
-    global TSQR tree then reduces every rank's slab to the ``J_n x J_n``
-    R factor of the exactly-stacked ``Y_(n)^T``.
+    in Alg. 4 the local tensors travel around the mode-column ring — the
+    shared pipelined :func:`~repro.distributed.ring.ring_exchange`, all
+    hops posted up front under ``overlap`` (default
+    ``REPRO_SPMD_OVERLAP``), each arriving block scattered into the slab
+    while the remaining hops are in flight and the local QR folded in at
+    the pipeline tail.  Each rank assembles complete rows for *its* share
+    of the column range (a ``1/P_n`` slice, so no row is duplicated
+    across the grid), and the global TSQR ``tree`` (default
+    ``REPRO_TSQR_TREE``) reduces every rank's slab to the ``J_n x J_n``
+    R factor of the exactly-stacked ``Y_(n)^T``.  Results are
+    bit-identical across overlap on/off and tree choices.
     """
     mode = check_axis(mode, dt.ndim)
     if (rank is None) == (threshold is None):
@@ -120,31 +307,24 @@ def dist_mode_svd(
     pn, my_pn = col.size, col.rank
     row_start, row_stop = block_range(jn, pn, my_pn)
 
-    local_unf = dt.local_unfolding(mode)  # (my jn rows) x (my cols)
-    n_cols = local_unf.shape[1]
+    local_unf = dt.local_unfolding(mode)
     # My share of this processor column's unfolding columns (may be empty
     # when the local block has fewer columns than P_n).
-    base, rem = divmod(n_cols, pn)
+    base, rem = divmod(local_unf.shape[1], pn)
     keep_start = my_pn * base + min(my_pn, rem)
-    keep_stop = keep_start + base + (1 if my_pn < rem else 0)
-    keep = slice(keep_start, keep_stop)
+    keep = slice(keep_start, keep_start + base + (1 if my_pn < rem else 0))
 
-    slab = np.zeros((keep_stop - keep_start, jn))
-    slab[:, row_start:row_stop] = local_unf[:, keep].T
-    # Ring exchange (same pattern as Alg. 4): after P_n - 1 shifts every
-    # rank has seen all J_n rows for its kept columns.
-    for i in range(1, pn):
-        dst = (my_pn - i) % pn
-        src = (my_pn + i) % pn
-        w = col.sendrecv(dt.local, dest=dst, source=src, tag=("svd", i))
-        w_arr = np.asarray(w)
-        w_unf = np.reshape(
-            np.moveaxis(w_arr, mode, 0), (w_arr.shape[mode], -1), order="F"
-        )
-        w_rows = block_range(jn, pn, src)
-        slab[:, w_rows[0] : w_rows[1]] = w_unf[:, keep].T
-
-    r = tsqr_r(dt.comm, slab)
+    pipelined = pn > 1 and overlap_enabled(overlap)
+    slab_t = _assemble_slab_t(
+        dt, local_unf, mode, keep, jn, pn, my_pn, row_start, row_stop,
+        pipelined,
+    )
+    # Live set mirrors the Gram ring's accounting: local tensor +
+    # in-flight peer tensors + the assembled slab (held once — the QR
+    # consumes the transposed view in place).
+    inflight = (pn - 1) if pipelined else min(1, pn - 1)
+    dt.comm.note_memory((1 + inflight) * dt.local.size + slab_t.size)
+    r = tsqr_r(dt.comm, slab_t.T, tree=tree, overlap=overlap)
     # SVD of R (J_n x J_n, small): Y_(n)^T = Q R  =>  right singular
     # vectors of R are the left singular vectors of Y_(n).
     _, sing, vt = np.linalg.svd(r)

@@ -90,6 +90,7 @@ from repro.mpi.process_transport import (
     decode_borrowed,
     encode_payload,
     process_arena,
+    reap_stale_hugepage_segments,
     release_payload,
 )
 from repro.mpi.transport import ThreadTransport
@@ -505,12 +506,18 @@ def shutdown_worker_pools() -> None:
     with _POOLS_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
+    worker_pids = set()
     for pool in pools:
+        worker_pids.update(p.pid for p in pool.procs)
         pool.reclaim_staged()
         pool.shutdown()
     # The dispatching side stages task arguments through its own arena;
     # release those pooled segments along with the workers.
     process_arena().teardown()
+    # Hugetlbfs files have no resource-tracker net: sweep segments whose
+    # creating worker died without unlinking them (killed ranks), lest
+    # leaked files pin reserved huge pages across runs.
+    reap_stale_hugepage_segments(worker_pids)
 
 
 atexit.register(shutdown_worker_pools)
@@ -534,7 +541,12 @@ def _invalidate_pool(pool: _RankPool) -> None:
     with _POOLS_LOCK:
         if _POOLS.get(pool.n_ranks) is pool:
             del _POOLS[pool.n_ranks]
+    worker_pids = [p.pid for p in pool.procs]
     pool.shutdown()
+    # A pool is only retired like this on failure — exactly when a killed
+    # or crashed worker may have leaked huge-page segment files (no
+    # resource-tracker net on hugetlbfs); sweep its dead workers' names.
+    reap_stale_hugepage_segments(worker_pids)
 
 
 class ProcessBackend(ExecutorBackend):
@@ -798,6 +810,7 @@ class ProcessBackend(ExecutorBackend):
                 p.terminate()
                 p.join()
         self._reclaim(inboxes)
+        reap_stale_hugepage_segments(p.pid for p in procs)
         raise_spmd_failures(failures)
         return SpmdResult(values=values, ledger=ledger)
 

@@ -24,6 +24,14 @@ path cheap:
   segment.  The segment is recycled into the arena only when the last view
   dies (or :func:`release_view` is called), so large TTM operands are never
   copied on the receive side.
+* **Huge-page mappings** (:class:`HugePageSegment`): collective windows
+  and arena segments at or above :data:`HUGE_MIN_BYTES` are backed by
+  files on the host's hugetlbfs mount when huge pages are reserved,
+  cutting TLB pressure on the multi-MiB ring and reduce exchanges; every
+  attempt falls back transparently to POSIX shm when the mmap fails, and
+  :data:`HUGEPAGE_STATS` / ``CollectiveWindow.backing`` record which
+  mapping was used.  ``REPRO_SPMD_HUGEPAGES`` selects the mode (``auto``
+  default / ``0`` off / a directory path to use as the mount).
 * **Collective windows** (:class:`CollectiveWindow`, :class:`MatrixWindow`):
   each communicator can open preallocated shm windows (MPI-3 RMA style)
   that every collective writes into directly — ``barrier``/``bcast``/
@@ -47,9 +55,11 @@ spinning on a window fence) notices within one poll interval and raises
 
 from __future__ import annotations
 
+import mmap
 import os
 import pickle
 import queue as queue_mod
+import secrets
 import struct
 import time
 import weakref
@@ -106,6 +116,300 @@ _ARENA_MAX_FREE_BYTES = 128 << 20
 #: still grow in power-of-two buckets when a later payload does not fit.
 WINDOW_MIN_SLOT = 4096
 
+#: Huge-page backing for large mappings: ``auto`` (the default — use the
+#: host's hugetlbfs mount when huge pages are reserved), ``0`` (never), or
+#: an absolute directory path (treat that directory as the mount; lets
+#: tests and pre-mounted deployments exercise the file-backed path).
+HUGEPAGES_ENV_VAR = "REPRO_SPMD_HUGEPAGES"
+
+#: Only mappings at least one huge page wide (2 MiB on x86-64) are worth
+#: the hugetlbfs round-trip; smaller segments stay on POSIX shm.
+HUGE_MIN_BYTES = 2 << 20
+
+#: Per-process counters recording which mapping each large segment got:
+#: ``mapped`` counts hugetlbfs-backed segments, ``fallbacks`` counts
+#: attempts that fell back to POSIX shm because the mmap failed (pages
+#: exhausted, mount vanished).  Reset-free — tests snapshot deltas.
+HUGEPAGE_STATS = {"mapped": 0, "fallbacks": 0}
+
+#: Name prefix routing attaches: segments created on hugetlbfs carry it,
+#: so the receiving process knows which substrate to open by name alone.
+_HUGE_PREFIX = "rphp_"
+
+_HP_DIR_CACHE: dict[str, str | None] = {}
+_HP_PAGE_CACHE: dict[str, int] = {}
+
+
+def hugepage_size(directory: str) -> int:
+    """The page size of the mount behind ``directory``, in bytes.
+
+    hugetlbfs sets the filesystem block size to its huge page size
+    (which is per-mount — a ``pagesize=1G`` mount coexists with 2 MiB
+    defaults), so ``statvfs`` reports the right granularity for file
+    rounding on any mount; an ordinary directory (the knob's path
+    override) reports its small block size and is floored at one page.
+    """
+    page = _HP_PAGE_CACHE.get(directory)
+    if page is None:
+        try:
+            page = max(int(os.statvfs(directory).f_bsize), 4096)
+        except OSError:  # pragma: no cover - directory vanished
+            page = 2 << 20
+        _HP_PAGE_CACHE[directory] = page
+    return page
+
+
+def _mount_has_free_pages(directory: str) -> bool:
+    """Whether the mount behind ``directory`` has pages left to reserve.
+
+    ``statvfs`` reports the *mount's own* pool (``f_bavail`` free blocks
+    of its page size) — unlike ``/proc/meminfo``'s ``HugePages_Free``,
+    which only counts the default hstate and would wrongly disable a
+    ``pagesize=1G`` mount while 2 MiB pages are exhausted.
+    """
+    try:
+        return os.statvfs(directory).f_bavail > 0
+    except OSError:  # pragma: no cover - mount vanished
+        return False
+
+
+def _hugepage_mount(mode: str) -> str | None:
+    """The directory behind huge-page segment *names* (no free-page gate).
+
+    Cached per knob value, so pooled workers re-resolve after an
+    environment change only when the knob itself changed.  ``0``
+    disables; a directory path uses that directory as-is (and must
+    exist and be writable — a typo'd path is a configuration error, not
+    a silent fallback); ``auto``/``1`` picks the first writable
+    ``hugetlbfs`` mount from ``/proc/mounts``; anything else is
+    rejected.  Attaching an *existing* segment only needs this mount —
+    mapping an already-created file reserves no new pages, so attaches
+    must not be gated on ``HugePages_Free`` (the creator may have
+    consumed them all).
+    """
+    if mode in _HP_DIR_CACHE:
+        return _HP_DIR_CACHE[mode]
+    directory: str | None = None
+    if mode == "0":
+        directory = None
+    elif mode.startswith(("/", ".")):
+        if not (os.path.isdir(mode) and os.access(mode, os.W_OK)):
+            raise ValueError(
+                f"{HUGEPAGES_ENV_VAR}={mode!r} is not a writable directory"
+            )
+        directory = mode
+    elif mode in ("auto", "1"):
+        try:
+            with open("/proc/mounts") as fh:
+                for line in fh:
+                    fields = line.split()
+                    if len(fields) >= 3 and fields[2] == "hugetlbfs":
+                        mount = fields[1]
+                        if os.path.isdir(mount) and os.access(mount, os.W_OK):
+                            directory = mount
+                            break
+        except OSError:  # pragma: no cover - /proc unreadable
+            directory = None
+    else:
+        raise ValueError(
+            f"invalid {HUGEPAGES_ENV_VAR} value {mode!r}: "
+            f"use 'auto', '0', or a directory path"
+        )
+    _HP_DIR_CACHE[mode] = directory
+    return directory
+
+
+def _hugepage_mode() -> str:
+    return os.environ.get(HUGEPAGES_ENV_VAR, "auto").strip() or "auto"
+
+
+def hugepage_dir() -> str | None:
+    """Directory for *new* huge-page segments, or ``None`` when disabled.
+
+    In auto mode a fresh mapping needs reserved pages, so the mount's
+    free-page count is consulted per call (reservations come and go);
+    the path override skips the gate — an ordinary directory needs no
+    reserved pages at all.
+    """
+    mode = _hugepage_mode()
+    directory = _hugepage_mount(mode)
+    if directory is None:
+        return None
+    if not mode.startswith(("/", ".")) and not _mount_has_free_pages(directory):
+        return None
+    return directory
+
+
+class HugePageSegment:
+    """A shared segment backed by a file in the hugetlbfs mount.
+
+    Mirrors the slice of :class:`multiprocessing.shared_memory.SharedMemory`
+    the transport uses (``name``/``size``/``buf``/``close``/``unlink``),
+    so segments of either substrate flow through the arena, the message
+    headers, and the collective windows interchangeably.  File-backed
+    mappings on hugetlbfs are huge-page-backed without ``MAP_HUGETLB``;
+    pointing :func:`hugepage_dir` at an ordinary directory (the path form
+    of the knob) exercises the identical code path on normal pages.
+    """
+
+    def __init__(self, name: str, create: bool = False, size: int = 0):
+        # Creation goes through hugepage_dir() (free-page gated) in
+        # create_segment(); attaching by name only needs the mount.
+        directory = _hugepage_mount(_hugepage_mode())
+        if directory is None:
+            raise FileNotFoundError(f"no huge-page directory to open {name!r}")
+        self._path = os.path.join(directory, name)
+        self.name = name
+        self._closed = False
+        if create:
+            fd = os.open(self._path, os.O_CREAT | os.O_EXCL | os.O_RDWR, 0o600)
+        else:
+            fd = os.open(self._path, os.O_RDWR)
+        try:
+            if create:
+                page = hugepage_size(directory)
+                size = -(-size // page) * page
+                os.ftruncate(fd, size)
+            else:
+                size = os.fstat(fd).st_size
+            # On hugetlbfs the reservation happens here: mmap raises
+            # ENOMEM when the host cannot back the mapping, which is the
+            # signal create_segment() turns into a transparent fallback.
+            self._mmap = mmap.mmap(fd, size)
+        except BaseException:
+            os.close(fd)
+            if create:
+                try:
+                    os.unlink(self._path)
+                except OSError:  # pragma: no cover - raced unlink
+                    pass
+            raise
+        os.close(fd)
+        self.size = size
+        self._buf: memoryview | None = memoryview(self._mmap)
+
+    @property
+    def buf(self) -> memoryview:
+        assert self._buf is not None
+        return self._buf
+
+    def close(self) -> None:
+        """Drop this process's mapping (never the file — see unlink)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._buf is not None:
+                self._buf.release()
+                self._buf = None
+            self._mmap.close()
+        except BufferError:  # pragma: no cover - a view still exports it;
+            pass  # the mapping is reclaimed when the last view dies
+
+    def unlink(self) -> None:
+        """Remove the backing file; mappings stay valid until closed."""
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:
+            pass
+
+    def __del__(self):  # pragma: no cover - exercised via GC
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def create_segment(nbytes: int):
+    """A fresh shared segment of at least ``nbytes``.
+
+    Large requests — at least :data:`HUGE_MIN_BYTES` *and* one page of
+    the backing mount (sizes are rounded up to whole pages, so smaller
+    requests would waste most of a page on a ``pagesize=1G`` mount) —
+    are tried on the huge-page substrate first when :func:`hugepage_dir`
+    provides one, cutting TLB pressure on the multi-MiB windows and
+    arena buckets the distributed kernels exchange, and fall back
+    transparently to POSIX shm when the mmap fails;
+    :data:`HUGEPAGE_STATS` records which mapping each request got.
+    """
+    if nbytes >= HUGE_MIN_BYTES:
+        directory = hugepage_dir()
+        if directory is not None and nbytes >= hugepage_size(directory):
+            name = f"{_HUGE_PREFIX}{os.getpid()}_{secrets.token_hex(8)}"
+            try:
+                seg = HugePageSegment(name, create=True, size=nbytes)
+            except OSError:
+                HUGEPAGE_STATS["fallbacks"] += 1
+            else:
+                HUGEPAGE_STATS["mapped"] += 1
+                return seg
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def attach_segment(name: str):
+    """Open an existing segment by name, on whichever substrate created it
+    (huge-page names carry a routing prefix)."""
+    if name.startswith(_HUGE_PREFIX):
+        return HugePageSegment(name)
+    return shared_memory.SharedMemory(name=name)
+
+
+def segment_backing(segment) -> str:
+    """``"hugetlb"`` or ``"shm"`` — which substrate backs ``segment``."""
+    return "hugetlb" if isinstance(segment, HugePageSegment) else "shm"
+
+
+def reap_stale_hugepage_segments(creator_pids) -> list[str]:
+    """Unlink huge-page segment files left behind by dead rank workers.
+
+    POSIX shm segments leaked by a killed worker are eventually reclaimed
+    by multiprocessing's resource tracker; hugetlbfs files have no such
+    net, and a leaked multi-MiB file pins its reserved pages until
+    someone removes it (starving every later auto-mode run).  Segment
+    names embed the creator's pid; the sweep is scoped to
+    ``creator_pids`` — the worker pids the calling executor just joined —
+    so concurrent runs sharing the mount are never touched (ownership is
+    transferable between a run's processes, but never across runs).  A
+    liveness re-check guards against pid reuse: a still-running pid is
+    skipped (conservative — a leak beats unlinking live data).  Returns
+    the removed names.
+    """
+    creator_pids = {int(p) for p in creator_pids if p is not None}
+    creator_pids.discard(os.getpid())
+    if not creator_pids:
+        return []
+    try:
+        mount = _hugepage_mount(_hugepage_mode())
+    except ValueError:  # misconfigured knob: nothing we can sweep
+        return []
+    if mount is None:
+        return []
+    removed = []
+    try:
+        names = os.listdir(mount)
+    except OSError:  # pragma: no cover - mount vanished
+        return []
+    for name in names:
+        if not name.startswith(_HUGE_PREFIX):
+            continue
+        try:
+            pid = int(name[len(_HUGE_PREFIX):].split("_", 1)[0])
+        except ValueError:
+            continue
+        if pid not in creator_pids:
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            try:
+                os.unlink(os.path.join(mount, name))
+                removed.append(name)
+            except OSError:  # pragma: no cover - raced removal
+                pass
+        except OSError:  # pragma: no cover - reused pid, other user
+            pass
+    return removed
+
 
 def window_slot_for(nbytes: int, base: int = WINDOW_MIN_SLOT) -> int:
     """Smallest power-of-two multiple of ``base`` holding ``nbytes``."""
@@ -146,7 +450,13 @@ class SegmentArena:
         self.adopted = 0
 
     def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
-        """A mapped segment of at least ``nbytes`` (caller owns it)."""
+        """A mapped segment of at least ``nbytes`` (caller owns it).
+
+        Buckets at or above :data:`HUGE_MIN_BYTES` come from the
+        huge-page substrate when the host provides one (see
+        :func:`create_segment`); either way the segment circulates
+        through the same free lists.
+        """
         bucket = _bucket_of(nbytes)
         box = self._free.get(bucket)
         if box:
@@ -154,7 +464,7 @@ class SegmentArena:
             self._free_bytes -= bucket
             return box.popleft()
         self.created += 1
-        return shared_memory.SharedMemory(create=True, size=bucket)
+        return create_segment(bucket)
 
     def recycle(self, shm: shared_memory.SharedMemory) -> None:
         """Return an owned segment to the free list (or unlink it)."""
@@ -350,7 +660,7 @@ def encode_payload(
         if arena is not None:
             shm = arena.acquire(src.nbytes)
         else:
-            shm = shared_memory.SharedMemory(create=True, size=src.nbytes)
+            shm = create_segment(src.nbytes)
         segments.append(shm)
         np.ndarray(src.shape, dtype=src.dtype, buffer=shm.buf, order=order)[
             ...
@@ -381,7 +691,7 @@ def decode_payload(
     unlink the segment on the spot.
     """
     if isinstance(obj, ShmHeader):
-        shm = shared_memory.SharedMemory(name=obj.name)
+        shm = attach_segment(obj.name)
         if arena is None:
             try:
                 view = np.ndarray(
@@ -417,7 +727,7 @@ def decode_borrowed(obj: Any) -> Any:
     instead of one per rank.
     """
     if isinstance(obj, ShmHeader):
-        shm = shared_memory.SharedMemory(name=obj.name)
+        shm = attach_segment(obj.name)
         try:
             view = np.ndarray(
                 obj.shape, dtype=obj.dtype, buffer=shm.buf, order=obj.order
@@ -447,7 +757,7 @@ def release_payload(obj: Any) -> None:
     """
     if isinstance(obj, ShmHeader):
         try:
-            shm = shared_memory.SharedMemory(name=obj.name)
+            shm = attach_segment(obj.name)
         except FileNotFoundError:  # pragma: no cover - already reclaimed
             return
         _close_and_unlink(shm)
@@ -572,6 +882,11 @@ class CollectiveWindow:
         self._words = np.frombuffer(buf, np.int64, size, offset=4 * flag_bytes)
         self._data_off = 5 * flag_bytes
         self._closed = False
+        #: Which substrate maps the window: ``"hugetlb"`` when the segment
+        #: lives on the hugetlbfs mount, ``"shm"`` otherwise.  Recorded so
+        #: benchmarks and tests can tell whether the huge-page request was
+        #: honoured or transparently fell back.
+        self.backing = segment_backing(shm)
 
     @property
     def name(self) -> str:
@@ -587,9 +902,10 @@ class CollectiveWindow:
         cls, size: int, index: int, slot_bytes: int, abort_event, timeout: float
     ) -> "CollectiveWindow":
         total = 5 * 8 * size + cls._n_data_slots(size) * slot_bytes
-        shm = shared_memory.SharedMemory(create=True, size=total)
-        # Fresh segments are zero-filled by the OS: all flags start at 0,
-        # which is exactly "sequence 0 complete".
+        # Multi-MiB windows ask for huge-page backing (transparent shm
+        # fallback); fresh segments of either substrate are zero-filled by
+        # the OS, so all flags start at 0 — exactly "sequence 0 complete".
+        shm = create_segment(total)
         return cls(shm, size, index, slot_bytes, True, abort_event, timeout)
 
     @classmethod
@@ -603,7 +919,7 @@ class CollectiveWindow:
         timeout: float,
     ) -> "CollectiveWindow":
         try:
-            shm = shared_memory.SharedMemory(name=name)
+            shm = attach_segment(name)
         except FileNotFoundError:
             # The creator failed and reclaimed the window before we got
             # here; surface it as the poisoned-transport error it is.

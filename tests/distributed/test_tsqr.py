@@ -6,9 +6,10 @@ import pytest
 from repro.core import sthosvd
 from repro.distributed import DistTensor, dist_mode_svd, dist_sthosvd, tsqr_r
 from repro.distributed.layout import block_range, block_ranges
+from repro.distributed.tsqr import tsqr_tree
 from repro.mpi import CartGrid, SpmdError
 from repro.tensor import gram, low_rank_tensor, unfold
-from repro.tensor.eig import eigendecompose
+from repro.tensor.eig import _fix_signs, eigendecompose
 from tests.conftest import spmd
 
 
@@ -59,6 +60,110 @@ class TestTsqrR:
 
         with pytest.raises(SpmdError):
             spmd(2, prog)
+
+    def test_rejects_unknown_tree(self):
+        def prog(comm):
+            tsqr_r(comm, np.zeros((4, 2)), tree="ternary")
+
+        with pytest.raises(SpmdError, match="unknown TSQR tree"):
+            spmd(2, prog)
+
+    def test_tree_env_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TSQR_TREE", raising=False)
+        assert tsqr_tree() == "binary"
+        monkeypatch.setenv("REPRO_TSQR_TREE", "butterfly")
+        assert tsqr_tree() == "butterfly"
+        assert tsqr_tree("binary") == "binary"  # kwarg beats the env
+        monkeypatch.setenv("REPRO_TSQR_TREE", "bogus")
+        with pytest.raises(ValueError, match="unknown TSQR tree"):
+            tsqr_tree()
+
+
+class TestButterflyTree:
+    """The butterfly performs the same folds in the same bracketing as the
+    eliminate-and-broadcast tree, so the two variants must agree *bitwise*
+    on every rank — including non-power-of-two sizes, where the truncated
+    butterfly fans the finished R out to the ranks it leaves incomplete."""
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8])
+    @pytest.mark.parametrize("overlap", [True, False])
+    def test_bitwise_parity_with_binary(self, p, overlap):
+        full = np.random.default_rng(40 + p).standard_normal((6 * p + 1, 5))
+        rows = block_ranges(6 * p + 1, p)
+
+        def prog(comm, tree):
+            start, stop = rows[comm.rank]
+            return tsqr_r(comm, full[start:stop], tree=tree, overlap=overlap)
+
+        binary = spmd(p, prog, "binary")
+        butterfly = spmd(p, prog, "butterfly")
+        bits = {r.tobytes() for r in binary.values} | {
+            r.tobytes() for r in butterfly.values
+        }
+        assert len(bits) == 1  # every rank, both trees: identical bytes
+        expected = np.linalg.qr(full, mode="r")
+        signs = np.sign(np.diag(expected))
+        signs[signs == 0] = 1
+        np.testing.assert_allclose(
+            butterfly.values[0], signs[:, None] * expected, atol=1e-10
+        )
+
+    @pytest.mark.parametrize("p", [3, 5])
+    def test_parity_with_short_local_slabs(self, p):
+        # Fewer global rows than columns: every local R is short, so the
+        # trees stack true (unpadded) shapes all the way to the final pad.
+        full = np.random.default_rng(50 + p).standard_normal((p + 2, 6))
+        rows = block_ranges(p + 2, p)
+
+        def prog(comm, tree):
+            start, stop = rows[comm.rank]
+            return tsqr_r(comm, full[start:stop], tree=tree)
+
+        binary = spmd(p, prog, "binary")
+        butterfly = spmd(p, prog, "butterfly")
+        assert len(
+            {r.tobytes() for r in binary.values}
+            | {r.tobytes() for r in butterfly.values}
+        ) == 1
+        r = butterfly.values[0]
+        assert r.shape == (6, 6)  # padded to n x n
+        np.testing.assert_allclose(r.T @ r, full.T @ full, atol=1e-10)
+
+
+class TestTsqrFlopsAccounting:
+    """Tree nodes charge the *true* stacked row count: zero-padded short
+    R factors used to inflate every fold to ``2 (2n) n^2``."""
+
+    N = 4
+
+    def test_binary_charges_true_stacked_shapes(self):
+        # m0=2 rows (short: R is 2x4), m1=7 rows (full: R is 4x4).
+        full = np.random.default_rng(60).standard_normal((9, self.N))
+
+        def prog(comm):
+            start, stop = (0, 2) if comm.rank == 0 else (2, 9)
+            tsqr_r(comm, full[start:stop], tree="binary")
+
+        res = spmd(2, prog)
+        n = self.N
+        # Rank 0: local QR of 2 rows + fold of the true 2+4 stacked rows
+        # (the padded tree would have charged 2*(2n)*n^2 = 2*8*n^2 here).
+        assert res.ledger.rank_costs(0).flops == 2 * 2 * n * n + 2 * (2 + 4) * n * n
+        # Rank 1: local QR only (it is eliminated in round one).
+        assert res.ledger.rank_costs(1).flops == 2 * 7 * n * n
+
+    def test_butterfly_charges_true_stacked_shapes(self):
+        full = np.random.default_rng(61).standard_normal((9, self.N))
+
+        def prog(comm):
+            start, stop = (0, 2) if comm.rank == 0 else (2, 9)
+            tsqr_r(comm, full[start:stop], tree="butterfly")
+
+        res = spmd(2, prog)
+        n = self.N
+        fold = 2 * (2 + 4) * n * n  # both ranks fold the same true stack
+        assert res.ledger.rank_costs(0).flops == 2 * 2 * n * n + fold
+        assert res.ledger.rank_costs(1).flops == 2 * 7 * n * n + fold
 
 
 class TestDistModeSvd:
@@ -182,3 +287,63 @@ class TestSvdSthosvd:
 
         with pytest.raises(SpmdError, match="unknown method"):
             spmd(4, prog)
+
+
+def _old_style_mode_svd(dt, mode, rank):
+    """The pre-pipeline slab assembly: C-ordered slab, blocking ring, one
+    transposed strided assignment per arriving block — the double-copy
+    construction the F-ordered assembly replaced.  Kept as the regression
+    reference: the single-copy path must reproduce its bits exactly."""
+    jn = dt.global_shape[mode]
+    col = dt.grid.mode_column(mode)
+    pn, my_pn = col.size, col.rank
+    row_start, row_stop = block_range(jn, pn, my_pn)
+    local_unf = dt.local_unfolding(mode)
+    base, rem = divmod(local_unf.shape[1], pn)
+    keep_start = my_pn * base + min(my_pn, rem)
+    keep_stop = keep_start + base + (1 if my_pn < rem else 0)
+    keep = slice(keep_start, keep_stop)
+
+    slab = np.zeros((keep_stop - keep_start, jn))
+    slab[:, row_start:row_stop] = local_unf[:, keep].T
+    for i in range(1, pn):
+        dst = (my_pn - i) % pn
+        src = (my_pn + i) % pn
+        w = col.sendrecv(dt.local, dest=dst, source=src, tag=("refsvd", i))
+        w_arr = np.asarray(w)
+        w_unf = np.reshape(
+            np.moveaxis(w_arr, mode, 0), (w_arr.shape[mode], -1), order="F"
+        )
+        w_rows = block_range(jn, pn, src)
+        slab[:, w_rows[0] : w_rows[1]] = w_unf[:, keep].T
+
+    r = tsqr_r(dt.comm, slab)
+    _, sing, vt = np.linalg.svd(r)
+    vectors = _fix_signs(vt.T)
+    u = vectors[:, :rank]
+    return np.array(u[row_start:row_stop], copy=True), sing**2
+
+
+class TestSlabAssemblyBitIdentity:
+    """The F-ordered single-copy slab assembly is a layout change only:
+    factors and spectra must be *bitwise* identical to the old C-ordered
+    double-copy construction."""
+
+    @pytest.mark.parametrize("grid_dims", [(2, 2, 1), (4, 1, 1), (1, 3, 2)])
+    @pytest.mark.parametrize("mode", [0, 1, 2])
+    def test_matches_double_copy_assembly(self, grid_dims, mode):
+        # Uneven extents so short slabs and ragged keep-ranges appear.
+        x = np.random.default_rng(71).standard_normal((7, 6, 5))
+
+        def prog(comm):
+            g = CartGrid(comm, grid_dims)
+            dt = DistTensor.from_global(g, x)
+            u_new, eig = dist_mode_svd(dt, mode, rank=3)
+            u_ref, values_ref = _old_style_mode_svd(dt, mode, rank=3)
+            return (
+                u_new.tobytes() == u_ref.tobytes(),
+                eig.values.tobytes() == values_ref.tobytes(),
+            )
+
+        for u_same, v_same in spmd(int(np.prod(grid_dims)), prog):
+            assert u_same and v_same

@@ -261,6 +261,101 @@ def test_isendrecv_charges_equal_sendrecv():
         )
 
 
+def _ring_pipelined(comm):
+    # The shared mode-column ring pipeline (dist_gram / dist_mode_svd):
+    # every hop ships the same payload, all hops posted up front.
+    from repro.distributed import mode_ring_hops, ring_exchange
+
+    hops = mode_ring_hops(comm.size, comm.rank, tag="ring")
+    payload = np.arange(6.0) + comm.rank
+    for _hop, _w in ring_exchange(comm, payload, hops, pipelined=True):
+        pass
+
+
+def _ring_blocking(comm):
+    from repro.distributed import mode_ring_hops, ring_exchange
+
+    hops = mode_ring_hops(comm.size, comm.rank, tag="ring")
+    payload = np.arange(6.0) + comm.rank
+    for _hop, _w in ring_exchange(comm, payload, hops, pipelined=False):
+        pass
+
+
+def _butterfly_overlapped(comm):
+    # Power-of-two butterfly TSQR with equal local slabs: every rank runs
+    # the identical exchange/fold schedule, so charges must be symmetric.
+    from repro.distributed import tsqr_r
+
+    local = np.arange(12.0).reshape(4, 3) + comm.rank
+    tsqr_r(comm, local, tree="butterfly", overlap=True)
+
+
+def _butterfly_blocking(comm):
+    from repro.distributed import tsqr_r
+
+    local = np.arange(12.0).reshape(4, 3) + comm.rank
+    tsqr_r(comm, local, tree="butterfly", overlap=False)
+
+
+@pytest.mark.parametrize(
+    "prog", [_ring_pipelined, _ring_blocking],
+    ids=lambda f: f.__name__.strip("_"),
+)
+@pytest.mark.parametrize("p", [3, 4])
+def test_ring_exchange_charges_are_rank_independent(prog, p):
+    res = spmd_unit(p, prog)
+    rows = [res.ledger.rank_costs(r) for r in range(p)]
+    reference = (rows[0].time, rows[0].words_sent, rows[0].messages)
+    for rank, row in enumerate(rows):
+        assert (row.time, row.words_sent, row.messages) == pytest.approx(
+            reference
+        ), f"rank {rank} charged {row} != rank 0's {reference}"
+
+
+def test_ring_pipelining_does_not_move_charges():
+    pipelined = spmd_unit(4, _ring_pipelined)
+    blocking = spmd_unit(4, _ring_blocking)
+    for rank in range(4):
+        a = pipelined.ledger.rank_costs(rank)
+        b = blocking.ledger.rank_costs(rank)
+        assert (a.time, a.words_sent, a.messages) == (
+            b.time, b.words_sent, b.messages
+        )
+
+
+@pytest.mark.parametrize(
+    "prog", [_butterfly_overlapped, _butterfly_blocking],
+    ids=lambda f: f.__name__.strip("_"),
+)
+@pytest.mark.parametrize("p", [2, 4])
+def test_butterfly_charges_are_rank_independent_at_powers_of_two(prog, p):
+    # Non-power-of-two butterflies are legitimately asymmetric (skipped
+    # rounds, fix-up fan-out), like the binary tree always was; at
+    # power-of-two sizes the schedule is identical on every rank and the
+    # charges must be too — flops included (equal slabs fold equal stacks).
+    res = spmd_unit(p, prog)
+    rows = [res.ledger.rank_costs(r) for r in range(p)]
+    reference = (
+        rows[0].time, rows[0].words_sent, rows[0].messages, rows[0].flops
+    )
+    for rank, row in enumerate(rows):
+        assert (
+            row.time, row.words_sent, row.messages, row.flops
+        ) == pytest.approx(reference), f"rank {rank} diverged"
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 5])
+def test_butterfly_overlap_does_not_move_charges(p):
+    overlapped = spmd_unit(p, _butterfly_overlapped)
+    blocking = spmd_unit(p, _butterfly_blocking)
+    for rank in range(p):
+        a = overlapped.ledger.rank_costs(rank)
+        b = blocking.ledger.rank_costs(rank)
+        assert (a.time, a.words_sent, a.messages, a.flops) == (
+            b.time, b.words_sent, b.messages, b.flops
+        )
+
+
 def _sub_communicator_battery(comm):
     # Collectives on split-off communicators must stay symmetric within
     # each group as well (each group has its own window generation).

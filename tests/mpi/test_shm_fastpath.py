@@ -22,11 +22,19 @@ from repro.mpi import (
 from repro.mpi.backends import POOL_ENV_VAR, _POOLS
 from repro.mpi.process_transport import (
     ARENA_ENV_VAR,
+    HUGE_MIN_BYTES,
+    HUGEPAGE_STATS,
+    HUGEPAGES_ENV_VAR,
     SegmentArena,
     ShmArrayView,
     WINDOW_SLOT_ENV_VAR,
     WINDOWS_ENV_VAR,
     _bucket_of,
+    _HP_DIR_CACHE,
+    attach_segment,
+    create_segment,
+    hugepage_dir,
+    segment_backing,
 )
 
 
@@ -42,8 +50,11 @@ def fastpath_env(monkeypatch):
     fast path itself, so the CI leg that exports the 0s (to exercise the
     fallback paths elsewhere) must not reach it."""
     for var in (POOL_ENV_VAR, ARENA_ENV_VAR, WINDOWS_ENV_VAR,
-                WINDOW_SLOT_ENV_VAR):
+                WINDOW_SLOT_ENV_VAR, HUGEPAGES_ENV_VAR):
         monkeypatch.delenv(var, raising=False)
+    _HP_DIR_CACHE.clear()
+    yield
+    _HP_DIR_CACHE.clear()
 
 
 @pytest.fixture(autouse=True)
@@ -370,3 +381,152 @@ class TestCollectiveWindows:
 
         for f_cont, same in run_spmd(3, prog, backend="process").values:
             assert f_cont and same
+
+
+def _window_backing(comm):
+    """One multi-MiB collective + one multi-MiB p2p message; report which
+    substrate mapped the window and whether the receive stayed zero-copy."""
+    x = np.arange(float(1 << 19)) + comm.rank  # 4 MiB payload
+    total = comm.allreduce(x, SUM)
+    if comm.rank == 0:
+        comm.send(x, dest=1)
+        view_kind = None
+    elif comm.rank == 1:
+        arr = comm.recv(source=0)
+        view_kind = type(arr).__name__
+    else:
+        view_kind = None
+    return float(total[0]), comm._win.backing, view_kind
+
+
+class TestHugePages:
+    """Huge-page backing for windows and arena segments.
+
+    The directory form of ``REPRO_SPMD_HUGEPAGES`` points the substrate at
+    an ordinary directory, which exercises the identical file-backed
+    mapping path (create, attach-by-name, unlink, fallback) without
+    reserved huge pages; the real-hugetlbfs test runs when the host
+    provides pages and skips cleanly otherwise.
+    """
+
+    def test_knob_off_forces_shm(self, monkeypatch):
+        monkeypatch.setenv(HUGEPAGES_ENV_VAR, "0")
+        _HP_DIR_CACHE.clear()
+        seg = create_segment(HUGE_MIN_BYTES)
+        try:
+            assert segment_backing(seg) == "shm"
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_small_segments_stay_on_shm(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HUGEPAGES_ENV_VAR, str(tmp_path))
+        _HP_DIR_CACHE.clear()
+        seg = create_segment(HUGE_MIN_BYTES // 2)
+        try:
+            assert segment_backing(seg) == "shm"
+        finally:
+            seg.close()
+            seg.unlink()
+        assert not list(tmp_path.iterdir())
+
+    def test_directory_override_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HUGEPAGES_ENV_VAR, str(tmp_path))
+        _HP_DIR_CACHE.clear()
+        before = HUGEPAGE_STATS["mapped"]
+        seg = create_segment(HUGE_MIN_BYTES + 1)
+        assert segment_backing(seg) == "hugetlb"
+        assert HUGEPAGE_STATS["mapped"] == before + 1
+        assert seg.size >= HUGE_MIN_BYTES + 1
+        np.frombuffer(seg.buf, np.float64, 64)[:] = np.arange(64.0)
+        attached = attach_segment(seg.name)
+        assert segment_backing(attached) == "hugetlb"
+        assert np.frombuffer(attached.buf, np.float64, 64)[17] == 17.0
+        attached.close()
+        seg.close()
+        seg.unlink()
+        assert not list(tmp_path.iterdir())  # unlink removed the file
+
+    def test_mmap_failure_falls_back_to_shm(self, tmp_path, monkeypatch):
+        from repro.mpi import process_transport as pt
+
+        monkeypatch.setenv(HUGEPAGES_ENV_VAR, str(tmp_path))
+        _HP_DIR_CACHE.clear()
+
+        class ExhaustedSegment:
+            def __init__(self, *args, **kwargs):
+                raise OSError("Cannot allocate memory")
+
+        monkeypatch.setattr(pt, "HugePageSegment", ExhaustedSegment)
+        before = HUGEPAGE_STATS["fallbacks"]
+        seg = create_segment(HUGE_MIN_BYTES)
+        try:
+            assert segment_backing(seg) == "shm"
+            assert HUGEPAGE_STATS["fallbacks"] == before + 1
+        finally:
+            seg.close()
+            seg.unlink()
+
+    def test_windows_and_arena_ride_hugepages_spmd(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(HUGEPAGES_ENV_VAR, str(tmp_path))
+        res = run_spmd(3, _window_backing, backend="process")
+        for total, backing, view_kind in res.values:
+            assert total == 3.0  # 0 + 1 + 2 on element 0
+            assert backing == "hugetlb"
+        # The 4 MiB p2p payload travelled through a huge arena segment and
+        # still arrived as a zero-copy view.
+        assert res.values[1][2] == "ShmArrayView"
+        shutdown_worker_pools()
+        assert not list(tmp_path.iterdir())  # nothing leaked in the "mount"
+
+    def test_invalid_knob_values_are_rejected(self, tmp_path, monkeypatch):
+        # A typo'd path or an unknown mode is a configuration error, not
+        # a silent fallback to plain shm.
+        for bad in (str(tmp_path / "nonexistent"), "hugepages-dir", "2"):
+            monkeypatch.setenv(HUGEPAGES_ENV_VAR, bad)
+            _HP_DIR_CACHE.clear()
+            with pytest.raises(ValueError, match="REPRO_SPMD_HUGEPAGES"):
+                hugepage_dir()
+
+    def test_reaper_unlinks_dead_creators_only(self, tmp_path, monkeypatch):
+        from repro.mpi.process_transport import (
+            _HUGE_PREFIX,
+            reap_stale_hugepage_segments,
+        )
+
+        monkeypatch.setenv(HUGEPAGES_ENV_VAR, str(tmp_path))
+        _HP_DIR_CACHE.clear()
+        live = create_segment(HUGE_MIN_BYTES)  # this process: must survive
+        # Forge a segment whose creating pid cannot exist.
+        dead_pid = int(open("/proc/sys/kernel/pid_max").read()) + 7
+        dead_name = f"{_HUGE_PREFIX}{dead_pid}_deadbeef"
+        (tmp_path / dead_name).write_bytes(b"x" * 64)
+        other_run = f"{_HUGE_PREFIX}{dead_pid + 1}_cafe"  # not in our pid set
+        (tmp_path / other_run).write_bytes(b"x" * 64)
+        (tmp_path / "unrelated.txt").write_bytes(b"keep me")
+        removed = reap_stale_hugepage_segments({dead_pid, os.getpid()})
+        assert removed == [dead_name]
+        assert not (tmp_path / dead_name).exists()
+        # Scoped to the passed worker pids: another run's leak is not ours
+        # to judge, and non-segment files are never touched.
+        assert (tmp_path / other_run).exists()
+        assert (tmp_path / "unrelated.txt").exists()
+        assert (tmp_path / live.name).exists()  # own pid always skipped
+        live.close()
+        live.unlink()
+        (tmp_path / other_run).unlink()
+        (tmp_path / "unrelated.txt").unlink()
+
+    def test_real_hugetlbfs_when_available(self, monkeypatch):
+        monkeypatch.setenv(HUGEPAGES_ENV_VAR, "auto")
+        _HP_DIR_CACHE.clear()
+        if hugepage_dir() is None:
+            pytest.skip("no writable hugetlbfs mount with reserved pages")
+        seg = create_segment(HUGE_MIN_BYTES)
+        try:
+            assert segment_backing(seg) == "hugetlb"
+            np.frombuffer(seg.buf, np.float64, 8)[:] = 1.5
+            assert bytes(seg.buf[:8]) == np.float64(1.5).tobytes()
+        finally:
+            seg.close()
+            seg.unlink()
