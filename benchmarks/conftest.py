@@ -9,7 +9,6 @@ benchmark asserts them.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.data import center_and_scale, load_dataset

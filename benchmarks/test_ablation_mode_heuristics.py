@@ -7,10 +7,7 @@ exhaustive best over all 24 orderings of the Fig. 8b problem, and on a
 second problem where the heuristics disagree.
 """
 
-import itertools
 
-import numpy as np
-import pytest
 
 from repro.core.sthosvd import greedy_flops_order, greedy_ratio_order
 from repro.data import fig8b_problem

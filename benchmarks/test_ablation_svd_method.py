@@ -13,7 +13,6 @@ bench measures:
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core import sthosvd

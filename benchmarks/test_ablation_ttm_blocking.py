@@ -11,7 +11,6 @@ measures both on the simulator and checks:
 """
 
 import numpy as np
-import pytest
 
 from repro.distributed import DistTensor, dist_ttm
 from repro.mpi import CartGrid, run_spmd

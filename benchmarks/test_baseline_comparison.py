@@ -10,7 +10,6 @@ error budget on all three proxies:
   for TJLR (little redundancy anywhere).
 """
 
-import pytest
 
 from repro.baselines import PcaCompressor, Tucker1Compressor
 from repro.core import sthosvd

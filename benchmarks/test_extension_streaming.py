@@ -11,7 +11,6 @@ Claims asserted:
 """
 
 import numpy as np
-import pytest
 
 from repro.core import StreamingTucker, normalized_rms, sthosvd
 

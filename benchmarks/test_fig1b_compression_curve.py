@@ -7,8 +7,6 @@ decade-per-decade *shape*; absolute ratios are capped by the proxy's much
 smaller dimensions (see EXPERIMENTS.md).
 """
 
-import numpy as np
-import pytest
 
 from repro.core import sthosvd
 

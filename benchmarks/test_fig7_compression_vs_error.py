@@ -8,7 +8,6 @@ Paper claims reproduced:
 * all curves are monotone in eps.
 """
 
-import pytest
 
 from repro.core import sthosvd
 

@@ -14,8 +14,6 @@ A scaled-down instance is also *executed* on the simulated MPI runtime and
 its measured ledger must rank grid families the same way as the model.
 """
 
-import numpy as np
-import pytest
 
 from repro.data import fig8a_problem
 from repro.distributed import DistTensor, dist_sthosvd

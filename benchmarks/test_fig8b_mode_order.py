@@ -14,8 +14,6 @@ Reproduced at paper scale with the calibrated model, plus a scaled-down
 simulated execution checking that order matters in the same direction.
 """
 
-import numpy as np
-import pytest
 
 from repro.core.sthosvd import greedy_flops_order
 from repro.data import fig8b_problem

@@ -15,8 +15,6 @@ A small instance is also executed on the simulator at P = 1..16 to verify
 measured modeled-time speedups.
 """
 
-import numpy as np
-import pytest
 
 from repro.data import strong_scaling_problem
 from repro.distributed import DistTensor, dist_sthosvd

@@ -16,8 +16,6 @@ is attributed by the paper to grid-tradeoff and system effects outside
 this model — recorded in EXPERIMENTS.md rather than asserted away.
 """
 
-import numpy as np
-import pytest
 
 from repro.distributed import DistTensor, dist_sthosvd
 from repro.mpi import CartGrid, resolve_backend, run_spmd

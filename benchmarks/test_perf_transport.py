@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.mpi import (
     ProcessBackend,
-    SUM,
     WINDOWS_ENV_VAR,
     run_spmd,
     shutdown_worker_pools,

@@ -6,7 +6,6 @@ by running each collective on the unit-cost machine, where modeled time
 reduces to ``messages + words + flops``.
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -9,8 +9,6 @@ Paper claims reproduced:
 * TJLR's species/time modes do not truncate.
 """
 
-import numpy as np
-import pytest
 
 from repro.core import hooi, max_abs_error, normalized_rms, sthosvd
 

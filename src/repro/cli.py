@@ -96,6 +96,7 @@ def _compress_parallel(
         ranks,
         args.method,
         backend=backend,
+        sanitize=args.sanitize,
     )
     metadata["parallel"] = {
         "ranks": args.parallel,
@@ -128,6 +129,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         print(
             "error: --backend requires --parallel (sequential compression "
             "never launches SPMD ranks)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sanitize is not None and not args.parallel:
+        print(
+            "error: --sanitize requires --parallel (the SPMD sanitizer "
+            "checks rank protocols)",
             file=sys.stderr,
         )
         return 2
@@ -253,6 +261,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=_backend_choices(), default=None,
                    help="SPMD executor backend for --parallel (default: "
                         "$REPRO_SPMD_BACKEND or 'thread')")
+    p.add_argument("--sanitize", type=int, choices=(0, 1, 2), default=None,
+                   help="SPMD sanitizer level for --parallel runs: 1 checks "
+                        "collective matching and request lifetimes, 2 adds "
+                        "shared-memory window generation checks (default: "
+                        "the REPRO_SANITIZE environment variable)")
     p.add_argument("--no-pool", action="store_true",
                    help="with --backend process: fork fresh ranks instead "
                         "of using the persistent worker pool "

@@ -38,7 +38,6 @@ from repro.distributed.layout import local_block
 from repro.distributed.sthosvd import dist_sthosvd
 from repro.distributed.ttm import dist_ttm
 from repro.mpi.cart import CartGrid
-from repro.mpi.reduce_ops import SUM
 from repro.util.validation import check_shape_like
 
 

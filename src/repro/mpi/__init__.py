@@ -57,12 +57,18 @@ from repro.mpi.process_transport import (
 )
 from repro.mpi.reduce_ops import MAX, MIN, PROD, SUM, ReduceOp
 from repro.mpi.transport import ThreadTransport, Transport, TransportBase
+from repro.analysis.sanitizer import SANITIZE_ENV_VAR, Sanitizer
 from repro.mpi.errors import (
     BufferMismatchError,
+    CollectiveMismatchError,
     CommunicatorError,
     DeadlockError,
     MpiError,
+    RequestLeakError,
+    RequestStateError,
+    SanitizerError,
     SpmdError,
+    WindowProtocolError,
 )
 
 __all__ = [
@@ -99,9 +105,16 @@ __all__ = [
     "ARENA_ENV_VAR",
     "WINDOWS_ENV_VAR",
     "WINDOW_SLOT_ENV_VAR",
+    "SANITIZE_ENV_VAR",
+    "Sanitizer",
     "MpiError",
     "DeadlockError",
     "BufferMismatchError",
     "CommunicatorError",
     "SpmdError",
+    "SanitizerError",
+    "CollectiveMismatchError",
+    "RequestLeakError",
+    "RequestStateError",
+    "WindowProtocolError",
 ]

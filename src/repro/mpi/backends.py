@@ -82,6 +82,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.analysis.sanitizer import Sanitizer
 from repro.mpi.comm import Communicator
 from repro.mpi.errors import DeadlockError, SpmdError
 from repro.mpi.ledger import CostLedger
@@ -175,8 +176,16 @@ class ExecutorBackend(abc.ABC):
         machine: MachineSpec,
         timeout: float,
         rank_args: Sequence[tuple] | None,
+        sanitize: int = 0,
     ) -> SpmdResult:
-        """Execute ``fn(comm, *args[, *rank_args[rank]])`` on every rank."""
+        """Execute ``fn(comm, *args[, *rank_args[rank]])`` on every rank.
+
+        ``sanitize`` is the resolved SPMD-sanitizer level (see
+        :mod:`repro.analysis.sanitizer`); backends build one
+        :class:`~repro.analysis.sanitizer.Sanitizer` per rank at levels
+        >= 1, finalize it after a successful rank return, and annotate
+        deadlock timeouts with the rank's last collective.
+        """
 
 
 class ThreadBackend(ExecutorBackend):
@@ -192,6 +201,7 @@ class ThreadBackend(ExecutorBackend):
         machine: MachineSpec,
         timeout: float,
         rank_args: Sequence[tuple] | None,
+        sanitize: int = 0,
     ) -> SpmdResult:
         transport = ThreadTransport(timeout=timeout)
         ledger = CostLedger(n_ranks, machine)
@@ -200,13 +210,25 @@ class ThreadBackend(ExecutorBackend):
         failures_lock = threading.Lock()
 
         def worker(rank: int) -> None:
+            sanitizer = (
+                Sanitizer(level=sanitize, world_rank=rank) if sanitize else None
+            )
             comm = Communicator(
-                transport, ledger, "world", tuple(range(n_ranks)), rank
+                transport,
+                ledger,
+                "world",
+                tuple(range(n_ranks)),
+                rank,
+                sanitizer=sanitizer,
             )
             try:
                 extra = rank_args[rank] if rank_args is not None else ()
                 values[rank] = fn(comm, *args, *extra)
+                if sanitizer is not None:
+                    sanitizer.finalize()
             except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
+                if sanitizer is not None and isinstance(exc, DeadlockError):
+                    sanitizer.annotate(exc)
                 with failures_lock:
                     failures[rank] = exc
                 transport.abort(exc)
@@ -272,12 +294,28 @@ def _run_one_rank(
         **(transport_opts or {}),
     )
     ledger = CostLedger(n_ranks, machine)
-    comm = Communicator(transport, ledger, "world", tuple(range(n_ranks)), rank)
+    sanitizer = (
+        Sanitizer(level=transport.sanitize, world_rank=rank)
+        if transport.sanitize
+        else None
+    )
+    comm = Communicator(
+        transport,
+        ledger,
+        "world",
+        tuple(range(n_ranks)),
+        rank,
+        sanitizer=sanitizer,
+    )
     value: Any = None
     failure: BaseException | None = None
     try:
         value = fn(comm, *args, *extra)
+        if sanitizer is not None:
+            sanitizer.finalize()
     except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
+        if sanitizer is not None and isinstance(exc, DeadlockError):
+            sanitizer.annotate(exc)
         failure = exc
         transport.abort(exc)
     finally:
@@ -594,13 +632,18 @@ class ProcessBackend(ExecutorBackend):
         machine: MachineSpec,
         timeout: float,
         rank_args: Sequence[tuple] | None,
+        sanitize: int = 0,
     ) -> SpmdResult:
         self._ensure_resource_tracker()
+        # The sanitize level resolved in the parent rides the per-run
+        # dispatch (never the environment: warm pool workers were forked
+        # long ago and would not see an env change).
+        transport_opts = dict(self._transport_opts, sanitize=sanitize)
         if self._pool_enabled():
             pool = _get_pool(n_ranks)
             run_seq = pool.dispatch(
                 fn, args, rank_args, machine, timeout,
-                transport_opts=self._transport_opts,
+                transport_opts=transport_opts,
             )
             if run_seq is not None:
                 result = self._collect_pooled(pool, run_seq, n_ranks, machine)
@@ -608,7 +651,9 @@ class ProcessBackend(ExecutorBackend):
                     return result
                 # Every worker reported _TaskLoadError: the function is
                 # newer than the (now retired) pool; fork inherits it.
-        return self._run_forked(n_ranks, fn, args, machine, timeout, rank_args)
+        return self._run_forked(
+            n_ranks, fn, args, machine, timeout, rank_args, transport_opts
+        )
 
     @staticmethod
     def _ensure_resource_tracker() -> None:
@@ -706,6 +751,7 @@ class ProcessBackend(ExecutorBackend):
         machine: MachineSpec,
         timeout: float,
         rank_args: Sequence[tuple] | None,
+        transport_opts: dict | None = None,
     ) -> SpmdResult:
         import multiprocessing
 
@@ -730,7 +776,9 @@ class ProcessBackend(ExecutorBackend):
                     inboxes,
                     result_queue,
                     abort_event,
-                    self._transport_opts,
+                    transport_opts
+                    if transport_opts is not None
+                    else self._transport_opts,
                 ),
                 name=f"spmd-rank-{rank}",
                 daemon=True,

@@ -35,6 +35,7 @@ from typing import Any, Callable, Hashable, Sequence
 
 import numpy as np
 
+from repro.analysis.sanitizer import CollectiveCall, Sanitizer
 from repro.mpi.errors import BufferMismatchError, CommunicatorError
 from repro.mpi.ledger import CostLedger
 from repro.mpi.process_transport import pack_collective, packed_nbytes
@@ -82,14 +83,33 @@ class Request:
     SPMD discipline: like the blocking collectives, the posts *and* the
     waits of non-blocking collectives must occur in the same order on
     every member relative to the communicator's other collectives.
+    Under ``REPRO_SANITIZE >= 1`` the handle is strict MPI: a request
+    never waited fails finalize (:class:`RequestLeakError`) and a second
+    user ``wait()`` raises :class:`RequestStateError` even though the
+    unsanitized runtime would serve it from the cache.
     """
 
-    def __init__(self, wait_fn: Callable[[], Any]):
+    def __init__(
+        self,
+        wait_fn: Callable[[], Any],
+        sanitizer: Sanitizer | None = None,
+        record: Any = None,
+    ):
         self._wait_fn = wait_fn
         self._done = False
         self._value: Any = None
+        self._san = sanitizer
+        self._record = record
 
     def wait(self) -> Any:
+        if self._san is not None:
+            self._san.user_wait(self._record)
+        return self._force()
+
+    def _force(self) -> Any:
+        """Complete without user-wait accounting (runtime internal: the
+        communicator force-completes pipelined rounds to recycle window
+        buffers, which must not count as the user's one wait)."""
         if not self._done:
             self._value = self._wait_fn()
             self._done = True
@@ -110,6 +130,7 @@ class Communicator:
         comm_id: Hashable,
         members: Sequence[int],
         world_rank: int,
+        sanitizer: Sanitizer | None = None,
     ):
         members = tuple(members)
         if len(set(members)) != len(members):
@@ -151,6 +172,12 @@ class Communicator:
         self._nb_wins: list[Any] = [None, None]
         self._nb_pending: list[Request | None] = [None, None]
         self._nb_toggle = 0
+        # SPMD sanitizer (None when REPRO_SANITIZE=0): one per-rank
+        # instance shared by every communicator of the rank, so request
+        # bookkeeping and the last-collective deadlock context span
+        # `split` children too.
+        self._san = sanitizer
+        self._san_sig: CollectiveCall | None = None
 
     # -- identity ----------------------------------------------------------
 
@@ -193,6 +220,112 @@ class Communicator:
                 f"{name}={peer} out of range for communicator of size {self.size}"
             )
         return peer
+
+    # -- SPMD sanitizer ------------------------------------------------------
+    #
+    # At REPRO_SANITIZE >= 1 every collective entry records a signature
+    # (op, sequence number, root, reduction op, call site) and the group
+    # cross-checks it before moving bytes.  On the window transport the
+    # check costs one extra int64 (a digest of the signature) riding the
+    # size fence that every exchange already performs; a mismatch then
+    # triggers a full point-to-point signature exchange purely to build
+    # the diagnostic.  On window-less transports (thread backend) the
+    # full signatures travel an uncharged point-to-point all-to-all at
+    # entry.  Both paths are symmetric — no rank plays collector — so
+    # the verification itself can never introduce a new deadlock among
+    # ranks that agree.  Note the exchange makes every verified
+    # collective synchronizing on the point-to-point path (MPI always
+    # permits collectives to synchronize, so portable programs are
+    # unaffected).  Limitations: verification cannot pair calls that use
+    # different window objects (e.g. ``alltoall`` against ``bcast``) or
+    # diverging sequence numbers — those still deadlock, but the timeout
+    # arrives annotated with this rank's last collective and call site.
+
+    @property
+    def sanitizer(self) -> Sanitizer | None:
+        """The rank's sanitizer instance, or ``None`` at REPRO_SANITIZE=0."""
+        return self._san
+
+    def _san_enter(
+        self,
+        op: str,
+        seq: int,
+        root: int | None = None,
+        reduce_op: ReduceOp | None = None,
+        value: Any = None,
+        windowed: bool = True,
+    ) -> CollectiveCall | None:
+        """Record entry into a collective; on window-less transports also
+        run the symmetric signature exchange immediately."""
+        if self._san is None:
+            return None
+        sig = self._san.collective(
+            op, seq, self._rank, root=root, reduce_op=reduce_op, value=value
+        )
+        self._san_sig = sig
+        if self.size > 1 and (
+            not windowed or not self._transport.windows_enabled
+        ):
+            self._san_put_sigs(sig)
+            self._san_collect_sigs(sig)
+        return sig
+
+    def _san_put_sigs(self, sig: CollectiveCall) -> None:
+        """Deposit this rank's signature for every peer (uncharged)."""
+        wire = sig.wire()
+        for dst in range(self.size):
+            if dst != self._rank:
+                self._put_key(self._rank, dst, ("san", sig.seq), wire)
+
+    def _san_collect_sigs(self, sig: CollectiveCall) -> None:
+        """Collect every peer's signature for ``sig``'s sequence number
+        and raise if any diverges from ours."""
+        mine = sig.protocol_key()
+        peers = []
+        diverged = False
+        for src in range(self.size):
+            if src == self._rank:
+                continue
+            peer = CollectiveCall.from_wire(
+                self._transport.get(self._key(src, self._rank, ("san", sig.seq)))
+            )
+            peers.append(peer)
+            if peer.protocol_key() != mine:
+                diverged = True
+        if diverged:
+            raise self._san.mismatch(sig, peers)
+
+    def _san_check_window(self, win, sig: CollectiveCall | None) -> None:
+        """Compare the digests every member posted on ``win``'s size
+        fence; on mismatch exchange full signatures and raise."""
+        if sig is None:
+            return
+        bad = win.digest_mismatch_ranks(sig.digest)
+        if not bad:
+            return
+        # Every member observes the divergence (each compares all rows
+        # against its own digest), so this recovery exchange is entered
+        # by the whole group; tag by window round, which members of one
+        # round share even if their collective sequence numbers drifted.
+        tag = ("sanx", win.name, int(win.seq))
+        wire = sig.wire()
+        for dst in range(self.size):
+            if dst != self._rank:
+                self._put_key(self._rank, dst, tag, wire)
+        peers = [
+            CollectiveCall.from_wire(
+                self._transport.get(self._key(src, self._rank, tag))
+            )
+            for src in range(self.size)
+            if src != self._rank
+        ]
+        raise self._san.mismatch(sig, peers)
+
+    def _make_request(self, op: str, wait_fn: Callable[[], Any]) -> Request:
+        """Build a request, registered with the sanitizer when active."""
+        if self._san is None:
+            return Request(wait_fn)
+        return Request(wait_fn, self._san, self._san.track_request(op))
 
     # -- raw (uncharged) point-to-point -------------------------------------
 
@@ -253,12 +386,12 @@ class Communicator:
                 cc.send_recv_cost(words, self._ledger.machine),
             )
 
-        return Request(complete)
+        return self._make_request("isend", complete)
 
     def irecv(self, source: int, tag: int = 0) -> Request:
         """Nonblocking receive; the message is consumed (and the receive
         charged) at ``wait()``."""
-        return Request(lambda: self.recv(source, tag))
+        return self._make_request("irecv", lambda: self.recv(source, tag))
 
     def isendrecv(
         self, obj: Any, dest: int, source: int, tag: int = 0
@@ -294,7 +427,7 @@ class Communicator:
             )
             return received
 
-        return Request(complete)
+        return self._make_request("isendrecv", complete)
 
     def Send(self, array: np.ndarray, dest: int, tag: int = 0) -> None:
         """Buffer send (mpi4py-style uppercase): NumPy arrays only."""
@@ -451,10 +584,16 @@ class Communicator:
     def _fence_round(self, win, needed: int, words: int, matrix: bool):
         """Open the next exchange on ``win``, growing it until ``needed``
         fits; returns the (possibly replaced) window after the size
-        fence, ready to be written."""
+        fence, ready to be written.  When the sanitizer is active the
+        current collective's digest rides the size fence and is verified
+        before the growth decision."""
+        sig = self._san_sig if self._san is not None else None
+        digest = sig.digest if sig is not None else 0
         while True:
             win.begin()
-            largest = win.post_size(needed, words)
+            largest = win.post_size(needed, words, digest)
+            if sig is not None:
+                self._san_check_window(win, sig)
             if largest <= win.slot_bytes:
                 return win
             win = self._grow_window(largest, matrix=matrix)
@@ -546,16 +685,28 @@ class Communicator:
     def barrier(self) -> None:
         """Synchronize all members; charged as one zero-byte all-reduce."""
         seq = self._advance_coll()
+        self._san_enter("barrier", seq)
         if self.size > 1:
             if self._transport.windows_enabled:
-                # Zero-byte window fence: one shared rendezvous — no slot
-                # is written, read, or committed (and barriers never grow
-                # the window, so the growth loop is skipped too).
-                if self._win is None:
-                    self._win = self._open_window(
-                        self._transport.window_slot(0)
-                    )
-                self._win.fence()
+                if self._san is not None:
+                    # The plain fence publishes its done flag before
+                    # waiting on peers, so a peer may already be posting
+                    # the *next* round's digest while we read this one's;
+                    # the sanitized barrier therefore runs a full
+                    # (contribution-less) window round, whose size fence
+                    # orders the digest check correctly.
+                    win = self._window_round(None, contribute=False)
+                    win.finish()
+                else:
+                    # Zero-byte window fence: one shared rendezvous — no
+                    # slot is written, read, or committed (and barriers
+                    # never grow the window, so the growth loop is
+                    # skipped too).
+                    if self._win is None:
+                        self._win = self._open_window(
+                            self._transport.window_slot(0)
+                        )
+                    self._win.fence()
             else:
                 # Point-to-point fallback: fan a token into group rank 0
                 # and fan one back out.
@@ -575,6 +726,7 @@ class Communicator:
         """Broadcast ``obj`` from ``root`` to all members."""
         self._check_peer(root, "root")
         seq = self._advance_coll()
+        self._san_enter("bcast", seq, root=root, value=obj)
         tag = ("coll", seq, 0)
         if self.size > 1:
             win = self._window_round(obj, contribute=self._rank == root)
@@ -611,6 +763,7 @@ class Communicator:
         """
         self._check_peer(root, "root")
         seq = self._advance_coll()
+        self._san_enter("gather", seq, root=root, value=value)
         tag_in = ("coll", seq, 0)
         tag_out = ("coll", seq, 1)
         my_words = _words_of(value)
@@ -657,6 +810,7 @@ class Communicator:
         the cost identical on all members even when sizes are uneven.
         """
         seq = self._advance_coll()
+        self._san_enter("allgather", seq, value=value)
         tag_in = ("coll", seq, 0)
         tag_out = ("coll", seq, 1)
         if self.size == 1:
@@ -699,6 +853,7 @@ class Communicator:
         """
         self._check_peer(root, "root")
         seq = self._advance_coll()
+        self._san_enter("scatter", seq, root=root)
         tag = ("coll", seq, 0)
         if self._rank == root:
             if values is None or len(values) != self.size:
@@ -751,6 +906,7 @@ class Communicator:
         """
         self._check_peer(root, "root")
         seq = self._advance_coll()
+        self._san_enter("reduce", seq, root=root, reduce_op=op, value=value)
         my_words = _words_of(value)
         acc: Any = None
         if self.size == 1:
@@ -816,6 +972,7 @@ class Communicator:
         charge rank-independent costs.
         """
         seq = self._advance_coll()
+        self._san_enter("allreduce", seq, reduce_op=op, value=value)
         if self.size == 1:
             acc = _copy_payload(value)
         else:
@@ -872,19 +1029,28 @@ class Communicator:
                 f"axis 0 of shape {array.shape} not divisible by size {self.size}"
             )
         seq = self._advance_coll()
-        self._charge_reduction("reduce_scatter", _words_of(array))
-        block = array.shape[0] // self.size
-        if self.size == 1:
-            return np.array(array, copy=True)
-        win = self._window_round(array)
-        if win is not None:
-            acc = self._window_fold(win, op)
-            win.finish()
-            lo = self._rank * block
-            return np.array(acc[lo : lo + block], copy=True)
-        return self._reduce_scatter_p2p(
-            array if self._rank == 0 else self._tx(array), op, seq
+        self._san_enter(
+            "reduce_scatter_block", seq, reduce_op=op, value=array
         )
+        block = array.shape[0] // self.size
+        # Charge after the exchange, like the other reduction-family
+        # collectives: a failed exchange must not leave this rank's
+        # ledger ahead of its peers'.
+        if self.size == 1:
+            out = np.array(array, copy=True)
+        else:
+            win = self._window_round(array)
+            if win is not None:
+                acc = self._window_fold(win, op)
+                win.finish()
+                lo = self._rank * block
+                out = np.array(acc[lo : lo + block], copy=True)
+            else:
+                out = self._reduce_scatter_p2p(
+                    array if self._rank == 0 else self._tx(array), op, seq
+                )
+        self._charge_reduction("reduce_scatter", _words_of(array))
+        return out
 
     def _reduce_scatter_p2p(
         self, array_tx: np.ndarray, op: ReduceOp, seq: int
@@ -970,7 +1136,7 @@ class Communicator:
         value) keeps any depth of posted requests deadlock-free."""
         req = self._nb_pending[buf]
         if req is not None:
-            req.wait()
+            req._force()
 
     def _nb_window(self, buf: int, needed: int):
         win = self._nb_wins[buf]
@@ -987,23 +1153,53 @@ class Communicator:
             self._transport.release_window(old)
         return new
 
+    _NB_OP_NAMES = {
+        "reduce": "ireduce",
+        "allreduce": "iallreduce",
+        "reduce_scatter": "ireduce_scatter_block",
+    }
+
     def _nb_post(self, value: Any, op: ReduceOp, kind: str, root: int) -> Request:
         """Post one non-blocking reduction collective; see the section
         comment for the overlap protocol.  The contribution must not be
         mutated between post and ``wait()`` (MPI's usual rule)."""
         seq = self._advance_coll()
+        op_name = self._NB_OP_NAMES[kind]
+        # Record the signature without exchanging: the post must not
+        # block, so verification is deferred — the digest rides this
+        # round's size fence (window path) or the full signature is
+        # deposited now and peers' signatures are collected at wait()
+        # (point-to-point path).
+        sig = None
+        if self._san is not None:
+            sig = self._san.collective(
+                op_name,
+                seq,
+                self._rank,
+                root=root if kind == "reduce" else None,
+                reduce_op=op,
+                value=value,
+            )
+            self._san_sig = sig
         my_words = _words_of(value)
         if self.size == 1:
-            return Request(
-                lambda: self._nb_complete_single(kind, value, op, my_words)
+            return self._make_request(
+                op_name,
+                lambda: self._nb_complete_single(kind, value, op, my_words),
             )
         if not self._transport.windows_enabled:
+            if sig is not None:
+                self._san_put_sigs(sig)
             value_tx = self._tx(value)
-            return Request(
-                lambda: self._nb_complete_p2p(
+
+            def complete_p2p() -> Any:
+                if sig is not None:
+                    self._san_collect_sigs(sig)
+                return self._nb_complete_p2p(
                     kind, value_tx, op, root, seq, my_words
                 )
-            )
+
+            return self._make_request(op_name, complete_p2p)
         buf = self._nb_toggle
         self._nb_toggle = 1 - self._nb_toggle
         self._complete_pending(buf)
@@ -1011,7 +1207,9 @@ class Communicator:
         needed = packed_nbytes(prefix, payload)
         win = self._nb_window(buf, needed)
         win.begin()
-        win.post_size_nowait(needed, my_words)
+        win.post_size_nowait(
+            needed, my_words, sig.digest if sig is not None else 0
+        )
         written = needed <= win.slot_bytes
         if written:
             # Optimistic deposit: our slot has no other writer this
@@ -1021,10 +1219,11 @@ class Communicator:
             # on a grown window and these bytes are simply abandoned.
             win.write(prefix, payload)
             win.commit_nowait()
-        req = Request(
+        req = self._make_request(
+            op_name,
             lambda: self._nb_complete_window(
-                buf, kind, op, root, my_words, prefix, payload, written
-            )
+                buf, kind, op, root, my_words, prefix, payload, written, sig
+            ),
         )
         self._nb_pending[buf] = req
         return req
@@ -1075,11 +1274,16 @@ class Communicator:
         prefix: bytes,
         payload: np.ndarray | None,
         written: bool,
+        sig: CollectiveCall | None = None,
     ) -> Any:
         """Window completion: finish the deferred fences, read, charge."""
         self._nb_pending[buf] = None
         win = self._nb_wins[buf]
         largest = win.wait_posted()
+        if sig is not None:
+            # The deferred size fence has resolved, so every member's
+            # digest for this round is visible: verify before reading.
+            self._san_check_window(win, sig)
         if largest > win.slot_bytes:
             # Rare growth replay: some rank's payload outgrew the slots.
             # Retire the optimistic round (flags only — nobody reads it)
@@ -1091,7 +1295,11 @@ class Communicator:
             win.finish()
             win = self._grow_nb_window(buf, largest)
             win.begin()
-            win.post_size(packed_nbytes(prefix, payload), my_words)
+            win.post_size(
+                packed_nbytes(prefix, payload),
+                my_words,
+                sig.digest if sig is not None else 0,
+            )
             win.write(prefix, payload)
             win.commit()
         acc: Any = None
@@ -1128,6 +1336,7 @@ class Communicator:
                 f"alltoall needs exactly {self.size} values, got {len(values)}"
             )
         seq = self._advance_coll()
+        self._san_enter("alltoall", seq)
         tag = ("coll", seq, 0)
         p = self.size
         row_words = sum(_words_of(v) for v in values)
@@ -1175,6 +1384,9 @@ class Communicator:
         Ranks passing ``color=None`` (MPI's ``MPI_UNDEFINED``) receive ``None``.
         """
         seq = self._advance_coll()
+        # Split always relays point-to-point (never through windows), so
+        # its signature exchange is forced onto the point-to-point path.
+        self._san_enter("split", seq, windowed=False)
         # Exchange (color, key, rank) without charging: communicator setup is
         # out of band in the paper's model.
         tag_in = ("coll", seq, 0)
@@ -1202,7 +1414,12 @@ class Communicator:
         members = tuple(self._members[t[2]] for t in group)
         child_id = (self._comm_id, seq, color)
         return Communicator(
-            self._transport, self._ledger, child_id, members, self._world_rank
+            self._transport,
+            self._ledger,
+            child_id,
+            members,
+            self._world_rank,
+            sanitizer=self._san,
         )
 
     def dup(self) -> "Communicator":

@@ -12,7 +12,10 @@ class DeadlockError(MpiError):
 
     In an SPMD program this almost always means a mismatched send/recv pair,
     a collective invoked by only a subset of the communicator, or mismatched
-    collective ordering between ranks.
+    collective ordering between ranks.  Under ``REPRO_SANITIZE >= 1`` the
+    sanitizer annotates the error with the last collective the rank entered
+    (operation, sequence number, call site), so post-mortems name the hung
+    call instead of a bare timeout.
     """
 
 
@@ -28,16 +31,74 @@ class CommunicatorError(MpiError):
     """Invalid communicator construction or usage (bad rank, bad split...)."""
 
 
+class SanitizerError(MpiError):
+    """Base class for SPMD sanitizer diagnostics (``REPRO_SANITIZE >= 1``).
+
+    Every concrete subclass carries rank context (group rank, world rank)
+    and the offending call site in its message, so a failure names the
+    line of SPMD code that broke the protocol, not runtime internals.
+    """
+
+
+class CollectiveMismatchError(SanitizerError):
+    """Ranks of one communicator posted diverging collectives.
+
+    Raised instead of the deadlock the divergence would otherwise cause:
+    the sanitizer cross-checks a per-collective signature digest (operation
+    name, sequence number, root, reduction op) on the window size fence —
+    or over an uncharged point-to-point exchange on transports without
+    windows — and reports every diverging rank with its call site.
+    """
+
+
+class RequestLeakError(SanitizerError):
+    """A non-blocking request was never waited before finalize.
+
+    An unwaited request means deferred completion (and its ledger charge)
+    never ran — a correctness bug even when the payload was delivered by
+    the eager protocol.  The message lists every leaked request with the
+    posting call site.
+    """
+
+
+class RequestStateError(SanitizerError):
+    """A non-blocking request was waited more than once.
+
+    The runtime caches the completed value, so a double wait *works*, but
+    under MPI discipline a request handle is dead after its wait; a second
+    wait usually indicates confused pipeline bookkeeping.
+    """
+
+
+class WindowProtocolError(SanitizerError):
+    """A collective-window slot was read before its round's write fence.
+
+    Detected at ``REPRO_SANITIZE=2`` through per-slot generation counters:
+    a read of a slot whose generation lags the current exchange sequence
+    observed stale bytes (happens-before violation).
+    """
+
+
+def _describe_failure(exc: BaseException) -> str:
+    detail = f"{type(exc).__name__}: {exc}"
+    notes = getattr(exc, "__notes__", None)
+    if notes:
+        detail += " [" + "; ".join(str(n) for n in notes) + "]"
+    return detail
+
+
 class SpmdError(MpiError):
     """One or more ranks of an SPMD section raised an exception.
 
     Carries the per-rank exceptions so tests can assert on the root cause.
+    Exception notes (e.g. the sanitizer's collective context on deadlocks)
+    are folded into the summary line.
     """
 
     def __init__(self, failures: dict[int, BaseException]):
         self.failures = dict(failures)
         detail = "; ".join(
-            f"rank {rank}: {type(exc).__name__}: {exc}"
+            f"rank {rank}: {_describe_failure(exc)}"
             for rank, exc in sorted(self.failures.items())
         )
         super().__init__(f"{len(self.failures)} rank(s) failed: {detail}")

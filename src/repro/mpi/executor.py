@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+from repro.analysis.sanitizer import sanitize_level
 from repro.mpi.backends import (
     ExecutorBackend,
     SpmdResult,
@@ -37,6 +38,7 @@ def run_spmd(
     timeout: float = 120.0,
     rank_args: Sequence[tuple] | None = None,
     backend: str | ExecutorBackend | None = None,
+    sanitize: int | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``n_ranks`` simulated MPI ranks.
 
@@ -60,6 +62,13 @@ def run_spmd(
         to consult the ``REPRO_SPMD_BACKEND`` environment variable
         (default ``"thread"``).  The process backend requires per-rank
         return values to be picklable.
+    sanitize:
+        SPMD sanitizer level (:mod:`repro.analysis.sanitizer`): ``0``
+        off, ``1`` collective-protocol + request-lifetime checks, ``2``
+        adds shared-memory window generation checks.  ``None`` (default)
+        consults the ``REPRO_SANITIZE`` environment variable.  The level
+        is resolved here, in the launching process, and rides the run
+        dispatch — warm pool workers need no environment change.
 
     Returns
     -------
@@ -78,4 +87,12 @@ def run_spmd(
             f"rank_args has {len(rank_args)} entries for {n_ranks} ranks"
         )
     executor = resolve_backend(backend)
-    return executor.run(n_ranks, fn, args, machine, timeout, rank_args)
+    return executor.run(
+        n_ranks,
+        fn,
+        args,
+        machine,
+        timeout,
+        rank_args,
+        sanitize=sanitize_level(sanitize),
+    )

@@ -828,15 +828,23 @@ def _read_packed(slot: memoryview) -> Any:
 class CollectiveWindow:
     """A preallocated per-communicator shared-memory exchange window.
 
-    Layout: five int64 flag arrays of length P (``sizes``, ``posted``,
-    ``written``, ``done``, ``words``) followed by P fixed-size data
-    slots (P×P for :class:`MatrixWindow`).  Every flag slot has exactly
-    one writer (its rank), so fences need no atomic read-modify-write: a
-    rank publishes by storing the current exchange sequence number into
-    its own slot and spins until every slot reaches the sequence.  One
-    exchange is write → fence → read → fence, i.e. a single data copy
-    per reader instead of the O(P) point-to-point hops of the relayed
-    collectives.
+    Layout: six int64 flag arrays of length P (``sizes``, ``posted``,
+    ``written``, ``done``, ``words``, ``digests``), one int64 generation
+    counter per data slot, then the P fixed-size data slots (P×P for
+    :class:`MatrixWindow`).  Every flag slot has exactly one writer (its
+    rank), so fences need no atomic read-modify-write: a rank publishes
+    by storing the current exchange sequence number into its own slot
+    and spins until every slot reaches the sequence.  One exchange is
+    write → fence → read → fence, i.e. a single data copy per reader
+    instead of the O(P) point-to-point hops of the relayed collectives.
+
+    ``digests`` and the slot generations serve the SPMD sanitizer
+    (:mod:`repro.analysis.sanitizer`): each rank's collective-signature
+    digest rides the size fence so the communicator can detect diverging
+    collectives without extra messages, and every :meth:`write_to` /
+    :meth:`write_pair` stamps its slot's generation so a read of a stale
+    or unfenced slot is detectable.  Both are single int64 stores on the
+    hot path; the *checks* run only when ``sanitize`` is positive.
 
     ``words`` carries each rank's *modeled* contribution size (in
     8-byte words) alongside the exchange: collectives whose closed-form
@@ -862,6 +870,7 @@ class CollectiveWindow:
         owner: bool,
         abort_event,
         timeout: float,
+        sanitize: int = 0,
     ):
         self._shm = shm
         self.size = size
@@ -870,8 +879,10 @@ class CollectiveWindow:
         self.owner = owner
         self._abort = abort_event
         self.timeout = timeout
+        self.sanitize = sanitize
         self.seq = 0
         flag_bytes = 8 * size
+        n_data = self._n_data_slots(size)
         buf = shm.buf
         self._sizes = np.frombuffer(buf, np.int64, size, offset=0)
         self._posted = np.frombuffer(buf, np.int64, size, offset=flag_bytes)
@@ -880,7 +891,13 @@ class CollectiveWindow:
         )
         self._done = np.frombuffer(buf, np.int64, size, offset=3 * flag_bytes)
         self._words = np.frombuffer(buf, np.int64, size, offset=4 * flag_bytes)
-        self._data_off = 5 * flag_bytes
+        self._digests = np.frombuffer(
+            buf, np.int64, size, offset=5 * flag_bytes
+        )
+        self._gen = np.frombuffer(
+            buf, np.int64, n_data, offset=6 * flag_bytes
+        )
+        self._data_off = 6 * flag_bytes + 8 * n_data
         self._closed = False
         #: Which substrate maps the window: ``"hugetlb"`` when the segment
         #: lives on the hugetlbfs mount, ``"shm"`` otherwise.  Recorded so
@@ -899,14 +916,23 @@ class CollectiveWindow:
 
     @classmethod
     def create(
-        cls, size: int, index: int, slot_bytes: int, abort_event, timeout: float
+        cls,
+        size: int,
+        index: int,
+        slot_bytes: int,
+        abort_event,
+        timeout: float,
+        sanitize: int = 0,
     ) -> "CollectiveWindow":
-        total = 5 * 8 * size + cls._n_data_slots(size) * slot_bytes
+        n_data = cls._n_data_slots(size)
+        total = 6 * 8 * size + 8 * n_data + n_data * slot_bytes
         # Multi-MiB windows ask for huge-page backing (transparent shm
         # fallback); fresh segments of either substrate are zero-filled by
         # the OS, so all flags start at 0 — exactly "sequence 0 complete".
         shm = create_segment(total)
-        return cls(shm, size, index, slot_bytes, True, abort_event, timeout)
+        return cls(
+            shm, size, index, slot_bytes, True, abort_event, timeout, sanitize
+        )
 
     @classmethod
     def attach(
@@ -917,6 +943,7 @@ class CollectiveWindow:
         slot_bytes: int,
         abort_event,
         timeout: float,
+        sanitize: int = 0,
     ) -> "CollectiveWindow":
         try:
             shm = attach_segment(name)
@@ -927,7 +954,9 @@ class CollectiveWindow:
                 f"collective window {name!r} vanished before attach: "
                 f"a sibling rank failed"
             ) from None
-        return cls(shm, size, index, slot_bytes, False, abort_event, timeout)
+        return cls(
+            shm, size, index, slot_bytes, False, abort_event, timeout, sanitize
+        )
 
     # -- fences -------------------------------------------------------------
 
@@ -995,12 +1024,17 @@ class CollectiveWindow:
         self._wait(self._posted, self.seq, "fence")
         return self.seq
 
-    def post_size_nowait(self, nbytes: int, words: int = 0) -> None:
+    def post_size_nowait(
+        self, nbytes: int, words: int = 0, digest: int = 0
+    ) -> None:
         """Publish this rank's packed size (bytes) and modeled ``words``
         without waiting for the peers — the non-blocking half of
         :meth:`post_size`.  Pair with :meth:`wait_posted` (typically at a
-        request's ``wait()``) before trusting ``max``/``total`` readers."""
+        request's ``wait()``) before trusting ``max``/``total`` readers.
+        ``digest`` is the sanitizer's collective-signature digest riding
+        the fence (0 when the sanitizer is off)."""
         self._words[self.index] = words
+        self._digests[self.index] = digest
         self._sizes[self.index] = nbytes
         self._posted[self.index] = self.seq
 
@@ -1010,11 +1044,20 @@ class CollectiveWindow:
         self._wait(self._posted, self.seq, "size exchange")
         return int(self._sizes.max())
 
-    def post_size(self, nbytes: int, words: int = 0) -> int:
+    def post_size(self, nbytes: int, words: int = 0, digest: int = 0) -> int:
         """Publish this rank's packed size (bytes) and modeled ``words``;
         return the max packed size over ranks (drives window growth)."""
-        self.post_size_nowait(nbytes, words)
+        self.post_size_nowait(nbytes, words, digest)
         return self.wait_posted()
+
+    def digest_mismatch_ranks(self, digest: int) -> list[int]:
+        """Group ranks whose posted signature digest differs from
+        ``digest`` (valid after the size fence, like ``max_words``)."""
+        return [
+            rank
+            for rank in range(self.size)
+            if int(self._digests[rank]) != digest
+        ]
 
     def total_words(self) -> int:
         """Sum of all ranks' posted modeled words (valid after the size
@@ -1039,6 +1082,7 @@ class CollectiveWindow:
         else writes that round), which is as single-writer as the usual
         own-slot discipline.  The flag arrays stay strictly per-rank.
         """
+        self._gen[slot] = self.seq
         off = self._data_off + slot * self.slot_bytes
         _write_packed(
             self._shm.buf[off : off + self.slot_bytes], prefix, payload
@@ -1058,7 +1102,27 @@ class CollectiveWindow:
         self.commit_nowait()
         self.wait_written()
 
+    def _check_slot(self, slot: int, writer: str) -> None:
+        """Level-2 happens-before check for one data-slot read."""
+        from repro.mpi.errors import WindowProtocolError
+
+        if int(self._written.min()) < self.seq:
+            raise WindowProtocolError(
+                f"rank {self.index}: read of window slot {slot} before the "
+                f"round-{self.seq} write fence completed (read-before-fence; "
+                f"call wait_written/commit first)"
+            )
+        gen = int(self._gen[slot])
+        if gen != self.seq:
+            raise WindowProtocolError(
+                f"rank {self.index}: read of stale window slot {slot} "
+                f"({writer} last wrote it in round {gen}, current round is "
+                f"{self.seq}): no rank contributed to this slot this round"
+            )
+
     def read(self, rank: int) -> Any:
+        if self.sanitize >= 2:
+            self._check_slot(rank, f"rank {rank}")
         off = self._data_off + rank * self.slot_bytes
         return _read_packed(self._shm.buf[off : off + self.slot_bytes])
 
@@ -1074,6 +1138,7 @@ class CollectiveWindow:
         self._closed = True
         # The flag arrays export shm.buf; drop them before closing.
         del self._sizes, self._posted, self._written, self._done, self._words
+        del self._digests, self._gen
         try:
             self._shm.close()
         except BufferError:  # pragma: no cover - lingering export
@@ -1111,6 +1176,7 @@ class MatrixWindow(CollectiveWindow):
         self, dst: int, prefix: bytes, payload: np.ndarray | None
     ) -> None:
         """Write this rank's contribution destined for rank ``dst``."""
+        self._gen[self.index * self.size + dst] = self.seq
         off = self._pair_off(self.index, dst)
         _write_packed(
             self._shm.buf[off : off + self.slot_bytes], prefix, payload
@@ -1118,6 +1184,8 @@ class MatrixWindow(CollectiveWindow):
 
     def read_pair(self, src: int) -> Any:
         """Read the contribution rank ``src`` wrote for this rank."""
+        if self.sanitize >= 2:
+            self._check_slot(src * self.size + self.index, f"rank {src}")
         off = self._pair_off(src, self.index)
         return _read_packed(self._shm.buf[off : off + self.slot_bytes])
 
@@ -1156,6 +1224,12 @@ class ProcessTransport(TransportBase):
         Fixed initial window slot in bytes; ``0`` sizes the first window
         of each communicator from its first payload; ``None`` consults
         ``REPRO_SPMD_WINDOW_SLOT`` (default adaptive).
+    sanitize:
+        SPMD sanitizer level handed to the collective windows (level 2
+        enables their per-slot generation checks); ``None`` consults
+        ``REPRO_SANITIZE``.  The executor backend resolves the level
+        once per run and passes it explicitly, so pooled workers never
+        depend on environment inheritance at fork time.
     """
 
     #: Sends already copy into a fresh segment (or a pickle), so the
@@ -1171,6 +1245,7 @@ class ProcessTransport(TransportBase):
         run_seq: int = 0,
         windows: bool | None = None,
         window_slot: int | None = None,
+        sanitize: int | None = None,
     ):
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -1184,6 +1259,9 @@ class ProcessTransport(TransportBase):
         if windows is None:
             windows = os.environ.get(WINDOWS_ENV_VAR, "1") != "0"
         self.windows_enabled = windows
+        if sanitize is None:
+            sanitize = int(os.environ.get("REPRO_SANITIZE", "0") or 0)
+        self.sanitize = sanitize
         if window_slot is None:
             window_slot = int(os.environ.get(WINDOW_SLOT_ENV_VAR, "0") or 0)
         if window_slot < 0:
@@ -1288,7 +1366,10 @@ class ProcessTransport(TransportBase):
         self, size: int, index: int, slot_bytes: int, matrix: bool = False
     ) -> CollectiveWindow:
         cls = MatrixWindow if matrix else CollectiveWindow
-        win = cls.create(size, index, slot_bytes, self._abort, self.timeout)
+        win = cls.create(
+            size, index, slot_bytes, self._abort, self.timeout,
+            sanitize=self.sanitize,
+        )
         self._windows.append(win)
         return win
 
@@ -1302,7 +1383,8 @@ class ProcessTransport(TransportBase):
     ) -> CollectiveWindow:
         cls = MatrixWindow if matrix else CollectiveWindow
         win = cls.attach(
-            name, size, index, slot_bytes, self._abort, self.timeout
+            name, size, index, slot_bytes, self._abort, self.timeout,
+            sanitize=self.sanitize,
         )
         self._windows.append(win)
         return win

@@ -1,0 +1,3 @@
+"""Sanitizer tests run under both executor backends."""
+
+from tests.backend_param import spmd_backend  # noqa: F401

@@ -1,0 +1,26 @@
+"""Fixture: collective reached by a subset of ranks (SPMD001)."""
+
+
+def broken(comm, data):
+    if comm.rank == 0:
+        # Only rank 0 enters the reduction: everyone else deadlocks.
+        total = comm.allreduce(data)
+    else:
+        total = None
+    return total
+
+
+def also_broken(comm, data):
+    if comm.Get_rank() % 2 == 0:
+        comm.barrier()
+    return data
+
+
+def legal_root_asymmetry(comm, data):
+    # Both paths reach the *same* collective: classic root/non-root
+    # pairing, must not be flagged.
+    if comm.rank == 0:
+        out = comm.bcast(data, root=0)
+    else:
+        out = comm.bcast(None, root=0)
+    return out

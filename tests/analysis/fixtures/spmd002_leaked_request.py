@@ -1,0 +1,25 @@
+"""Fixture: non-blocking requests that can never be waited (SPMD002)."""
+
+import numpy as np
+
+
+def discarded(comm):
+    # Return value dropped at the call site: nothing holds the handle.
+    comm.isend(np.ones(4), dest=1)
+    return comm.recv(source=1)
+
+
+def never_waited(comm):
+    req = comm.ireduce(np.ones(8), root=0)
+    return comm.rank  # req leaks: no wait on any path
+
+
+def waited_is_fine(comm):
+    req = comm.iallreduce(np.ones(2))
+    return req.wait()
+
+
+def escaped_is_fine(comm, bag):
+    # Ownership transferred: whoever holds the bag waits.
+    bag.append(comm.isendrecv(np.ones(2), dest=0, source=0))
+    return bag

@@ -1,0 +1,30 @@
+"""Fixture: blocking collective inside an overlap region (SPMD003)."""
+
+import numpy as np
+
+
+def broken_pipeline(comm, blocks):
+    req = comm.ireduce(blocks[0], root=0)
+    # Outstanding post + blocking collective: the allreduce fences every
+    # rank while the ireduce round is half-posted.
+    total = comm.allreduce(np.sum(blocks[1]))
+    first = req.wait()
+    return first, total
+
+
+def drained_first_is_fine(comm, blocks):
+    req = comm.ireduce(blocks[0], root=0)
+    first = req.wait()
+    total = comm.allreduce(np.sum(blocks[1]))
+    return first, total
+
+
+def branch_local_wait_is_fine(comm, blocks, fold):
+    req = comm.ireduce(blocks[0], root=0)
+    if fold:
+        first = req.wait()
+    else:
+        first = req.wait()
+    # Both arms waited: the merged state has nothing outstanding.
+    total = comm.allreduce(np.sum(blocks[1]))
+    return first, total

@@ -1,0 +1,22 @@
+"""Fixture: bare except swallowing transport failures (SPMD004)."""
+
+
+def swallowed(comm, data):
+    try:
+        return comm.sendrecv(data, dest=0, source=0)
+    except:  # noqa: E722 - that is the point of this fixture
+        return None
+
+
+def typed_handler_is_fine(comm, data):
+    try:
+        return comm.recv(source=0)
+    except ValueError:
+        return None
+
+
+def bare_without_transport_is_fine(value):
+    try:
+        return int(value)
+    except:  # noqa: E722 - ugly but not an SPMD hazard
+        return 0

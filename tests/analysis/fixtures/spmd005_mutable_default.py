@@ -1,0 +1,20 @@
+"""Fixture: mutable default arguments (SPMD005)."""
+
+import numpy as np
+
+
+def list_default(comm, acc=[]):
+    acc.append(comm.rank)
+    return acc
+
+
+def ndarray_default(comm, buf=np.zeros(4)):
+    buf[comm.rank % 4] += 1.0
+    return buf
+
+
+def none_default_is_fine(comm, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(comm.rank)
+    return acc

@@ -1,0 +1,21 @@
+"""Fixture: every violation suppressed inline — must lint clean."""
+
+import numpy as np
+
+
+def suppressed_branch(comm, data):
+    if comm.rank == 0:
+        total = comm.allreduce(data)  # repro-lint: disable=SPMD001
+    else:
+        total = None
+    return total
+
+
+def suppressed_leak(comm):
+    comm.isend(np.ones(2), dest=1)  # repro-lint: disable=all
+    return comm.recv(source=1)
+
+
+def suppressed_default(comm, acc=[]):  # repro-lint: disable=SPMD005
+    acc.append(comm.rank)
+    return acc

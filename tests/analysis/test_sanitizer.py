@@ -1,0 +1,401 @@
+"""Runtime SPMD sanitizer: protocol, request and window checks.
+
+Every failure-mode test asserts the diagnostic names the rank *and* the
+call site — the whole point of the sanitizer is replacing a bare
+deadlock timeout with an actionable message.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import (
+    SANITIZE_ENV_VAR,
+    CollectiveCall,
+    sanitize_level,
+)
+from repro.mpi import (
+    SUM,
+    CollectiveWindow,
+    SpmdError,
+    WindowProtocolError,
+    run_spmd,
+)
+from tests.conftest import spmd
+
+
+class TestLevelResolution:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV_VAR, raising=False)
+        assert sanitize_level() == 0
+
+    def test_env_sets_level(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "2")
+        assert sanitize_level() == 2
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "2")
+        assert sanitize_level(0) == 0
+
+    def test_invalid_env_value(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV_VAR, "chatty")
+        with pytest.raises(ValueError, match="REPRO_SANITIZE"):
+            sanitize_level()
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError, match="sanitize level"):
+            sanitize_level(3)
+
+    def test_run_spmd_rejects_bad_level(self):
+        with pytest.raises(ValueError, match="sanitize level"):
+            run_spmd(2, lambda comm: None, sanitize=7)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_all_collectives_clean(self, level):
+        def prog(comm):
+            x = comm.bcast(np.arange(3.0), root=0)
+            g = comm.gather(comm.rank, root=0)
+            ag = comm.allgather(comm.rank * 2)
+            sc = comm.scatter(
+                [i * 10 for i in range(comm.size)] if comm.rank == 1 else None,
+                root=1,
+            )
+            r = comm.reduce(np.ones(2), SUM, root=0)
+            ar = comm.allreduce(float(comm.rank))
+            rs = comm.reduce_scatter_block(np.ones((comm.size, 2)))
+            a2a = comm.alltoall([comm.rank] * comm.size)
+            comm.barrier()
+            req = comm.ireduce(np.full(2, 1.0), SUM, root=0)
+            folded = req.wait()
+            sub = comm.split(comm.rank % 2)
+            sub_sum = sub.allreduce(1)
+            return (x.sum(), g, ag, sc, r, ar, rs.sum(), a2a, folded, sub_sum)
+
+        res = spmd(4, prog, sanitize=level)
+        assert res[2][3] == 20  # rank 2's scatter piece
+        assert res[0][5] == 6.0  # allreduce of ranks
+
+    def test_ledger_identical_across_levels(self):
+        def prog(comm):
+            comm.allreduce(np.arange(64.0))
+            comm.barrier()
+            req = comm.iallreduce(np.ones(8))
+            req.wait()
+            return comm.allgather(comm.rank)
+
+        times = {
+            level: spmd(4, prog, sanitize=level).modeled_time
+            for level in (0, 1, 2)
+        }
+        # The sanitizer's verification is uncharged: bit-identical
+        # modeled time at every level.
+        assert times[0] == times[1] == times[2]
+
+    def test_sanitizer_exposed_on_comm(self):
+        def prog(comm):
+            return (
+                comm.sanitizer is not None
+                and comm.sanitizer.level,
+                comm.split(0).sanitizer is comm.sanitizer,
+            )
+
+        assert spmd(2, prog, sanitize=2)[0] == (2, True)
+
+        def prog_off(comm):
+            return comm.sanitizer is None
+
+        assert spmd(2, prog_off, sanitize=0)[0] is True
+
+
+class TestCollectiveMismatch:
+    def test_mismatched_ops_named_with_sites(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.bcast(1.0, root=0)
+            else:
+                comm.allreduce(1.0)
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, sanitize=1)
+        msg = str(err.value)
+        assert "CollectiveMismatchError" in msg
+        assert "bcast#0" in msg and "allreduce#0" in msg
+        assert "rank 0" in msg and "rank 1" in msg
+        assert "test_sanitizer.py" in msg  # call sites, not runtime frames
+        assert "diverged" in msg
+
+    def test_reordered_collectives(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.bcast(1.0, root=0)
+                comm.allreduce(2.0)
+            else:
+                comm.allreduce(2.0)
+                comm.bcast(1.0, root=0)
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, sanitize=1)
+        assert "reordered" in str(err.value)
+
+    def test_mismatched_root(self):
+        def prog(comm):
+            comm.bcast(3.0, root=0 if comm.rank == 0 else 1)
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, sanitize=1)
+        assert "root=0" in str(err.value) and "root=1" in str(err.value)
+
+    def test_mismatched_reduce_op(self):
+        from repro.mpi import MAX
+
+        def prog(comm):
+            comm.allreduce(1.0, SUM if comm.rank == 0 else MAX)
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, sanitize=1)
+        msg = str(err.value)
+        assert "op=SUM" in msg and "op=MAX" in msg
+
+    def test_uneven_payloads_stay_legal(self):
+        # gather/reduce tolerate per-rank shapes; the digest must not
+        # include them (only reduce_scatter_block is shape-strict).
+        def prog(comm):
+            got = comm.gather(np.ones(comm.rank + 1), root=0)
+            comm.reduce(np.ones(1) if comm.rank else np.ones((2, 1)), SUM, 0)
+            return None if got is None else [g.size for g in got]
+
+        assert spmd(3, prog, sanitize=2)[0] == [1, 2, 3]
+
+    def test_nb_vs_blocking_collective_flagged(self):
+        # MPI forbids matching a non-blocking collective with a blocking
+        # one; here they also use different window protocols.
+        def prog(comm):
+            if comm.rank == 0:
+                comm.allreduce(np.ones(2))
+            else:
+                comm.iallreduce(np.ones(2)).wait()
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, sanitize=1)
+        msg = str(err.value)
+        assert "allreduce#0" in msg and "iallreduce#0" in msg
+
+
+class TestRequestLifetimes:
+    def test_leaked_isend(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.isend(np.ones(4), dest=1)  # never waited
+            else:
+                comm.recv(0)
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, sanitize=1)
+        msg = str(err.value)
+        assert "RequestLeakError" in msg
+        assert "isend" in msg and "never waited" in msg
+        assert "test_sanitizer.py" in msg
+
+    def test_leaked_ireduce(self):
+        def prog(comm):
+            comm.ireduce(np.ones(2), root=0)  # all ranks leak it
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, sanitize=1)
+        assert "ireduce" in str(err.value)
+
+    def test_double_wait(self):
+        def prog(comm):
+            peer = 1 - comm.rank
+            req = comm.isendrecv(np.ones(2), dest=peer, source=peer)
+            req.wait()
+            req.wait()
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, sanitize=1)
+        msg = str(err.value)
+        assert "RequestStateError" in msg and "double wait" in msg
+
+    def test_double_wait_legal_unsanitized(self):
+        def prog(comm):
+            peer = 1 - comm.rank
+            req = comm.isendrecv(np.full(2, 7.0), dest=peer, source=peer)
+            first = req.wait()
+            again = req.wait()  # served from the cache
+            return np.array_equal(first, again)
+
+        assert all(spmd(2, prog, sanitize=0))
+
+    def test_force_completion_is_not_a_user_wait(self):
+        # More posts than window buffers: the runtime force-completes
+        # old rounds internally; the user's single wait per request must
+        # still be legal (and required) under the sanitizer.
+        def prog(comm):
+            reqs = [
+                comm.ireduce(np.full(4, float(i)), SUM, root=0)
+                for i in range(5)
+            ]
+            return [req.wait() is not None for req in reqs]
+
+        res = spmd(4, prog, sanitize=2)
+        assert res[0] == [True] * 5
+
+    def test_deadlock_annotated_with_last_collective(self):
+        # Subset participation across *different windows* cannot be
+        # digest-checked; the timeout must carry the sanitizer context.
+        def prog(comm):
+            if comm.rank == 0:
+                comm.bcast(1.0, root=0)
+            # rank 1 returns without entering the collective
+
+        with pytest.raises(SpmdError) as err:
+            spmd(2, prog, timeout=2.0, sanitize=1)
+        msg = str(err.value)
+        assert "sanitizer: last collective" in msg
+        assert "bcast#0" in msg
+
+
+class TestWindowGenerationChecks:
+    """Level-2 happens-before checks, driving the shm window directly."""
+
+    def _pair(self, sanitize):
+        win0 = CollectiveWindow.create(
+            2, 0, 256, None, timeout=2.0, sanitize=sanitize
+        )
+        win1 = CollectiveWindow.attach(
+            win0.name, 2, 1, 256, None, timeout=2.0, sanitize=sanitize
+        )
+        return win0, win1
+
+    @staticmethod
+    def _packed(obj):
+        from repro.mpi.process_transport import pack_collective, packed_nbytes
+
+        prefix, payload = pack_collective(obj)
+        return prefix, payload, packed_nbytes(prefix, payload)
+
+    def test_read_before_fence(self):
+        win0, win1 = self._pair(sanitize=2)
+        try:
+            prefix, payload, nbytes = self._packed("hello")
+            win0.begin(), win1.begin()
+            win0.post_size_nowait(nbytes, digest=1)
+            win1.post_size(nbytes, digest=1)
+            win0.write(prefix, payload)
+            win0.commit_nowait()
+            # win1 never committed: reading now races its write.
+            with pytest.raises(WindowProtocolError, match="read-before-fence"):
+                win0.read(1)
+        finally:
+            win1.close()
+            win0.close()
+
+    def test_stale_slot_read(self):
+        win0, win1 = self._pair(sanitize=2)
+        try:
+            prefix, payload, nbytes = self._packed("round1")
+            # Round 1: both contribute properly.
+            win0.begin(), win1.begin()
+            win0.post_size_nowait(nbytes, digest=1)
+            win1.post_size(nbytes, digest=1)
+            win0.write(prefix, payload)
+            win1.write(prefix, payload)
+            win0.commit_nowait(), win1.commit_nowait()
+            win0.wait_written()
+            assert win0.read(1) == "round1"
+            win0.finish(), win1.finish()
+            # Round 2: rank 1 commits without writing its slot.
+            win0.begin(), win1.begin()
+            win0.post_size_nowait(nbytes, digest=1)
+            win1.post_size(nbytes, digest=1)
+            win0.write(prefix, payload)
+            win0.commit_nowait(), win1.commit_nowait()
+            win0.wait_written()
+            with pytest.raises(WindowProtocolError, match="stale"):
+                win0.read(1)
+        finally:
+            win1.close()
+            win0.close()
+
+    def test_unsanitized_window_skips_checks(self):
+        win0, win1 = self._pair(sanitize=0)
+        try:
+            prefix, payload, nbytes = self._packed("ok")
+            win0.begin(), win1.begin()
+            win0.post_size_nowait(nbytes)
+            win1.post_size(nbytes)
+            win0.write(prefix, payload)
+            win0.commit_nowait()
+            # Level 0: the racy read of rank 1's uncommitted slot is not
+            # intercepted — this rank just sees its own committed write.
+            assert win0.read(0) == "ok"
+        finally:
+            win1.close()
+            win0.close()
+
+    def test_digest_mismatch_ranks(self):
+        win0, win1 = self._pair(sanitize=1)
+        try:
+            win0.begin(), win1.begin()
+            win0.post_size_nowait(8, digest=11)
+            win1.post_size(8, digest=22)
+            assert win0.digest_mismatch_ranks(11) == [1]
+            assert win1.digest_mismatch_ranks(22) == [0]
+        finally:
+            win1.close()
+            win0.close()
+
+
+class TestSignatureModel:
+    """Unit coverage of the signature/digest vocabulary."""
+
+    def test_digest_ignores_shape_except_strict_ops(self):
+        a = CollectiveCall("gather", 3, 0, 0, dtype="float64", shape="4")
+        b = CollectiveCall("gather", 3, 1, 1, dtype="float64", shape="9")
+        assert a.digest == b.digest
+        c = CollectiveCall(
+            "reduce_scatter_block", 3, 0, 0, dtype="float64", shape="4"
+        )
+        d = CollectiveCall(
+            "reduce_scatter_block", 3, 1, 1, dtype="float64", shape="9"
+        )
+        assert c.digest != d.digest
+
+    def test_digest_is_nonzero_63bit(self):
+        for seq in range(50):
+            digest = CollectiveCall("bcast", seq, 0, 0).digest
+            assert 0 < digest < 2**63
+
+    def test_wire_round_trip(self):
+        sig = CollectiveCall(
+            "reduce", 7, 1, 3, root=0, reduce_op="SUM",
+            dtype="float64", shape="2x2", site="prog.py:10",
+        )
+        assert CollectiveCall.from_wire(sig.wire()) == sig
+
+
+class TestCliFlag:
+    def test_parser_accepts_sanitize(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["compress", "in.npy", "out.npz", "--parallel", "2",
+             "--sanitize", "2"]
+        )
+        assert args.sanitize == 2
+
+    def test_sanitize_requires_parallel(self, tmp_path):
+        from repro.cli import main
+
+        src = tmp_path / "x.npy"
+        np.save(src, np.ones((4, 4)))
+        rc = main(
+            ["compress", str(src), str(tmp_path / "out.npz"), "--sanitize",
+             "1"]
+        )
+        assert rc == 2
