@@ -24,6 +24,7 @@ import numpy as np
 from repro.core import hooi, sthosvd
 from repro.data.preprocess import center_and_scale
 from repro.io import load_tucker, save_tucker, stored_bytes
+from repro.mpi.errors import SpmdError
 from repro.util.validation import prod
 
 
@@ -97,6 +98,7 @@ def _compress_parallel(
         args.method,
         backend=backend,
         sanitize=args.sanitize,
+        timeout=args.timeout,
     )
     metadata["parallel"] = {
         "ranks": args.parallel,
@@ -138,6 +140,16 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             "checks rank protocols)",
             file=sys.stderr,
         )
+        return 2
+    if args.timeout is not None and not args.parallel:
+        print(
+            "error: --timeout requires --parallel (the deadlock timeout "
+            "guards SPMD receives)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
         return 2
     metadata: dict = {"source": args.input}
     if args.species_mode is not None:
@@ -270,6 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --backend process: fork fresh ranks instead "
                         "of using the persistent worker pool "
                         "(equivalent to REPRO_SPMD_POOL=0)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="deadlock-detection timeout for --parallel runs "
+                        "(default: $REPRO_SPMD_TIMEOUT or 120)")
     p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser("info", help="describe a Tucker container")
@@ -317,6 +332,11 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         # Bad parameter combinations surfaced by the library (unknown
         # REPRO_SPMD_BACKEND, infeasible grid, rank > dimension...).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SpmdError as exc:
+        # A parallel run failed — dead rank, injected fault, mismatched
+        # collectives, deadlock; the per-rank diagnoses ride the message.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

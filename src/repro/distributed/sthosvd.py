@@ -10,6 +10,7 @@ breakdowns (Fig. 8) from *measured* simulator costs.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -130,6 +131,106 @@ class DistTucker:
         return float(np.prod(shape)) / storage
 
 
+def _checkpoint_digest(
+    dt: DistTensor,
+    tol: float | None,
+    ranks: Sequence[int] | None,
+    order: Sequence[int],
+    method: str,
+) -> str:
+    from repro.io.tucker_io import checkpoint_digest
+
+    return checkpoint_digest(
+        {
+            "global_shape": [int(s) for s in dt.global_shape],
+            "grid": [int(p) for p in dt.grid.dims],
+            "n_ranks": dt.comm.size,
+            "tol": tol,
+            "ranks": None if ranks is None else [int(r) for r in ranks],
+            "order": [int(n) for n in order],
+            "method": method,
+        }
+    )
+
+
+def _checkpoint_resume(
+    checkpoint: str | os.PathLike,
+    digest: str,
+    dt: DistTensor,
+    factors: list[np.ndarray | None],
+    eigenvalues: list[np.ndarray | None],
+) -> tuple[int, DistTensor]:
+    """Restore ``(completed steps, working tensor)`` from a committed
+    checkpoint, or ``(0, dt)`` when none exists.
+
+    Safe to run concurrently on all ranks: the committed ``meta.json``
+    is stable (nobody writes it until every rank is past this point),
+    and each rank loads only its own step file.
+    """
+    from repro.io.tucker_io import load_checkpoint_state, read_checkpoint_meta
+
+    meta = read_checkpoint_meta(checkpoint)
+    if meta is None:
+        return 0, dt
+    if meta["digest"] != digest:
+        raise ValueError(
+            f"checkpoint {os.fspath(checkpoint)!r} was written for "
+            "different parameters (shape, grid, tol/ranks, mode order, or "
+            "method); refusing to resume from it"
+        )
+    completed = int(meta["completed"])
+    if completed <= 0:
+        return 0, dt
+    state = load_checkpoint_state(checkpoint, completed - 1, dt.comm.rank)
+    for mode, f in state["factors"].items():
+        factors[mode] = f
+    for mode, e in state["eigenvalues"].items():
+        eigenvalues[mode] = e
+    return completed, dt.with_local(state["local"], state["global_shape"])
+
+
+def _checkpoint_commit(
+    checkpoint: str | os.PathLike,
+    digest: str,
+    step: int,
+    order: Sequence[int],
+    y: DistTensor,
+    factors: list[np.ndarray | None],
+    eigenvalues: list[np.ndarray | None],
+) -> None:
+    """Commit the state after step ``step`` (position in ``order``).
+
+    Every rank writes its step file, a barrier establishes that all
+    files exist, then rank 0 publishes ``meta.json`` and retires the
+    superseded step.  A crash anywhere in between leaves the previous
+    committed checkpoint fully intact.
+    """
+    from repro.io.tucker_io import (
+        clear_checkpoint_step,
+        commit_checkpoint_meta,
+        save_checkpoint_state,
+    )
+
+    comm = y.comm
+    save_checkpoint_state(
+        checkpoint,
+        step,
+        comm.rank,
+        y.local,
+        y.global_shape,
+        {n: f for n, f in enumerate(factors) if f is not None},
+        {n: e for n, e in enumerate(eigenvalues) if e is not None},
+    )
+    comm.barrier()
+    if comm.rank == 0:
+        commit_checkpoint_meta(
+            checkpoint, digest, step + 1, comm.size, tuple(order)
+        )
+        if step > 0:
+            clear_checkpoint_step(checkpoint, step - 1)
+    comm.barrier()
+
+
 def dist_sthosvd(
     dt: DistTensor,
     tol: float | None = None,
@@ -138,6 +239,7 @@ def dist_sthosvd(
     ttm_strategy: str = "auto",
     method: str = "gram",
     tsqr_tree: str | None = None,
+    checkpoint: str | os.PathLike | None = None,
 ) -> DistTucker:
     """Parallel ST-HOSVD (Alg. 1 on the Sec. V kernels).
 
@@ -150,6 +252,15 @@ def dist_sthosvd(
     selects its reduction tree (``"binary"``/``"butterfly"``, default the
     ``REPRO_TSQR_TREE`` environment switch — factors are bit-identical
     across tree choices).
+
+    ``checkpoint=`` names a directory used for crash recovery: after
+    each mode completes, every rank writes its shrunk core block and
+    factor rows there (atomic per-mode commit, see
+    :mod:`repro.io.tucker_io`), and a relaunch — e.g. a
+    ``run_spmd(retry=RetryPolicy(...))`` attempt after a rank death —
+    resumes from the last committed mode instead of recomputing,
+    producing bit-identical factors.  The store is validated against the
+    call's parameters (digest) and cleared on successful completion.
     """
     n_modes = dt.ndim
     if (tol is None) == (ranks is None):
@@ -184,7 +295,17 @@ def dist_sthosvd(
     y = dt
     factors: list[np.ndarray | None] = [None] * n_modes
     eigenvalues: list[np.ndarray | None] = [None] * n_modes
-    for n in order:
+    completed = 0
+    ckpt_digest = ""
+    if checkpoint is not None:
+        ckpt_digest = _checkpoint_digest(dt, tol, ranks, order, method)
+        with comm.section("checkpoint"):
+            completed, y = _checkpoint_resume(
+                checkpoint, ckpt_digest, dt, factors, eigenvalues
+            )
+    for step, n in enumerate(order):
+        if step < completed:
+            continue
         # Threshold-based selection is floored at the grid extent: the
         # block distribution needs one output row per processor in the
         # mode (strictly more accurate than requested, never worse).
@@ -218,6 +339,23 @@ def dist_sthosvd(
             y = dist_ttm(y, u_local.T.copy(), n, rn, strategy=ttm_strategy)
         factors[n] = u_local
         eigenvalues[n] = eig.values
+        if checkpoint is not None:
+            with comm.section("checkpoint"):
+                _checkpoint_commit(
+                    checkpoint, ckpt_digest, step, order, y,
+                    factors, eigenvalues,
+                )
+
+    if checkpoint is not None:
+        # The run is complete; restart files are transient by design —
+        # a later call with the same parameters must recompute, not
+        # replay stale state.
+        with comm.section("checkpoint"):
+            comm.barrier()
+            if comm.rank == 0:
+                from repro.io.tucker_io import clear_checkpoint
+
+                clear_checkpoint(checkpoint)
 
     return DistTucker(
         core=y,

@@ -1,0 +1,27 @@
+"""Fault tolerance for the SPMD runtime.
+
+Deterministic fault injection (:class:`FaultSpec` / :class:`FaultInjector`,
+``REPRO_FAULTS``), bounded launch retry (:class:`RetryPolicy`), and the
+shared-memory rank status board (:class:`StatusBoard`) behind prompt
+rank-death detection.  See the README's "Fault tolerance" section.
+
+This package is import-pure with respect to ``repro.mpi`` (errors are
+imported lazily at raise sites), so runtime internals may import it
+freely without cycles.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy
+from repro.faults.spec import FAULTS_ENV_VAR, FaultClause, FaultSpec, resolve_faults
+from repro.faults.status import StatusBoard, describe_exitcode
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "FaultClause",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "StatusBoard",
+    "describe_exitcode",
+    "resolve_faults",
+]

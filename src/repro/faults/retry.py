@@ -1,0 +1,67 @@
+"""Bounded retry with exponential backoff for SPMD launches.
+
+``run_spmd(..., retry=RetryPolicy(...))`` re-launches the whole SPMD
+section when it fails with a retryable error (by default a rank death).
+Fault clauses default to ``attempt=1``, so an injected crash does not
+re-fire on the retried launch unless the spec says ``attempt=*``.
+"""
+
+from __future__ import annotations
+
+
+class RetryPolicy:
+    """Retry budget for ``run_spmd``: at most ``max_attempts`` launches.
+
+    ``backoff`` is the sleep before the first retry; each further retry
+    doubles it (``backoff * 2**(attempt-1)``).  ``retry_on`` is the
+    tuple of exception types that make a failed launch retryable; the
+    default is ``(RankDeadError,)`` — deterministic program errors
+    should not be retried.  An :class:`~repro.mpi.errors.SpmdError` is
+    retryable when *any* rank's failure matches.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        backoff: float = 0.1,
+        retry_on: tuple[type[BaseException], ...] | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        self.max_attempts = int(max_attempts)
+        self.backoff = float(backoff)
+        self._retry_on = tuple(retry_on) if retry_on is not None else None
+
+    @property
+    def retry_on(self) -> tuple[type[BaseException], ...]:
+        if self._retry_on is None:
+            from repro.mpi.errors import RankDeadError
+
+            return (RankDeadError,)
+        return self._retry_on
+
+    def delay(self, attempt: int) -> float:
+        """Backoff sleep after failed attempt number ``attempt`` (1-based)."""
+        return self.backoff * (2.0 ** (attempt - 1))
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether failed attempt ``attempt`` warrants another launch."""
+        if attempt >= self.max_attempts:
+            return False
+        return self._matches(exc)
+
+    def _matches(self, exc: BaseException) -> bool:
+        failures = getattr(exc, "failures", None)
+        if failures:  # SpmdError: retryable if any rank's root cause is
+            return any(
+                isinstance(failure, self.retry_on) for failure in failures.values()
+            )
+        return isinstance(exc, self.retry_on)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"backoff={self.backoff})"
+        )

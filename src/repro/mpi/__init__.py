@@ -41,7 +41,18 @@ from repro.mpi.backends import (
     resolve_backend,
     shutdown_worker_pools,
 )
-from repro.mpi.executor import SpmdResult, run_spmd
+from repro.mpi.executor import (
+    TIMEOUT_ENV_VAR,
+    SpmdResult,
+    resolve_timeout,
+    run_spmd,
+)
+from repro.faults import (
+    FAULTS_ENV_VAR,
+    FaultSpec,
+    RetryPolicy,
+    resolve_faults,
+)
 from repro.mpi.ledger import CostLedger, RankCosts
 from repro.mpi.process_transport import (
     ARENA_ENV_VAR,
@@ -63,7 +74,9 @@ from repro.mpi.errors import (
     CollectiveMismatchError,
     CommunicatorError,
     DeadlockError,
+    FaultInjectedError,
     MpiError,
+    RankDeadError,
     RequestLeakError,
     RequestStateError,
     SanitizerError,
@@ -106,9 +119,17 @@ __all__ = [
     "WINDOWS_ENV_VAR",
     "WINDOW_SLOT_ENV_VAR",
     "SANITIZE_ENV_VAR",
+    "FAULTS_ENV_VAR",
+    "TIMEOUT_ENV_VAR",
+    "FaultSpec",
+    "RetryPolicy",
+    "resolve_faults",
+    "resolve_timeout",
     "Sanitizer",
     "MpiError",
     "DeadlockError",
+    "RankDeadError",
+    "FaultInjectedError",
     "BufferMismatchError",
     "CommunicatorError",
     "SpmdError",

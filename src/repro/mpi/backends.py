@@ -30,7 +30,8 @@ Process-backend restrictions (it crosses a real process boundary):
 * rank functions and arguments reach the children by pickle (warm pool)
   or by ``fork`` (fallback), so closures and lambdas work, but mutations
   they make to parent objects stay in the child;
-* per-rank return values come back through a result queue and must be
+* per-rank return values come back through a result queue (one per rank,
+  so a crashed sibling can never wedge a survivor's report) and must be
   picklable — a rank returning an unpicklable value fails that rank;
 * large received arrays are *read-only* zero-copy views
   (:class:`~repro.mpi.process_transport.ShmArrayView`) backed by shared
@@ -83,15 +84,16 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.analysis.sanitizer import Sanitizer
+from repro.faults import FaultInjector, FaultSpec, StatusBoard, describe_exitcode
 from repro.mpi.comm import Communicator
-from repro.mpi.errors import DeadlockError, SpmdError
+from repro.mpi.errors import DeadlockError, RankDeadError, SpmdError
 from repro.mpi.ledger import CostLedger
 from repro.mpi.process_transport import (
     ProcessTransport,
     decode_borrowed,
     encode_payload,
     process_arena,
-    reap_stale_hugepage_segments,
+    reap_stale_segments,
     release_payload,
 )
 from repro.mpi.transport import ThreadTransport
@@ -148,8 +150,11 @@ class SpmdResult:
 def raise_spmd_failures(failures: dict[int, BaseException]) -> None:
     """Raise :class:`SpmdError` for a run's failures, if any.
 
-    Deadlock cascades: report only the original failures, not the
-    DeadlockErrors induced on innocent ranks by the poisoned transport.
+    Failure cascades: report only the original failures, not the
+    DeadlockErrors induced on innocent ranks by the poisoned transport,
+    nor the RankDeadErrors surviving ranks raise about *somebody else's*
+    death (the dead rank's own synthesized RankDeadError — where
+    ``dead_rank`` equals the reporting rank — stays primary).
     """
     if not failures:
         return
@@ -157,8 +162,23 @@ def raise_spmd_failures(failures: dict[int, BaseException]) -> None:
         rank: exc
         for rank, exc in failures.items()
         if not isinstance(exc, DeadlockError)
+        and not (isinstance(exc, RankDeadError) and exc.dead_rank != rank)
     }
     raise SpmdError(primary or failures)
+
+
+def _rank_dead_error(
+    rank: int, exitcode: int | None, board: StatusBoard | None
+) -> RankDeadError:
+    """The parent-side failure for a child that died without reporting."""
+    msg = (
+        f"rank {rank} died ({describe_exitcode(exitcode)}) "
+        f"before reporting a result"
+    )
+    context = board.last_context(rank) if board is not None else None
+    if context:
+        msg += f" (last collective: {context})"
+    return RankDeadError(msg, dead_rank=rank, exitcode=exitcode)
 
 
 class ExecutorBackend(abc.ABC):
@@ -177,6 +197,8 @@ class ExecutorBackend(abc.ABC):
         timeout: float,
         rank_args: Sequence[tuple] | None,
         sanitize: int = 0,
+        faults: FaultSpec | None = None,
+        attempt: int = 1,
     ) -> SpmdResult:
         """Execute ``fn(comm, *args[, *rank_args[rank]])`` on every rank.
 
@@ -185,6 +207,12 @@ class ExecutorBackend(abc.ABC):
         :class:`~repro.analysis.sanitizer.Sanitizer` per rank at levels
         >= 1, finalize it after a successful rank return, and annotate
         deadlock timeouts with the rank's last collective.
+
+        ``faults`` is the resolved fault-injection spec (``None`` when
+        chaos is off) and ``attempt`` the 1-based launch attempt number
+        (advanced by ``run_spmd``'s retry loop): backends build one
+        :class:`~repro.faults.FaultInjector` per rank from them and fire
+        the ``dispatch`` site before the rank function runs.
         """
 
 
@@ -202,6 +230,8 @@ class ThreadBackend(ExecutorBackend):
         timeout: float,
         rank_args: Sequence[tuple] | None,
         sanitize: int = 0,
+        faults: FaultSpec | None = None,
+        attempt: int = 1,
     ) -> SpmdResult:
         transport = ThreadTransport(timeout=timeout)
         ledger = CostLedger(n_ranks, machine)
@@ -213,6 +243,14 @@ class ThreadBackend(ExecutorBackend):
             sanitizer = (
                 Sanitizer(level=sanitize, world_rank=rank) if sanitize else None
             )
+            # Thread ranks share the parent process, so kind=crash
+            # degrades to FaultInjectedError (hard_crash=False) — a
+            # SIGKILL would take the whole test runner down.
+            injector = (
+                FaultInjector(faults, rank, attempt, hard_crash=False)
+                if faults is not None
+                else None
+            )
             comm = Communicator(
                 transport,
                 ledger,
@@ -220,8 +258,11 @@ class ThreadBackend(ExecutorBackend):
                 tuple(range(n_ranks)),
                 rank,
                 sanitizer=sanitizer,
+                faults=injector,
             )
             try:
+                if injector is not None:
+                    injector.fire("dispatch")
                 extra = rank_args[rank] if rank_args is not None else ()
                 values[rank] = fn(comm, *args, *extra)
                 if sanitizer is not None:
@@ -275,6 +316,46 @@ def _safe_report_blob(
         return pickle.dumps((run_seq, rank, None, failure, costs))
 
 
+def _drain_ready_reports(
+    queues: dict[int, Any], timeout: float
+) -> list[bytes]:
+    """Wait for report traffic on per-rank result queues; drain what's ready.
+
+    Rank reports travel one ``multiprocessing.Queue`` *per rank*, never a
+    shared one: a queue shared by several writer processes serializes
+    them through one shared write semaphore, and a rank SIGKILLed at the
+    wrong instant (between its feeder thread's pipe write and the lock
+    release — a multi-millisecond window, since the release needs the
+    GIL back) dies holding it, wedging every survivor's report until the
+    drain deadline.  With per-rank queues each worker is the sole writer
+    of its own pipe, so a crash can only ever lose that rank's *own*
+    report — which the exit monitor replaces with a synthesized
+    :class:`RankDeadError` anyway.
+
+    Blocks up to ``timeout`` for the first readable queue (event-driven
+    via ``multiprocessing.connection.wait`` on the reader pipes — the
+    parent keeps the write ends open, so readiness always means data,
+    never EOF), then drains every ready queue without blocking.  Returns
+    the raw blobs, possibly from several ranks; empty on timeout.
+    """
+    from multiprocessing.connection import wait as _wait_readers
+
+    readers = {q._reader: q for q in queues.values()}
+    try:
+        ready = _wait_readers(list(readers), timeout=timeout)
+    except OSError:  # pragma: no cover - torn-down handle at shutdown
+        return []
+    blobs: list[bytes] = []
+    for reader in ready:
+        q = readers[reader]
+        while True:
+            try:
+                blobs.append(q.get_nowait())
+            except (queue_mod.Empty, OSError, ValueError):
+                break
+    return blobs
+
+
 def _run_one_rank(
     rank: int,
     n_ranks: int,
@@ -289,9 +370,26 @@ def _run_one_rank(
     transport_opts: dict | None = None,
 ) -> tuple[Any, BaseException | None, Any]:
     """Execute one rank against a fresh transport; always cleans up."""
+    topts = dict(transport_opts or {})
+    # Fault-tolerance options ride the dispatch as picklable primitives;
+    # the live objects (injector, board) are built rank-side here.
+    spec: FaultSpec | None = topts.pop("faults", None)
+    attempt: int = topts.pop("attempt", 1)
+    board_name: str | None = topts.pop("status", None)
+    injector = (
+        FaultInjector(spec, rank, attempt, hard_crash=True)
+        if spec is not None
+        else None
+    )
+    board = None
+    if board_name is not None:
+        try:
+            board = StatusBoard.attach(board_name, n_ranks)
+        except FileNotFoundError:  # pragma: no cover - board already audited
+            board = None
     transport = ProcessTransport(
         rank, inboxes, abort_event, timeout=timeout, run_seq=run_seq,
-        **(transport_opts or {}),
+        faults=injector, status=board, **topts,
     )
     ledger = CostLedger(n_ranks, machine)
     sanitizer = (
@@ -306,20 +404,31 @@ def _run_one_rank(
         tuple(range(n_ranks)),
         rank,
         sanitizer=sanitizer,
+        faults=injector,
     )
     value: Any = None
     failure: BaseException | None = None
     try:
+        if board is not None:
+            board.mark_running(rank, os.getpid())
+        if injector is not None:
+            injector.fire("dispatch")
         value = fn(comm, *args, *extra)
         if sanitizer is not None:
             sanitizer.finalize()
+        if board is not None:
+            board.mark_done(rank)
     except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
         if sanitizer is not None and isinstance(exc, DeadlockError):
             sanitizer.annotate(exc)
         failure = exc
         transport.abort(exc)
     finally:
-        transport.end_run()
+        try:
+            transport.end_run()
+        finally:
+            if board is not None:
+                board.close()
     return value, failure, ledger.rank_costs(rank)
 
 
@@ -363,6 +472,18 @@ def _pool_worker(
             item = task_queue.get()
             if item is None:
                 break
+            if item[0] == "ping":
+                # Pool health check: answer with a pong carrying the
+                # probe token.  The collect loops ignore pong blobs.
+                # When a sibling died, the probe also asks survivors to
+                # flush their arenas: pooled segments adopted from the
+                # dead rank were unlinked by the crash audit, and
+                # reusing such a mapping would break the next receiver's
+                # attach-by-name.
+                if item[2]:
+                    process_arena().teardown()
+                result_queue.put(pickle.dumps(("pong", item[1], rank)))
+                continue
             run_seq, blob = item
             value: Any = None
             failure: BaseException | None = None
@@ -392,6 +513,17 @@ def _pool_worker(
             result_queue.put(
                 _safe_report_blob(run_seq, rank, value, failure, costs)
             )
+            # Drop the report's references before the next item, and
+            # break the exception<->frame reference cycle: traceback
+            # frames pin shm-backed views, and cyclic garbage finalizes
+            # in arbitrary order — a SharedMemory handle collected
+            # before its exporting ndarray spews BufferError from
+            # __del__.  Refcount teardown releases views first.
+            if failure is not None:
+                failure.__traceback__ = None
+                failure.__context__ = None
+                failure.__cause__ = None
+            del value, failure, costs
     finally:
         process_arena().teardown()
 
@@ -402,36 +534,47 @@ class _RankPool:
     def __init__(self, n_ranks: int):
         import multiprocessing
 
-        ctx = multiprocessing.get_context("fork")
+        self._ctx = multiprocessing.get_context("fork")
         self.n_ranks = n_ranks
         self.run_seq = 0
         self.broken = False
-        self.inboxes = [ctx.Queue() for _ in range(n_ranks)]
-        self.task_queues = [ctx.Queue() for _ in range(n_ranks)]
-        self.result_queue = ctx.Queue()
-        self.abort_event = ctx.Event()
+        self.needs_recycle = False
+        self.inboxes = [self._ctx.Queue() for _ in range(n_ranks)]
+        self.task_queues = [self._ctx.Queue() for _ in range(n_ranks)]
+        # One result queue per rank (see _drain_ready_reports): a shared
+        # queue's write lock is a single point of failure under SIGKILL.
+        self.result_queues = [self._ctx.Queue() for _ in range(n_ranks)]
+        self.abort_event = self._ctx.Event()
         self.staged: list = []  # arena segments loaned to the active run
-        self.procs = [
-            ctx.Process(
-                target=_pool_worker,
-                args=(
-                    rank,
-                    n_ranks,
-                    self.task_queues[rank],
-                    self.result_queue,
-                    self.inboxes,
-                    self.abort_event,
-                ),
-                name=f"spmd-pool-{n_ranks}-rank-{rank}",
-                daemon=True,
-            )
-            for rank in range(n_ranks)
-        ]
-        for p in self.procs:
-            p.start()
+        # Shared liveness/death board: children stamp their pid and last
+        # collective, the parent's exit monitor records deaths on it so
+        # survivors raise RankDeadError instead of deadlock-timing out.
+        self.board = StatusBoard.create(n_ranks)
+        self.procs = [self._spawn(rank) for rank in range(n_ranks)]
+
+    def _spawn(self, rank: int):
+        p = self._ctx.Process(
+            target=_pool_worker,
+            args=(
+                rank,
+                self.n_ranks,
+                self.task_queues[rank],
+                self.result_queues[rank],
+                self.inboxes,
+                self.abort_event,
+            ),
+            name=f"spmd-pool-{self.n_ranks}-rank-{rank}",
+            daemon=True,
+        )
+        p.start()
+        return p
 
     def alive(self) -> bool:
-        return not self.broken and all(p.is_alive() for p in self.procs)
+        return (
+            not self.broken
+            and not self.needs_recycle
+            and all(p.is_alive() for p in self.procs)
+        )
 
     def dispatch(
         self,
@@ -462,6 +605,8 @@ class _RankPool:
         tasks = []
         segments: list = []
         self.run_seq += 1
+        self.board.reset()
+        topts = dict(transport_opts or {}, status=self.board.name)
         try:
             shared = encode_payload((fn, args, machine, timeout), segments, arena)
             for rank in range(self.n_ranks):
@@ -473,7 +618,7 @@ class _RankPool:
                         self.run_seq,
                         pickle.dumps(
                             (fn_enc, args_enc, encoded_extra, machine_enc,
-                             timeout_enc, transport_opts)
+                             timeout_enc, topts)
                         ),
                     )
                 )
@@ -508,8 +653,90 @@ class _RankPool:
                 except Exception:  # pragma: no cover - best-effort cleanup
                     pass
 
+    def _drain_queue(self, q) -> None:
+        while True:
+            try:
+                q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                return
+
+    def recycle(self) -> bool:
+        """Return the pool to service after a failed run (surgical repair).
+
+        Instead of retiring the whole pool on any failure, drain every
+        queue, clear the poison, reap and respawn only the *dead*
+        workers (reclaiming the segments they leaked), and health-check
+        all of them with a ping/pong round trip before the pool serves
+        again.  Returns False when a worker fails the health check —
+        the caller then falls back to full teardown + fresh pool.
+        """
+        dead_pids = [p.pid for p in self.procs if not p.is_alive()]
+        self.reclaim_staged()
+        self.drain_inboxes()
+        for q in self.task_queues:
+            self._drain_queue(q)
+        for q in self.result_queues:
+            self._drain_queue(q)
+        self.abort_event.clear()
+        self.board.reset()
+        for rank, p in enumerate(self.procs):
+            if not p.is_alive():
+                p.join(timeout=0.1)
+                self.procs[rank] = self._spawn(rank)
+        if dead_pids:
+            reap_stale_segments(dead_pids)
+        if not self._health_check(flush=bool(dead_pids)):
+            return False
+        self.needs_recycle = False
+        return True
+
+    def _health_check(
+        self, flush: bool = False, grace: float = _POOL_SHUTDOWN_GRACE
+    ) -> bool:
+        """Ping every worker; True when all pong within ``grace`` seconds.
+
+        A worker still wedged in the poisoned run's user code never
+        reaches its task queue, so a missing pong flags it for full
+        teardown instead of handing it the next dispatch.  ``flush``
+        additionally makes each worker tear down its segment arena
+        before ponging (required after a rank death — see the ping
+        handler in :func:`_pool_worker`).
+        """
+        token = (os.getpid(), self.run_seq, time.monotonic_ns())
+        for q in self.task_queues:
+            try:
+                q.put(("ping", token, flush))
+            except (OSError, ValueError):  # pragma: no cover - dead queue
+                return False
+        pending = set(range(self.n_ranks))
+        deadline = time.monotonic() + grace
+        while pending and time.monotonic() < deadline:
+            blobs = _drain_ready_reports(
+                {rank: self.result_queues[rank] for rank in sorted(pending)},
+                timeout=0.2,
+            )
+            for blob in blobs:
+                try:
+                    msg = pickle.loads(blob)
+                except Exception:  # pragma: no cover - stale partial report
+                    continue
+                if (
+                    isinstance(msg, tuple)
+                    and len(msg) == 3
+                    and msg[0] == "pong"
+                    and msg[1] == token
+                ):
+                    pending.discard(msg[2])
+        return not pending
+
     def shutdown(self) -> None:
-        """Stop the workers (gracefully first, so they unlink segments)."""
+        """Stop the workers (gracefully first, so they unlink segments).
+
+        Every queue interaction tolerates ``BrokenPipeError``/``EPIPE``
+        and closed-queue errors: at interpreter exit workers may already
+        be dead (crashed ranks, daemon reaping), and teardown must not
+        spray tracebacks for pipes nobody is reading.
+        """
         for p, q in zip(self.procs, self.task_queues):
             if p.is_alive():
                 try:
@@ -524,9 +751,14 @@ class _RankPool:
                 p.terminate()
                 p.join()
         self.drain_inboxes()
-        for q in [*self.inboxes, *self.task_queues, self.result_queue]:
-            q.close()
-            q.join_thread()
+        for q in [*self.inboxes, *self.task_queues, *self.result_queues]:
+            try:
+                q.close()
+                q.join_thread()
+            except (OSError, ValueError):  # pragma: no cover - dead feeder
+                pass
+        self.board.close()
+        self.board.unlink()
 
 
 _POOLS: dict[int, _RankPool] = {}
@@ -552,10 +784,11 @@ def shutdown_worker_pools() -> None:
     # The dispatching side stages task arguments through its own arena;
     # release those pooled segments along with the workers.
     process_arena().teardown()
-    # Hugetlbfs files have no resource-tracker net: sweep segments whose
-    # creating worker died without unlinking them (killed ranks), lest
-    # leaked files pin reserved huge pages across runs.
-    reap_stale_hugepage_segments(worker_pids)
+    # Crash audit: sweep every segment (POSIX shm and hugetlbfs) whose
+    # creating worker died without unlinking it — killed ranks leak
+    # arena buckets, in-flight payloads, and windows, and hugetlbfs
+    # files additionally pin reserved huge pages across runs.
+    reap_stale_segments(worker_pids)
 
 
 atexit.register(shutdown_worker_pools)
@@ -565,9 +798,15 @@ def _get_pool(n_ranks: int) -> _RankPool:
     with _POOLS_LOCK:
         pool = _POOLS.get(n_ranks)
         if pool is not None and not pool.alive():
-            _POOLS.pop(n_ranks, None)
-            pool.shutdown()
-            pool = None
+            # Surgical repair first: respawn dead workers and health-check
+            # the rest.  Only a failed health check (or an explicitly
+            # broken pool) retires the whole pool.
+            if pool.broken or not pool.recycle():
+                _POOLS.pop(n_ranks, None)
+                worker_pids = [p.pid for p in pool.procs]
+                pool.shutdown()
+                reap_stale_segments(worker_pids)
+                pool = None
         if pool is None:
             pool = _RankPool(n_ranks)
             _POOLS[n_ranks] = pool
@@ -582,9 +821,10 @@ def _invalidate_pool(pool: _RankPool) -> None:
     worker_pids = [p.pid for p in pool.procs]
     pool.shutdown()
     # A pool is only retired like this on failure — exactly when a killed
-    # or crashed worker may have leaked huge-page segment files (no
-    # resource-tracker net on hugetlbfs); sweep its dead workers' names.
-    reap_stale_hugepage_segments(worker_pids)
+    # or crashed worker may have leaked segments (arena buckets, staged
+    # payloads, windows; hugetlbfs files additionally pin reserved huge
+    # pages); sweep its dead workers' names on both substrates.
+    reap_stale_segments(worker_pids)
 
 
 class ProcessBackend(ExecutorBackend):
@@ -633,12 +873,18 @@ class ProcessBackend(ExecutorBackend):
         timeout: float,
         rank_args: Sequence[tuple] | None,
         sanitize: int = 0,
+        faults: FaultSpec | None = None,
+        attempt: int = 1,
     ) -> SpmdResult:
         self._ensure_resource_tracker()
-        # The sanitize level resolved in the parent rides the per-run
-        # dispatch (never the environment: warm pool workers were forked
-        # long ago and would not see an env change).
-        transport_opts = dict(self._transport_opts, sanitize=sanitize)
+        # The sanitize level (and fault spec/attempt) resolved in the
+        # parent ride the per-run dispatch (never the environment: warm
+        # pool workers were forked long ago and would not see an env
+        # change).
+        transport_opts = dict(
+            self._transport_opts, sanitize=sanitize, faults=faults,
+            attempt=attempt,
+        )
         if self._pool_enabled():
             pool = _get_pool(n_ranks)
             run_seq = pool.dispatch(
@@ -691,19 +937,23 @@ class ProcessBackend(ExecutorBackend):
         pending = set(range(n_ranks))
         drain_deadline: float | None = None
         while pending:
-            try:
-                blob = pool.result_queue.get(timeout=0.1)
-            except queue_mod.Empty:
+            blobs = _drain_ready_reports(
+                {rank: pool.result_queues[rank] for rank in sorted(pending)},
+                timeout=0.1,
+            )
+            if not blobs:
                 for rank in sorted(pending):
                     if pool.procs[rank].is_alive():
                         continue
                     # A pool worker never exits on its own: any death is a
                     # failure (segfault, os._exit in rank code, kill).
+                    # Record it on the status board BEFORE poisoning the
+                    # run, so survivors woken by the abort see who died.
+                    exitcode = pool.procs[rank].exitcode
+                    pool.board.mark_dead(rank, exitcode)
                     pool.abort_event.set()
-                    failures[rank] = RuntimeError(
-                        f"pooled rank {rank} died (exit code "
-                        f"{pool.procs[rank].exitcode}) before reporting a "
-                        f"result"
+                    failures[rank] = _rank_dead_error(
+                        rank, exitcode, pool.board
                     )
                     pending.discard(rank)
                 if drain_deadline is None and (
@@ -720,26 +970,44 @@ class ProcessBackend(ExecutorBackend):
                         )
                     pending.clear()
                 continue
-            msg_seq, rank, value, failure, costs = pickle.loads(blob)
-            if msg_seq != run_seq:  # pragma: no cover - straggler report
-                continue
-            pending.discard(rank)
-            if costs is not None:
-                ledger.install_rank(rank, costs)
-            if failure is not None:
-                failures[rank] = failure
-            else:
-                values[rank] = value
-        if failures or pool.abort_event.is_set():
-            # Workers that saw a poisoned run may hold stale transport
-            # state; retire the whole pool so the next run starts clean.
+            for blob in blobs:
+                report = pickle.loads(blob)
+                if not (isinstance(report, tuple) and len(report) == 5):
+                    continue  # stray health-check pong from a recycle
+                msg_seq, rank, value, failure, costs = report
+                if msg_seq != run_seq:  # pragma: no cover - straggler report
+                    continue
+                pending.discard(rank)
+                if costs is not None:
+                    ledger.install_rank(rank, costs)
+                if failure is not None:
+                    failures[rank] = failure
+                else:
+                    values[rank] = value
+        stale_task_load = any(
+            isinstance(exc, _TaskLoadError) for exc in failures.values()
+        ) and not any(
+            isinstance(exc, RankDeadError) for exc in failures.values()
+        )
+        if stale_task_load:
+            # The dispatched function resolves only in fresh forks.  After
+            # a surgical recycle workers can have *different* fork ages, so
+            # staleness may hit only a subset of ranks (the rest abort
+            # without running user code to completion); any such failure
+            # means the pool is stale for this function — retire it and
+            # fall back to fork-per-run, which inherits the definition.
             _invalidate_pool(pool)
+            return None
+        if failures or pool.abort_event.is_set():
+            # Poisoned run: reclaim what dead workers leaked right away,
+            # and flag the pool for surgical recycling (dead workers
+            # respawned, survivors health-checked) before its next use.
+            dead_pids = [p.pid for p in pool.procs if not p.is_alive()]
+            if dead_pids:
+                reap_stale_segments(dead_pids)
+            pool.needs_recycle = True
         else:
             pool.drain_inboxes()
-        if len(failures) == n_ranks and all(
-            isinstance(exc, _TaskLoadError) for exc in failures.values()
-        ):
-            return None  # no rank ran; caller falls back to fork-per-run
         raise_spmd_failures(failures)
         return SpmdResult(values=values, ledger=ledger)
 
@@ -760,8 +1028,15 @@ class ProcessBackend(ExecutorBackend):
         # Linux-only so fork is always available.
         ctx = multiprocessing.get_context("fork")
         inboxes = [ctx.Queue() for _ in range(n_ranks)]
-        result_queue = ctx.Queue()
+        # Per-rank result queues, like the pool (see _drain_ready_reports).
+        result_queues = [ctx.Queue() for _ in range(n_ranks)]
         abort_event = ctx.Event()
+        board = StatusBoard.create(n_ranks)
+        topts = dict(
+            transport_opts if transport_opts is not None
+            else self._transport_opts
+        )
+        topts["status"] = board.name
         procs = [
             ctx.Process(
                 target=_process_worker,
@@ -774,17 +1049,34 @@ class ProcessBackend(ExecutorBackend):
                     machine,
                     timeout,
                     inboxes,
-                    result_queue,
+                    result_queues[rank],
                     abort_event,
-                    transport_opts
-                    if transport_opts is not None
-                    else self._transport_opts,
+                    topts,
                 ),
                 name=f"spmd-rank-{rank}",
                 daemon=True,
             )
             for rank in range(n_ranks)
         ]
+        try:
+            return self._collect_forked(
+                n_ranks, machine, procs, inboxes, result_queues, abort_event,
+                board,
+            )
+        finally:
+            board.close()
+            board.unlink()
+
+    def _collect_forked(
+        self,
+        n_ranks: int,
+        machine: MachineSpec,
+        procs,
+        inboxes,
+        result_queues,
+        abort_event,
+        board: StatusBoard,
+    ) -> SpmdResult:
         for p in procs:
             p.start()
 
@@ -800,20 +1092,25 @@ class ProcessBackend(ExecutorBackend):
         drain_deadline: float | None = None
         exited_at: dict[int, float] = {}
         while pending:
-            try:
-                blob = result_queue.get(timeout=0.1)
-            except queue_mod.Empty:
+            blobs = _drain_ready_reports(
+                {rank: result_queues[rank] for rank in sorted(pending)},
+                timeout=0.1,
+            )
+            if not blobs:
                 for rank in sorted(pending):
                     p = procs[rank]
                     if p.is_alive() or p.exitcode is None:
                         continue
                     if p.exitcode != 0:
-                        # Died without reporting (segfault, kill): poison
-                        # the siblings and synthesize the failure.
+                        # Died without reporting (segfault, kill):
+                        # record the death on the board first, then
+                        # poison the siblings and synthesize the
+                        # failure — survivors woken by the abort read
+                        # the board and raise RankDeadError.
+                        board.mark_dead(rank, p.exitcode)
                         abort_event.set()
-                        failures[rank] = RuntimeError(
-                            f"rank {rank} died with exit code {p.exitcode} "
-                            f"before reporting a result"
+                        failures[rank] = _rank_dead_error(
+                            rank, p.exitcode, board
                         )
                         pending.discard(rank)
                         continue
@@ -823,11 +1120,9 @@ class ProcessBackend(ExecutorBackend):
                     # rank code, a native library pulling the plug...).
                     first_seen = exited_at.setdefault(rank, time.monotonic())
                     if time.monotonic() - first_seen > _EXIT_REPORT_GRACE:
+                        board.mark_dead(rank, 0)
                         abort_event.set()
-                        failures[rank] = RuntimeError(
-                            f"rank {rank} exited (code 0) without "
-                            f"reporting a result"
-                        )
+                        failures[rank] = _rank_dead_error(rank, 0, board)
                         pending.discard(rank)
                 if drain_deadline is None and (
                     failures or abort_event.is_set()
@@ -843,14 +1138,15 @@ class ProcessBackend(ExecutorBackend):
                         )
                     pending.clear()
                 continue
-            _seq, rank, value, failure, costs = pickle.loads(blob)
-            pending.discard(rank)
-            if costs is not None:
-                ledger.install_rank(rank, costs)
-            if failure is not None:
-                failures[rank] = failure
-            else:
-                values[rank] = value
+            for blob in blobs:
+                _seq, rank, value, failure, costs = pickle.loads(blob)
+                pending.discard(rank)
+                if costs is not None:
+                    ledger.install_rank(rank, costs)
+                if failure is not None:
+                    failures[rank] = failure
+                else:
+                    values[rank] = value
 
         for p in procs:
             p.join(timeout=5.0)
@@ -858,7 +1154,7 @@ class ProcessBackend(ExecutorBackend):
                 p.terminate()
                 p.join()
         self._reclaim(inboxes)
-        reap_stale_hugepage_segments(p.pid for p in procs)
+        reap_stale_segments(p.pid for p in procs)
         raise_spmd_failures(failures)
         return SpmdResult(values=values, ledger=ledger)
 

@@ -131,6 +131,7 @@ class Communicator:
         members: Sequence[int],
         world_rank: int,
         sanitizer: Sanitizer | None = None,
+        faults=None,
     ):
         members = tuple(members)
         if len(set(members)) != len(members):
@@ -178,6 +179,12 @@ class Communicator:
         # `split` children too.
         self._san = sanitizer
         self._san_sig: CollectiveCall | None = None
+        # Fault injector (None unless REPRO_FAULTS / run_spmd(faults=) is
+        # active): every collective entry fires its op-name site before
+        # any protocol traffic, so injected failures land at a precise,
+        # reproducible point in the collective schedule.  Shared across
+        # `split` children like the sanitizer.
+        self._faults = faults
 
     # -- identity ----------------------------------------------------------
 
@@ -256,7 +263,16 @@ class Communicator:
         windowed: bool = True,
     ) -> CollectiveCall | None:
         """Record entry into a collective; on window-less transports also
-        run the symmetric signature exchange immediately."""
+        run the symmetric signature exchange immediately.
+
+        Also the per-collective fault/liveness hook (it runs at the top
+        of *every* blocking collective, sanitizer on or off): the status
+        board note makes this op the rank's last-known context for death
+        post-mortems, and the injector fires the op-name site.
+        """
+        self._transport.note_collective(op, seq)
+        if self._faults is not None:
+            self._faults.fire(op)
         if self._san is None:
             return None
         sig = self._san.collective(
@@ -1165,6 +1181,9 @@ class Communicator:
         mutated between post and ``wait()`` (MPI's usual rule)."""
         seq = self._advance_coll()
         op_name = self._NB_OP_NAMES[kind]
+        self._transport.note_collective(op_name, seq)
+        if self._faults is not None:
+            self._faults.fire(op_name)
         # Record the signature without exchanging: the post must not
         # block, so verification is deferred — the digest rides this
         # round's size fence (window path) or the full signature is
@@ -1420,6 +1439,7 @@ class Communicator:
             members,
             self._world_rank,
             sanitizer=self._san,
+            faults=self._faults,
         )
 
     def dup(self) -> "Communicator":

@@ -19,6 +19,45 @@ class DeadlockError(MpiError):
     """
 
 
+class RankDeadError(MpiError):
+    """A sibling rank process died (crash, signal, ``os._exit``).
+
+    Raised promptly on every surviving rank — and synthesized by the
+    parent for the dead rank itself — when the process backend's monitor
+    observes a child exit without a report, instead of letting the
+    survivors spin out the full deadlock timeout.  Carries the dead
+    rank, its exit code (negative values are ``-signum``), and, when the
+    run had a status board, the dead rank's last recorded collective
+    context.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        dead_rank: int,
+        exitcode: int | None = None,
+    ):
+        super().__init__(message)
+        self.dead_rank = dead_rank
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        # Exception.__reduce__ replays only self.args; replay the full
+        # signature so instances survive the worker->parent pickle hop.
+        return (type(self), (self.args[0], self.dead_rank, self.exitcode))
+
+
+class FaultInjectedError(MpiError):
+    """An injected fault fired (``REPRO_FAULTS`` / ``run_spmd(faults=)``).
+
+    Raised by ``kind=exception`` faults on any backend and by
+    ``kind=crash`` faults on the thread backend (where killing the
+    process would take the test runner down with it); ``kind=crash`` on
+    the process backend SIGKILLs the rank instead and surfaces as
+    :class:`RankDeadError`.
+    """
+
+
 class BufferMismatchError(MpiError):
     """A received message did not match the posted receive buffer.
 

@@ -12,22 +12,62 @@ dominated by launch overhead.
 Whatever the backend, if any rank raises, the transport is poisoned so
 sibling ranks blocked on receives fail fast, and the whole run raises
 :class:`~repro.mpi.errors.SpmdError` carrying every rank's exception.
+
+Fault tolerance rides here too: ``faults=`` (or ``REPRO_FAULTS``)
+injects deterministic failures for chaos testing, and ``retry=`` wraps
+the launch in a bounded exponential-backoff loop — a rank death
+(:class:`~repro.mpi.errors.RankDeadError`) triggers a clean relaunch
+instead of surfacing immediately.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from typing import Any, Callable, Sequence
 
 from repro.analysis.sanitizer import sanitize_level
+from repro.faults import FaultSpec, RetryPolicy, resolve_faults
 from repro.mpi.backends import (
     ExecutorBackend,
     SpmdResult,
     available_backends,
     resolve_backend,
 )
+from repro.mpi.errors import SpmdError
 from repro.perfmodel.machine import EDISON, MachineSpec
 
-__all__ = ["SpmdResult", "run_spmd", "available_backends"]
+__all__ = [
+    "SpmdResult",
+    "run_spmd",
+    "available_backends",
+    "resolve_timeout",
+    "TIMEOUT_ENV_VAR",
+    "DEFAULT_TIMEOUT",
+]
+
+#: Environment override for the deadlock-detection timeout (seconds);
+#: an explicit ``run_spmd(timeout=)`` / ``--timeout`` wins over it.
+TIMEOUT_ENV_VAR = "REPRO_SPMD_TIMEOUT"
+
+DEFAULT_TIMEOUT = 120.0
+
+
+def resolve_timeout(override: float | None = None) -> float:
+    """Effective deadlock timeout: explicit override > env > default."""
+    if override is None:
+        raw = os.environ.get(TIMEOUT_ENV_VAR, "").strip()
+        if not raw:
+            return DEFAULT_TIMEOUT
+        try:
+            override = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{TIMEOUT_ENV_VAR} must be a number of seconds, got {raw!r}"
+            ) from None
+    if override <= 0:
+        raise ValueError(f"timeout must be positive, got {override}")
+    return float(override)
 
 
 def run_spmd(
@@ -35,10 +75,12 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     machine: MachineSpec = EDISON,
-    timeout: float = 120.0,
+    timeout: float | None = None,
     rank_args: Sequence[tuple] | None = None,
     backend: str | ExecutorBackend | None = None,
     sanitize: int | None = None,
+    faults: FaultSpec | str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``n_ranks`` simulated MPI ranks.
 
@@ -54,6 +96,8 @@ def run_spmd(
         Machine constants used by the cost ledger (default: Edison core).
     timeout:
         Deadlock-detection timeout for blocking receives, in seconds.
+        ``None`` (default) consults ``REPRO_SPMD_TIMEOUT``, falling back
+        to 120 s.
     rank_args:
         Optional per-rank argument tuples, e.g. per-rank data blocks.
     backend:
@@ -69,6 +113,17 @@ def run_spmd(
         consults the ``REPRO_SANITIZE`` environment variable.  The level
         is resolved here, in the launching process, and rides the run
         dispatch — warm pool workers need no environment change.
+    faults:
+        Deterministic fault-injection spec (:class:`repro.faults.FaultSpec`
+        or its string grammar, e.g. ``"rank=1:site=allreduce:kind=crash"``).
+        ``None`` (default) consults ``REPRO_FAULTS``.  Resolved here and
+        carried by the run dispatch, like ``sanitize``.
+    retry:
+        Optional :class:`repro.faults.RetryPolicy`: relaunch the whole
+        SPMD section (with exponential backoff) when it fails with a
+        retryable error — by default a rank death.  Fault clauses apply
+        to attempt 1 only unless they say ``attempt=``, so an injected
+        crash is not re-injected on the retry.
 
     Returns
     -------
@@ -86,13 +141,26 @@ def run_spmd(
         raise ValueError(
             f"rank_args has {len(rank_args)} entries for {n_ranks} ranks"
         )
+    timeout = resolve_timeout(timeout)
+    spec = resolve_faults(faults)
+    level = sanitize_level(sanitize)
     executor = resolve_backend(backend)
-    return executor.run(
-        n_ranks,
-        fn,
-        args,
-        machine,
-        timeout,
-        rank_args,
-        sanitize=sanitize_level(sanitize),
-    )
+    attempt = 1
+    while True:
+        try:
+            return executor.run(
+                n_ranks,
+                fn,
+                args,
+                machine,
+                timeout,
+                rank_args,
+                sanitize=level,
+                faults=spec,
+                attempt=attempt,
+            )
+        except SpmdError as exc:
+            if retry is None or not retry.should_retry(exc, attempt):
+                raise
+            time.sleep(retry.delay(attempt))
+            attempt += 1

@@ -136,6 +136,17 @@ HUGEPAGE_STATS = {"mapped": 0, "fallbacks": 0}
 #: so the receiving process knows which substrate to open by name alone.
 _HUGE_PREFIX = "rphp_"
 
+#: Name prefix for POSIX shm segments (and status boards — see
+#: ``repro.faults.status``).  Like huge-page names, ``rps_`` names embed
+#: the creator's pid, which is what lets :func:`reap_stale_segments`
+#: audit /dev/shm after a rank crash: only segments whose creator is a
+#: *dead* process of this run are reclaimed.
+_SHM_PREFIX = "rps_"
+
+#: Where POSIX shm segments surface as files on Linux (the audit sweeps
+#: this directory; on hosts without it the sweep is skipped).
+_SHM_DIR = "/dev/shm"
+
 _HP_DIR_CACHE: dict[str, str | None] = {}
 _HP_PAGE_CACHE: dict[str, int] = {}
 
@@ -343,7 +354,15 @@ def create_segment(nbytes: int):
             else:
                 HUGEPAGE_STATS["mapped"] += 1
                 return seg
-    return shared_memory.SharedMemory(create=True, size=nbytes)
+    for _ in range(3):
+        name = f"{_SHM_PREFIX}{os.getpid()}_{secrets.token_hex(8)}"
+        try:
+            return shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        except FileExistsError:  # pragma: no cover - 64-bit token collision
+            continue
+    # Astronomically unlikely; fall back to an auto-generated psm_ name
+    # (invisible to the crash audit but still tracker-reclaimed).
+    return shared_memory.SharedMemory(create=True, size=nbytes)  # pragma: no cover
 
 
 def attach_segment(name: str):
@@ -406,6 +425,54 @@ def reap_stale_hugepage_segments(creator_pids) -> list[str]:
                 removed.append(name)
             except OSError:  # pragma: no cover - raced removal
                 pass
+        except OSError:  # pragma: no cover - reused pid, other user
+            pass
+    return removed
+
+
+def reap_stale_segments(creator_pids) -> list[str]:
+    """General crash audit: reclaim every segment a dead world owned.
+
+    Extends :func:`reap_stale_hugepage_segments` to POSIX shm: all
+    ``rps_``-named segments (arena buckets, stash payloads, collective
+    windows, status boards) whose embedded creator pid is in
+    ``creator_pids`` and no longer running are attached and unlinked.
+    Attaching before unlinking keeps the multiprocessing resource
+    tracker balanced (it registers on attach and unregisters on
+    unlink), so no leak warnings fire at interpreter exit.  Ownership
+    of a segment is transferable between a run's processes, so the
+    sweep runs only after the whole world is down — the caller passes
+    the pids it just joined or reaped.  Returns the removed names.
+    """
+    creator_pids = {int(p) for p in creator_pids if p is not None}
+    creator_pids.discard(os.getpid())
+    removed = reap_stale_hugepage_segments(creator_pids)
+    if not creator_pids:
+        return removed
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # no /dev/shm on this host: nothing to sweep
+        return removed
+    for name in names:
+        if not name.startswith(_SHM_PREFIX):
+            continue
+        try:
+            pid = int(name[len(_SHM_PREFIX):].split("_", 1)[0])
+        except ValueError:
+            continue
+        if pid not in creator_pids:
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:  # raced removal
+                continue
+            except OSError:  # pragma: no cover - unreadable entry
+                continue
+            _close_and_unlink(shm)
+            removed.append(name)
         except OSError:  # pragma: no cover - reused pid, other user
             pass
     return removed
@@ -871,6 +938,8 @@ class CollectiveWindow:
         abort_event,
         timeout: float,
         sanitize: int = 0,
+        faults=None,
+        status=None,
     ):
         self._shm = shm
         self.size = size
@@ -880,6 +949,8 @@ class CollectiveWindow:
         self._abort = abort_event
         self.timeout = timeout
         self.sanitize = sanitize
+        self._faults = faults
+        self._status = status
         self.seq = 0
         flag_bytes = 8 * size
         n_data = self._n_data_slots(size)
@@ -923,6 +994,8 @@ class CollectiveWindow:
         abort_event,
         timeout: float,
         sanitize: int = 0,
+        faults=None,
+        status=None,
     ) -> "CollectiveWindow":
         n_data = cls._n_data_slots(size)
         total = 6 * 8 * size + 8 * n_data + n_data * slot_bytes
@@ -931,7 +1004,16 @@ class CollectiveWindow:
         # the OS, so all flags start at 0 — exactly "sequence 0 complete".
         shm = create_segment(total)
         return cls(
-            shm, size, index, slot_bytes, True, abort_event, timeout, sanitize
+            shm,
+            size,
+            index,
+            slot_bytes,
+            True,
+            abort_event,
+            timeout,
+            sanitize,
+            faults=faults,
+            status=status,
         )
 
     @classmethod
@@ -944,23 +1026,49 @@ class CollectiveWindow:
         abort_event,
         timeout: float,
         sanitize: int = 0,
+        faults=None,
+        status=None,
     ) -> "CollectiveWindow":
         try:
             shm = attach_segment(name)
         except FileNotFoundError:
             # The creator failed and reclaimed the window before we got
             # here; surface it as the poisoned-transport error it is.
+            exc = (
+                status.dead_error(f"attaching window {name!r}")
+                if status is not None
+                else None
+            )
+            if exc is not None:
+                raise exc from None
             raise DeadlockError(
                 f"collective window {name!r} vanished before attach: "
                 f"a sibling rank failed"
             ) from None
         return cls(
-            shm, size, index, slot_bytes, False, abort_event, timeout, sanitize
+            shm,
+            size,
+            index,
+            slot_bytes,
+            False,
+            abort_event,
+            timeout,
+            sanitize,
+            faults=faults,
+            status=status,
         )
 
     # -- fences -------------------------------------------------------------
 
+    def _dead_sibling(self, doing: str):
+        """RankDeadError when the status board records a death, else None."""
+        if self._status is None:
+            return None
+        return self._status.dead_error(doing)
+
     def _wait(self, flags: np.ndarray, threshold: int, what: str) -> None:
+        if self._faults is not None:
+            self._faults.fire("fence")
         if int(flags.min()) >= threshold:
             return
         deadline = time.monotonic() + self.timeout
@@ -973,6 +1081,9 @@ class CollectiveWindow:
         last_progress = int((flags >= threshold).sum())
         while True:
             if self._abort is not None and self._abort.is_set():
+                exc = self._dead_sibling(f"waiting on window {what}")
+                if exc is not None:
+                    raise exc
                 raise DeadlockError(
                     f"transport aborted while waiting on window {what}: "
                     f"a sibling rank failed"
@@ -988,6 +1099,9 @@ class CollectiveWindow:
                 deadline = now + self.timeout
                 interval = _POLL_MIN_INTERVAL
             if now > deadline:
+                exc = self._dead_sibling(f"waiting on window {what}")
+                if exc is not None:
+                    raise exc
                 raise DeadlockError(
                     f"window {what} fence timed out after {self.timeout:g}s "
                     f"(likely mismatched collective ordering)"
@@ -1230,6 +1344,18 @@ class ProcessTransport(TransportBase):
         ``REPRO_SANITIZE``.  The executor backend resolves the level
         once per run and passes it explicitly, so pooled workers never
         depend on environment inheritance at fork time.
+    faults:
+        Optional :class:`repro.faults.FaultInjector` for this rank:
+        ``put``/``get`` fire the ``send``/``recv`` sites (``send`` fires
+        *after* segments are staged, so a crash fault there exercises
+        the leaked-segment audit), and windows inherit it for the
+        ``fence`` site.
+    status:
+        Optional :class:`repro.faults.StatusBoard`: blocking receives
+        and window fences consult it when the abort event trips, so a
+        recorded rank death surfaces as :class:`RankDeadError` (naming
+        the dead rank and its last collective) instead of a generic
+        :class:`DeadlockError`.
     """
 
     #: Sends already copy into a fresh segment (or a pickle), so the
@@ -1246,6 +1372,8 @@ class ProcessTransport(TransportBase):
         windows: bool | None = None,
         window_slot: int | None = None,
         sanitize: int | None = None,
+        faults=None,
+        status=None,
     ):
         if timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -1254,6 +1382,8 @@ class ProcessTransport(TransportBase):
         self._inboxes = inboxes
         self._abort = abort_event
         self._run_seq = run_seq
+        self.faults = faults
+        self.status = status
         self._stash: dict[Hashable, deque[Any]] = {}
         self._windows: list[CollectiveWindow] = []
         if windows is None:
@@ -1285,6 +1415,11 @@ class ProcessTransport(TransportBase):
             blob = pickle.dumps(
                 (self._run_seq, key, encode_payload(payload, segments, arena))
             )
+            if self.faults is not None:
+                # After staging, before the queue put: a crash fault here
+                # dies with segments parked in /dev/shm — the exact leak
+                # the crash audit must reclaim.
+                self.faults.fire("send")
         except Exception:
             for shm in segments:
                 arena.recycle(shm)
@@ -1294,6 +1429,8 @@ class ProcessTransport(TransportBase):
         self._inboxes[dst].put(blob)
 
     def get(self, key: Hashable) -> Any:
+        if self.faults is not None:
+            self.faults.fire("recv")
         box = self._stash.get(key)
         if box:
             payload = box.popleft()
@@ -1305,12 +1442,18 @@ class ProcessTransport(TransportBase):
         interval = _POLL_MIN_INTERVAL
         while True:
             if self._abort.is_set():
+                exc = self._dead_sibling(f"waiting on {key!r}")
+                if exc is not None:
+                    raise exc
                 raise DeadlockError(
                     f"transport aborted while waiting on {key!r}: "
                     f"a sibling rank failed"
                 )
             remaining = deadline - time.monotonic()
             if remaining <= 0:
+                exc = self._dead_sibling(f"waiting on {key!r}")
+                if exc is not None:
+                    raise exc
                 raise DeadlockError(
                     f"receive on {key!r} timed out after "
                     f"{self.timeout:g}s (likely mismatched send/recv or "
@@ -1342,6 +1485,18 @@ class ProcessTransport(TransportBase):
     def aborted(self) -> bool:
         return self._abort.is_set()
 
+    def _dead_sibling(self, doing: str):
+        """RankDeadError when the status board records a death, else None."""
+        if self.status is None:
+            return None
+        return self.status.dead_error(doing)
+
+    def note_collective(self, op: str, seq: int) -> None:
+        """Record the collective this rank is entering on the status board
+        (its last-op context, shown in RankDeadError post-mortems)."""
+        if self.status is not None:
+            self.status.note(self._rank, op, seq)
+
     def pending(self) -> int:
         """Undelivered messages already drained into this rank's stash.
 
@@ -1368,7 +1523,7 @@ class ProcessTransport(TransportBase):
         cls = MatrixWindow if matrix else CollectiveWindow
         win = cls.create(
             size, index, slot_bytes, self._abort, self.timeout,
-            sanitize=self.sanitize,
+            sanitize=self.sanitize, faults=self.faults, status=self.status,
         )
         self._windows.append(win)
         return win
@@ -1384,7 +1539,7 @@ class ProcessTransport(TransportBase):
         cls = MatrixWindow if matrix else CollectiveWindow
         win = cls.attach(
             name, size, index, slot_bytes, self._abort, self.timeout,
-            sanitize=self.sanitize,
+            sanitize=self.sanitize, faults=self.faults, status=self.status,
         )
         self._windows.append(win)
         return win

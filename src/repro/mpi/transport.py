@@ -95,6 +95,14 @@ class TransportBase(abc.ABC):
         """Close (and, for the owner, unlink) a window grown out of use."""
         raise NotImplementedError("transport has no collective windows")
 
+    def note_collective(self, op: str, seq: int) -> None:
+        """Record the collective this rank is entering (liveness context).
+
+        No-op by default; the process transport writes it to the shared
+        status board so rank-death post-mortems can name the dead rank's
+        last collective.
+        """
+
     @abc.abstractmethod
     def put(self, key: Hashable, payload: Any, dst: int | None = None) -> None:
         """Deposit a message (non-blocking; mailboxes are unbounded)."""

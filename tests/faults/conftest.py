@@ -1,0 +1,3 @@
+"""Every test in this package runs under both executor backends."""
+
+from tests.backend_param import spmd_backend  # noqa: F401

@@ -17,6 +17,7 @@ from repro.mpi import (
     BACKEND_ENV_VAR,
     DeadlockError,
     ProcessBackend,
+    RankDeadError,
     SpmdError,
     ThreadBackend,
     available_backends,
@@ -392,5 +393,9 @@ class TestProcessBackendRestrictions(ExplicitBackends):
                 os._exit(0)
             return comm.rank
 
-        with pytest.raises(SpmdError, match="without reporting"):
+        with pytest.raises(SpmdError, match="before reporting") as exc_info:
             run_spmd(2, prog, backend="process", timeout=60.0)
+        failure = exc_info.value.failures[1]
+        assert isinstance(failure, RankDeadError)
+        assert failure.dead_rank == 1
+        assert failure.exitcode == 0

@@ -15,7 +15,13 @@ import os
 import numpy as np
 import pytest
 
-from repro.mpi import SUM, SpmdError, run_spmd, shutdown_worker_pools
+from repro.mpi import (
+    SUM,
+    RankDeadError,
+    SpmdError,
+    run_spmd,
+    shutdown_worker_pools,
+)
 
 pytestmark = pytest.mark.skipif(
     not os.path.isdir("/dev/shm"), reason="needs a Linux /dev/shm"
@@ -29,7 +35,14 @@ def spmd_backend():
 
 
 def _segments() -> set[str]:
-    return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    # psm_: multiprocessing auto-names; rps_: the runtime's explicitly
+    # named segments (transport payloads, status boards); rphp_:
+    # hugepage-backed segments.
+    return {
+        n
+        for n in os.listdir("/dev/shm")
+        if n.startswith(("psm_", "rps_", "rphp_"))
+    }
 
 
 def _children() -> int:
@@ -112,6 +125,45 @@ class TestSegmentHygiene:
     def test_deadlock_timeout_leaks_nothing(self):
         with pytest.raises(SpmdError):
             run_spmd(2, _deadlock, backend="process", timeout=0.4)
+
+    def test_sigkill_during_fence_leaks_nothing(self):
+        # A rank SIGKILLed while its siblings are inside a collective
+        # window fence: survivors must fail fast with RankDeadError and
+        # the parent must reclaim the dead rank's segments + the window.
+        x = np.random.default_rng(3).standard_normal(4096)
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(
+                4,
+                _healthy,
+                x,
+                backend="process",
+                faults="rank=1:site=fence:kind=crash",
+            )
+        assert any(
+            isinstance(e, RankDeadError)
+            for e in exc_info.value.failures.values()
+        )
+        # The pool must come back clean for the next run.
+        res = run_spmd(4, _healthy, x, backend="process")
+        assert np.isfinite(res.values[0])
+
+    def test_sigkill_during_arena_send_leaks_nothing(self):
+        # A rank SIGKILLed mid-send, after staging its payload in the
+        # arena: the staged segment belongs to the dead process and must
+        # be swept by the crash audit, not orphaned.
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(
+                3,
+                _unmatched_sender,
+                backend="process",
+                faults="rank=2:site=send:kind=crash",
+            )
+        assert any(
+            isinstance(e, RankDeadError)
+            for e in exc_info.value.failures.values()
+        )
+        res = run_spmd(3, _unmatched_sender, backend="process")
+        assert res.values == [0, 1, 2]
 
     def test_pool_teardown_reaps_workers(self):
         # Force pooling: the claim under test is that *warm workers* are

@@ -104,6 +104,45 @@ class TestCompress:
         )
         assert rc == 2
 
+    def test_timeout_requires_parallel(self, field, tmp_path, capsys):
+        src, _ = field
+        out = tmp_path / "m.npz"
+        rc = main(
+            ["compress", str(src), str(out), "--tol", "1e-2",
+             "--timeout", "5"]
+        )
+        assert rc == 2
+        assert "--timeout requires --parallel" in capsys.readouterr().err
+
+    def test_timeout_must_be_positive(self, field, tmp_path, capsys):
+        src, _ = field
+        out = tmp_path / "m.npz"
+        rc = main(
+            ["compress", str(src), str(out), "--tol", "1e-2",
+             "--parallel", "2", "--timeout", "-3"]
+        )
+        assert rc == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_injected_fault_prints_error_not_traceback(
+        self, field, tmp_path, capsys, monkeypatch
+    ):
+        # A failed parallel run (here an injected fault) must surface as
+        # the CLI's `error: ...` + exit 2 convention, never a traceback.
+        monkeypatch.setenv(
+            "REPRO_FAULTS", "rank=1:site=allreduce:kind=exception"
+        )
+        src, _ = field
+        out = tmp_path / "m.npz"
+        rc = main(
+            ["compress", str(src), str(out), "--ranks", "3", "3", "2",
+             "--parallel", "2"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "fault" in err
+
 
 class TestInfoReconstructExtract:
     @pytest.fixture
