@@ -2,9 +2,9 @@
 
 Not a paper figure: this benchmark pins the communication/computation
 overlap introduced with the deferred-completion transport (isendrecv,
-ireduce on double-buffered windows) and the batched local TTM.  Results
-go to ``BENCH_kernels.json`` at the repo root so the perf trajectory is
-visible across PRs:
+ireduce on double-buffered windows), the batched local TTM, and the
+perf-model-driven execution plan.  Results go to ``BENCH_kernels.json``
+at the repo root so the perf trajectory is visible across PRs:
 
 * ``dist_gram_overlap`` — the Alg. 4 ring at 4 ranks, overlap on vs off
   (pipelined: all hops posted before the dgemms);
@@ -19,15 +19,29 @@ visible across PRs:
 * ``tsqr_tree``         — butterfly vs eliminate-and-broadcast TSQR at
   4 ranks (the butterfly drops the broadcast and folds on every rank in
   parallel; bit-identical R either way);
-* ``dist_sthosvd_overlap`` — the end-to-end driver with the knob flipped
-  (recorded for the trajectory; the per-kernel rows carry the asserts).
+* ``dist_sthosvd_overlap`` — the end-to-end driver with the overlap knob
+  flipped (recorded for the trajectory, not asserted: on a problem this
+  tiny the ratio is set by the transport's real per-message posting
+  overhead and has measured on both sides of 1.0 across machines — the
+  regime where a hardcoded default is wrong somewhere, and the reason
+  the knob is now planned per problem);
+* ``dist_sthosvd_plan`` — the TSQR-based ``method="svd"`` driver under
+  the autotuned :func:`~repro.perfmodel.plan_sthosvd` config (planned
+  against the calibrated machine, as ``repro-tucker plan`` does) vs the
+  hardcoded production default (overlap on, binary tree).  Asserted: the
+  plan must never lose to the default it replaces, and both configs must
+  produce bit-identical cores.
 
-The overlap rows measure the latency-bound regime (small blocks, many
-exchanges) where the blocking schedule genuinely idles on its peers —
-that idle time is what pipelining removes, on any core count.  Wall-clock
-numbers, so absolute values depend on the machine; the asserted claims
-are the *ratios* the overlap exists to deliver (>= 1.0, i.e. pipelining
-never loses; observed 1.1-1.6x even on one core).
+**Harness.**  Every two-sided row is measured *paired*: each SPMD launch
+times both variants back-to-back inside the same ranks, so machine drift
+(cache state, sibling tests, CPU frequency) hits both sides of the ratio
+equally.  N such launches are interleaved, each contributing one paired
+ratio (slowest rank per side, since a collective finishes when its last
+rank does); the recorded gain is the **median** ratio with the min/max
+spread alongside, and an asserted row failing the ``>= 1.0`` claim
+reports every per-launch ratio.  Wall-clock numbers, so absolute values
+depend on the machine; the asserted claims are the *ratios* the
+machinery exists to deliver.
 """
 
 import json
@@ -38,6 +52,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.config import RuntimeConfig
 from repro.distributed import (
     OVERLAP_ENV_VAR,
     DistTensor,
@@ -51,11 +66,15 @@ from repro.distributed.layout import block_ranges
 from repro.mpi import CartGrid, ProcessBackend, run_spmd, shutdown_worker_pools
 from repro.mpi.backends import POOL_ENV_VAR
 from repro.mpi.process_transport import ARENA_ENV_VAR, WINDOWS_ENV_VAR
+from repro.perfmodel import EDISON_CALIBRATED, plan_sthosvd
 from repro.tensor import ttm_blocked
 
 from benchmarks.conftest import table
 
 _OUT = Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
+
+#: Interleaved launches per row: one paired ratio each.
+_LAUNCHES = 5
 
 #: The overlap rows measure the production configuration — collective
 #: windows on, warm rank pool — independent of the environment sweep the
@@ -97,39 +116,89 @@ def _record(key: str, payload: dict) -> None:
     existing.update(_RESULTS)
     existing["meta"] = {
         "cpus": os.cpu_count(),
+        "launches": _LAUNCHES,
         "unit": "seconds unless stated",
+        "gain": "median of per-launch paired ratios; spread is min..max",
     }
     _OUT.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
 
 
-def _gram_prog(comm, x, iters, overlap):
+def _paired(n, prog, *args, ranks=4):
+    """n interleaved launches of a paired prog -> per-launch times.
+
+    ``prog`` must return ``(base_seconds, variant_seconds, *extras)`` per
+    rank, both sides measured inside the same launch.  Each launch
+    contributes the slowest rank per side (a collective finishes when its
+    last rank does).  Returns ``(base[], variant[], extras[])``.
+    """
+    base, variant, extras = [], [], []
+    for _ in range(n):
+        res = run_spmd(ranks, prog, *args, backend=_BACKEND, timeout=120.0)
+        base.append(max(v[0] for v in res.values))
+        variant.append(max(v[1] for v in res.values))
+        extras.append([v[2:] for v in res.values])
+    return base, variant, extras
+
+
+def _gain_stats(base, variant, iters=1):
+    """Median paired gain + spread, plus per-side median seconds."""
+    ratios = sorted(b / v for b, v in zip(base, variant))
+    return {
+        "base_sec": float(np.median(base)) / iters,
+        "variant_sec": float(np.median(variant)) / iters,
+        "gain": float(np.median(ratios)),
+        "gain_min": ratios[0],
+        "gain_max": ratios[-1],
+        "ratios": [round(r, 4) for r in ratios],
+    }
+
+
+def _assert_gain(row, stats):
+    """The asserted claim: the variant never loses.  Fails loudly with
+    every per-launch paired ratio so a regression is diagnosable."""
+    assert stats["gain"] >= 1.0, (
+        f"{row}: median paired gain {stats['gain']:.4f} < 1.0 over "
+        f"{len(stats['ratios'])} launches; per-launch ratios "
+        f"{stats['ratios']} (base {stats['base_sec']:.3e} s vs variant "
+        f"{stats['variant_sec']:.3e} s)"
+    )
+
+
+def _gram_prog(comm, x, iters):
+    """Times the blocking and the pipelined ring back-to-back in the
+    *same* launch, so slow drift on a loaded machine hits both sides of
+    the ratio equally."""
     g = CartGrid(comm, (comm.size, 1, 1))
     dt = DistTensor.from_global(g, x)
-    dist_gram(dt, 0, overlap=overlap)  # warm (windows, arena, pyc)
-    comm.barrier()
-    start = time.perf_counter()
-    for _ in range(iters):
-        s = dist_gram(dt, 0, overlap=overlap)
-    return time.perf_counter() - start, float(s[0, 0])
+    elapsed = {}
+    for overlap in (False, True):
+        dist_gram(dt, 0, overlap=overlap)  # warm (windows, arena, pyc)
+        comm.barrier()
+        start = time.perf_counter()
+        for _ in range(iters):
+            s = dist_gram(dt, 0, overlap=overlap)
+        elapsed[overlap] = time.perf_counter() - start
+    return elapsed[False], elapsed[True], float(s[0, 0])
 
 
-def _ttm_prog(comm, x, v, new_dim, iters, overlap):
+def _ttm_prog(comm, x, v, new_dim, iters):
     g = CartGrid(comm, (comm.size, 1, 1))
     dt = DistTensor.from_global(g, x)
     v_local = np.ascontiguousarray(v[:, dt.local_slices[0]])
-    dist_ttm(dt, v_local, 0, new_dim, strategy="blocked", overlap=overlap)
-    comm.barrier()
-    start = time.perf_counter()
-    for _ in range(iters):
-        z = dist_ttm(dt, v_local, 0, new_dim, strategy="blocked",
-                     overlap=overlap)
-    return time.perf_counter() - start, float(z.local.ravel()[0])
+    elapsed = {}
+    for overlap in (False, True):
+        dist_ttm(dt, v_local, 0, new_dim, strategy="blocked",
+                 overlap=overlap)  # warm
+        comm.barrier()
+        start = time.perf_counter()
+        for _ in range(iters):
+            z = dist_ttm(dt, v_local, 0, new_dim, strategy="blocked",
+                         overlap=overlap)
+        elapsed[overlap] = time.perf_counter() - start
+    return elapsed[False], elapsed[True], float(z.local.ravel()[0])
 
 
 def _mode_svd_prog(comm, x, iters):
-    """Times the blocking and the pipelined schedule back-to-back in the
-    *same* launch, so slow drift on a loaded machine (cache state, sibling
-    tests) hits both sides of the ratio equally."""
     g = CartGrid(comm, (comm.size, 1, 1))
     dt = DistTensor.from_global(g, x)
     elapsed = {}
@@ -144,9 +213,9 @@ def _mode_svd_prog(comm, x, iters):
 
 
 def _tsqr_prog(comm, full, rows, iters):
-    """Times both trees back-to-back in the same launch (drift hits both
-    sides of the ratio equally); also returns the two R factors' bytes so
-    the bench doubles as a bit-identity check."""
+    """Times both trees back-to-back in the same launch; also returns
+    whether the two R factors agree bit-for-bit, so the bench doubles as
+    a bit-identity check."""
     start_row, stop_row = rows[comm.rank]
     local = full[start_row:stop_row]
     elapsed, bits = {}, {}
@@ -161,27 +230,23 @@ def _tsqr_prog(comm, full, rows, iters):
     return elapsed["binary"], elapsed["butterfly"], bits["binary"] == bits["butterfly"]
 
 
-def _sthosvd_prog(comm, x, ranks, overlap):
-    # The driver has no overlap kwarg by design (the env knob is the
-    # production switch); flip it inside the rank so pooled workers see
-    # the requested mode for exactly this run.
-    os.environ[OVERLAP_ENV_VAR] = "1" if overlap else "0"
+def _sthosvd_prog(comm, x, ranks, iters, method, cfg_a, cfg_b):
+    """End-to-end driver under two explicit RuntimeConfigs, paired in the
+    same launch; returns both cores' bytes for the bit-identity check."""
     g = CartGrid(comm, (2, 2, 1))
     dt = DistTensor.from_global(g, x)
-    comm.barrier()
-    start = time.perf_counter()
-    t = dist_sthosvd(dt, ranks=ranks, ttm_strategy="blocked")
-    elapsed = time.perf_counter() - start
-    return elapsed, t.core.local.tobytes()
-
-
-def _best_of(n, prog, *args, ranks=4):
-    """Min over ``n`` launches of the slowest rank's loop time."""
-    per_run = []
-    for _ in range(n):
-        res = run_spmd(ranks, prog, *args, backend=_BACKEND, timeout=120.0)
-        per_run.append(max(v[0] for v in res.values))
-    return min(per_run)
+    elapsed, cores = [], []
+    for cfg in (cfg_a, cfg_b):
+        dist_sthosvd(dt, ranks=ranks, ttm_strategy="blocked",
+                     method=method, config=cfg)  # warm
+        comm.barrier()
+        start = time.perf_counter()
+        for _ in range(iters):
+            t = dist_sthosvd(dt, ranks=ranks, ttm_strategy="blocked",
+                             method=method, config=cfg)
+        elapsed.append(time.perf_counter() - start)
+        cores.append(t.core.local.tobytes())
+    return elapsed[0], elapsed[1], cores[0] == cores[1]
 
 
 def test_dist_gram_ring_overlap(benchmark):
@@ -189,26 +254,28 @@ def test_dist_gram_ring_overlap(benchmark):
     # where the blocking schedule pays one peer-wait per hop per call.
     p, iters = 4, 60
     x = np.random.default_rng(3).standard_normal((32, 12, 8))
-    run_spmd(p, _gram_prog, x, 1, True, backend=_BACKEND)  # prime pool
+    run_spmd(p, _gram_prog, x, 1, backend=_BACKEND)  # prime pool
 
-    blocking = _best_of(4, _gram_prog, x, iters, False) / iters
-    overlapped = benchmark.pedantic(
-        lambda: _best_of(4, _gram_prog, x, iters, True) / iters,
+    blocking, overlapped, _ = benchmark.pedantic(
+        lambda: _paired(_LAUNCHES, _gram_prog, x, iters),
         rounds=1, iterations=1,
     )
-    gain = blocking / overlapped
+    stats = _gain_stats(blocking, overlapped, iters)
     table(
-        f"dist_gram ring, {p} ranks, {x.shape} tensor (best of 4 x {iters})",
+        f"dist_gram ring, {p} ranks, {x.shape} tensor "
+        f"(median of {_LAUNCHES} x {iters}, paired)",
         ["schedule", "sec/call", "gain"],
-        [["blocking", blocking, 1.0], ["overlapped", overlapped, gain]],
+        [["blocking", stats["base_sec"], 1.0],
+         ["overlapped", stats["variant_sec"], stats["gain"]]],
     )
     _record(
         "dist_gram_overlap",
-        {"ranks": p, "shape": list(x.shape), "blocking": blocking,
-         "overlap": overlapped, "gain": gain},
+        {"ranks": p, "shape": list(x.shape), "blocking": stats["base_sec"],
+         "overlap": stats["variant_sec"], "gain": stats["gain"],
+         "gain_min": stats["gain_min"], "gain_max": stats["gain_max"]},
     )
     # Pipelining must never lose to the blocking ring (observed 1.1-1.3x).
-    assert gain >= 1.0
+    _assert_gain("dist_gram_overlap", stats)
 
 
 def test_dist_mode_svd_ring_overlap(benchmark):
@@ -220,33 +287,26 @@ def test_dist_mode_svd_ring_overlap(benchmark):
     x = np.random.default_rng(9).standard_normal((24, 16, 8))
     run_spmd(p, _mode_svd_prog, x, 1, backend=_BACKEND)  # prime pool
 
-    def paired_best():
-        # Min over launches of the slowest rank, per schedule; both
-        # schedules measured inside each launch (see _mode_svd_prog).
-        blocking, overlapped = float("inf"), float("inf")
-        for _ in range(4):
-            res = run_spmd(p, _mode_svd_prog, x, iters,
-                           backend=_BACKEND, timeout=120.0)
-            blocking = min(blocking, max(v[0] for v in res.values))
-            overlapped = min(overlapped, max(v[1] for v in res.values))
-        return blocking / iters, overlapped / iters
-
-    blocking, overlapped = benchmark.pedantic(
-        paired_best, rounds=1, iterations=1
+    blocking, overlapped, _ = benchmark.pedantic(
+        lambda: _paired(_LAUNCHES, _mode_svd_prog, x, iters),
+        rounds=1, iterations=1,
     )
-    gain = blocking / overlapped
+    stats = _gain_stats(blocking, overlapped, iters)
     table(
-        f"dist_mode_svd ring, {p} ranks, {x.shape} tensor (best of 4 x {iters})",
+        f"dist_mode_svd ring, {p} ranks, {x.shape} tensor "
+        f"(median of {_LAUNCHES} x {iters}, paired)",
         ["schedule", "sec/call", "gain"],
-        [["blocking", blocking, 1.0], ["overlapped", overlapped, gain]],
+        [["blocking", stats["base_sec"], 1.0],
+         ["overlapped", stats["variant_sec"], stats["gain"]]],
     )
     _record(
         "dist_mode_svd_overlap",
-        {"ranks": p, "shape": list(x.shape), "blocking": blocking,
-         "overlap": overlapped, "gain": gain},
+        {"ranks": p, "shape": list(x.shape), "blocking": stats["base_sec"],
+         "overlap": stats["variant_sec"], "gain": stats["gain"],
+         "gain_min": stats["gain_min"], "gain_max": stats["gain_max"]},
     )
     # Pipelining must never lose (observed 1.05-1.15x on one core).
-    assert gain >= 1.0
+    _assert_gain("dist_mode_svd_overlap", stats)
 
 
 def test_tsqr_butterfly_vs_binary(benchmark):
@@ -259,58 +319,58 @@ def test_tsqr_butterfly_vs_binary(benchmark):
     rows = block_ranges(48 * p, p)
     run_spmd(p, _tsqr_prog, full, rows, 1, backend=_BACKEND)  # prime pool
 
-    def paired_best():
-        binary, butterfly = float("inf"), float("inf")
-        for _ in range(4):
-            res = run_spmd(p, _tsqr_prog, full, rows, iters,
-                           backend=_BACKEND, timeout=120.0)
-            assert all(same for _, _, same in res.values)  # bit-identical
-            binary = min(binary, max(v[0] for v in res.values))
-            butterfly = min(butterfly, max(v[1] for v in res.values))
-        return binary / iters, butterfly / iters
-
-    binary, butterfly = benchmark.pedantic(paired_best, rounds=1, iterations=1)
-    gain = binary / butterfly
+    binary, butterfly, extras = benchmark.pedantic(
+        lambda: _paired(_LAUNCHES, _tsqr_prog, full, rows, iters),
+        rounds=1, iterations=1,
+    )
+    assert all(same for launch in extras for (same,) in launch)  # bit-identical
+    stats = _gain_stats(binary, butterfly, iters)
     table(
-        f"tsqr_r, {p} ranks, {full.shape} matrix (best of 4 x {iters})",
+        f"tsqr_r, {p} ranks, {full.shape} matrix "
+        f"(median of {_LAUNCHES} x {iters}, paired)",
         ["tree", "sec/call", "gain"],
-        [["binary", binary, 1.0], ["butterfly", butterfly, gain]],
+        [["binary", stats["base_sec"], 1.0],
+         ["butterfly", stats["variant_sec"], stats["gain"]]],
     )
     _record(
         "tsqr_tree",
-        {"ranks": p, "shape": list(full.shape), "binary": binary,
-         "butterfly": butterfly, "gain": gain},
+        {"ranks": p, "shape": list(full.shape), "binary": stats["base_sec"],
+         "butterfly": stats["variant_sec"], "gain": stats["gain"],
+         "gain_min": stats["gain_min"], "gain_max": stats["gain_max"]},
     )
     # Dropping the broadcast must pay for the extra folds (observed
     # 1.3-1.45x even on one core).
-    assert gain >= 1.0
+    _assert_gain("tsqr_tree", stats)
 
 
 def test_dist_ttm_blocked_overlap(benchmark):
     p, iters, k = 4, 20, 16
     x = np.random.default_rng(4).standard_normal((64, 24, 16))
     v = np.random.default_rng(5).standard_normal((k, x.shape[0]))
-    run_spmd(p, _ttm_prog, x, v, k, 1, True, backend=_BACKEND)
+    run_spmd(p, _ttm_prog, x, v, k, 1, backend=_BACKEND)  # prime pool
 
-    blocking = _best_of(4, _ttm_prog, x, v, k, iters, False) / iters
-    overlapped = benchmark.pedantic(
-        lambda: _best_of(4, _ttm_prog, x, v, k, iters, True) / iters,
+    blocking, overlapped, _ = benchmark.pedantic(
+        lambda: _paired(_LAUNCHES, _ttm_prog, x, v, k, iters),
         rounds=1, iterations=1,
     )
-    gain = blocking / overlapped
+    stats = _gain_stats(blocking, overlapped, iters)
     table(
-        f"dist_ttm blocked, {p} ranks, {x.shape} -> K={k} (best of 4 x {iters})",
+        f"dist_ttm blocked, {p} ranks, {x.shape} -> K={k} "
+        f"(median of {_LAUNCHES} x {iters}, paired)",
         ["schedule", "sec/call", "gain"],
-        [["blocking", blocking, 1.0], ["overlapped", overlapped, gain]],
+        [["blocking", stats["base_sec"], 1.0],
+         ["overlapped", stats["variant_sec"], stats["gain"]]],
     )
     _record(
         "dist_ttm_overlap",
         {"ranks": p, "shape": list(x.shape), "new_dim": k,
-         "blocking": blocking, "overlap": overlapped, "gain": gain},
+         "blocking": stats["base_sec"], "overlap": stats["variant_sec"],
+         "gain": stats["gain"], "gain_min": stats["gain_min"],
+         "gain_max": stats["gain_max"]},
     )
     # The block-row reduces ride the double-buffered windows; hiding
     # their fences behind the dgemms is the headline win (1.4-1.7x).
-    assert gain >= 1.0
+    _assert_gain("dist_ttm_overlap", stats)
 
 
 def test_ttm_blocked_batched_vs_loop(benchmark):
@@ -323,66 +383,120 @@ def test_ttm_blocked_batched_vs_loop(benchmark):
     v = np.random.default_rng(7).standard_normal((24, 96))
 
     def timed(batched):
-        ttm_blocked(x, v, 1, batched=batched)  # warm
-        best = float("inf")
-        for _ in range(3):
-            start = time.perf_counter()
-            for _ in range(iters):
-                ttm_blocked(x, v, 1, batched=batched)
-            best = min(best, (time.perf_counter() - start) / iters)
-        return best
+        start = time.perf_counter()
+        for _ in range(iters):
+            ttm_blocked(x, v, 1, batched=batched)
+        return time.perf_counter() - start
 
-    loop = timed(False)
-    batched = benchmark.pedantic(lambda: timed(True), rounds=1, iterations=1)
-    gain = loop / batched
+    def paired_local():
+        # In-process paired reps: loop then batched inside each rep.
+        ttm_blocked(x, v, 1, batched=False)  # warm
+        ttm_blocked(x, v, 1, batched=True)
+        loop, batched = [], []
+        for _ in range(_LAUNCHES):
+            loop.append(timed(False))
+            batched.append(timed(True))
+        return loop, batched
+
+    loop, batched = benchmark.pedantic(paired_local, rounds=1, iterations=1)
+    stats = _gain_stats(loop, batched, iters)
     table(
-        f"ttm_blocked {x.shape} mode 1 (skinny blocks, best of 3 x {iters})",
+        f"ttm_blocked {x.shape} mode 1 "
+        f"(skinny blocks, median of {_LAUNCHES} x {iters}, paired)",
         ["path", "sec/call", "gain"],
-        [["python loop", loop, 1.0], ["batched dgemm", batched, gain]],
+        [["python loop", stats["base_sec"], 1.0],
+         ["batched dgemm", stats["variant_sec"], stats["gain"]]],
     )
     _record(
         "ttm_batched",
-        {"shape": list(x.shape), "mode": 1, "loop": loop,
-         "batched": batched, "gain": gain},
+        {"shape": list(x.shape), "mode": 1, "loop": stats["base_sec"],
+         "batched": stats["variant_sec"], "gain": stats["gain"],
+         "gain_min": stats["gain_min"], "gain_max": stats["gain_max"]},
     )
     # Collapsing the loop must pay for its staging (observed 2-5x).
-    assert gain >= 1.0
+    _assert_gain("ttm_batched", stats)
 
 
 def test_dist_sthosvd_overlap_end_to_end(benchmark):
-    # End-to-end driver with the knob flipped: recorded for the perf
-    # trajectory (and the bit-identity acceptance), not asserted — the
-    # driver mixes overlap-insensitive phases (evecs, reduce-scatter)
-    # with the pipelined kernels, so its ratio is diluted by design.
+    # End-to-end driver with the overlap knob flipped: recorded for the
+    # perf trajectory (and the bit-identity acceptance), not asserted —
+    # on a problem this tiny the ratio is set by the transport's real
+    # per-message posting overhead and has measured on both sides of 1.0
+    # across machines, which is exactly why the knob is now decided per
+    # problem from calibrated machine constants (next test) instead of
+    # hardcoded.
     p, ranks = 4, (6, 4, 4)
     x = np.random.default_rng(8).standard_normal((24, 16, 12))
-    run_spmd(p, _sthosvd_prog, x, ranks, True, backend=_BACKEND)
+    off = RuntimeConfig(overlap=False)
+    on = RuntimeConfig(overlap=True)
+    run_spmd(p, _sthosvd_prog, x, ranks, 1, "gram", off, on, backend=_BACKEND)
 
-    def best(overlap):
-        per_run = []
-        cores = []
-        for _ in range(4):
-            res = run_spmd(p, _sthosvd_prog, x, ranks, overlap,
-                           backend=_BACKEND, timeout=120.0)
-            per_run.append(max(v[0] for v in res.values))
-            cores.append(tuple(v[1] for v in res.values))
-        assert len(set(cores)) == 1  # deterministic across launches
-        return min(per_run), cores[0]
-
-    blocking, core_off = best(False)
-    (overlapped, core_on) = benchmark.pedantic(
-        lambda: best(True), rounds=1, iterations=1
+    blocking, overlapped, extras = benchmark.pedantic(
+        lambda: _paired(_LAUNCHES, _sthosvd_prog, x, ranks, 1, "gram",
+                        off, on),
+        rounds=1, iterations=1,
     )
-    assert core_on == core_off  # bit-identical with the knob flipped
-    gain = blocking / overlapped
+    # Bit-identical with the knob flipped, in every launch.
+    assert all(same for launch in extras for (same,) in launch)
+    stats = _gain_stats(blocking, overlapped)
     table(
-        f"dist_sthosvd, {p} ranks, {x.shape} -> {ranks} (best of 4)",
+        f"dist_sthosvd, {p} ranks, {x.shape} -> {ranks} "
+        f"(median of {_LAUNCHES}, paired)",
         ["schedule", "sec/run", "gain"],
-        [["blocking", blocking, 1.0], ["overlapped", overlapped, gain]],
+        [["blocking", stats["base_sec"], 1.0],
+         ["overlapped", stats["variant_sec"], stats["gain"]]],
     )
     _record(
         "dist_sthosvd_overlap",
         {"ranks": p, "shape": list(x.shape), "tucker_ranks": list(ranks),
-         "blocking": blocking, "overlap": overlapped, "gain": gain},
+         "blocking": stats["base_sec"], "overlap": stats["variant_sec"],
+         "gain": stats["gain"], "gain_min": stats["gain_min"],
+         "gain_max": stats["gain_max"]},
     )
+
+
+def test_dist_sthosvd_autotuned_plan(benchmark):
+    # The payoff row: the perf-model-selected plan vs the hardcoded
+    # production default (overlap on, binary tree), on the TSQR-based
+    # ``method="svd"`` driver where the reduction-tree knob is live.
+    # Planned against the calibrated machine description (as the CLI's
+    # ``repro-tucker plan`` does): the model keeps overlap on — its
+    # hideable communication exceeds the posting overhead here — and
+    # flips the tree to butterfly, whose parallel folds beat the binary
+    # tree's serialized root + broadcast on every mode column.
+    p, ranks, iters = 4, (6, 4, 4), 5
+    x = np.random.default_rng(8).standard_normal((24, 16, 12))
+    default = RuntimeConfig()  # overlap on, binary tree, lead 32
+    planned = plan_sthosvd(
+        x.shape, ranks=ranks, grid=(2, 2, 1), machine=EDISON_CALIBRATED
+    ).config
+    assert planned.tsqr_tree == "butterfly"  # the decision this row banks on
+    run_spmd(p, _sthosvd_prog, x, ranks, 1, "svd", default, planned,
+             backend=_BACKEND)
+
+    base, tuned, extras = benchmark.pedantic(
+        lambda: _paired(_LAUNCHES, _sthosvd_prog, x, ranks, iters, "svd",
+                        default, planned),
+        rounds=1, iterations=1,
+    )
+    # The plan only reschedules; results stay bit-identical, every launch.
+    assert all(same for launch in extras for (same,) in launch)
+    stats = _gain_stats(base, tuned, iters)
+    table(
+        f"dist_sthosvd svd-method plan, {p} ranks, {x.shape} -> {ranks} "
+        f"(median of {_LAUNCHES} x {iters}, paired)",
+        ["config", "sec/run", "gain"],
+        [["default (binary tree)", stats["base_sec"], 1.0],
+         ["autotuned plan", stats["variant_sec"], stats["gain"]]],
+    )
+    _record(
+        "dist_sthosvd_plan",
+        {"ranks": p, "shape": list(x.shape), "tucker_ranks": list(ranks),
+         "method": "svd", "default": stats["base_sec"],
+         "planned": stats["variant_sec"], "plan": planned.to_dict(),
+         "gain": stats["gain"], "gain_min": stats["gain_min"],
+         "gain_max": stats["gain_max"]},
+    )
+    # The autotuned plan must never lose to the default it replaces.
+    _assert_gain("dist_sthosvd_plan", stats)
     shutdown_worker_pools()

@@ -37,8 +37,11 @@ Subpackages
 ``repro.perfmodel``    alpha-beta-gamma performance model (Secs. V-VI)
 ``repro.data``         synthetic combustion-like datasets (Sec. VII proxies)
 ``repro.io``           compressed-model serialization
+``repro.config``       typed runtime configuration (RuntimeConfig) and the
+                       single resolver for every ``REPRO_*`` switch
 """
 
+from repro.config import RuntimeConfig
 from repro.core import (
     HooiResult,
     SthosvdResult,
@@ -54,6 +57,7 @@ from repro.core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "RuntimeConfig",
     "TuckerTensor",
     "SthosvdResult",
     "HooiResult",

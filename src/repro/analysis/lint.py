@@ -19,6 +19,9 @@ SPMD004   bare ``except:`` around transport calls (swallows
           DeadlockError/SpmdError poisoning, so sibling ranks hang)
 SPMD005   mutable default argument (list/dict/set/ndarray — shared
           across calls *and* across ranks on the thread backend)
+SPMD006   direct ``REPRO_*`` environment read outside
+          :mod:`repro.config` (bypasses the one-shot config resolution
+          at the ``run_spmd`` boundary; pooled workers never see it)
 ========  ==============================================================
 
 Findings point at file:line:col.  Suppress a finding by putting
@@ -108,6 +111,10 @@ RULES: dict[str, str] = {
     "SPMD005": (
         "mutable default argument — shared across calls, and across "
         "ranks on the thread backend"
+    ),
+    "SPMD006": (
+        "direct REPRO_* environment read outside repro.config — knobs "
+        "must resolve once at the run_spmd boundary, not mid-library"
     ),
 }
 
@@ -533,6 +540,87 @@ def _check_mutable_defaults(tree: ast.AST, path: str) -> list[Finding]:
     return findings
 
 
+# -- SPMD006: REPRO_* environment reads outside repro.config ------------------
+
+
+def _repro_key(node: ast.expr) -> str | None:
+    """Spelling of an env-var key expression when it names a REPRO_ knob.
+
+    Matches string literals starting ``REPRO_`` and names/attributes
+    ending ``_ENV_VAR`` (the repo's constant convention, e.g.
+    ``OVERLAP_ENV_VAR`` / ``backends.POOL_ENV_VAR``).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value.startswith("REPRO_") else None
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is not None and name.endswith("_ENV_VAR"):
+        return name
+    return None
+
+
+def _is_environ(node: ast.expr) -> bool:
+    """Whether an expression is ``os.environ`` (or a bare ``environ``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr == "environ"
+    return isinstance(node, ast.Name) and node.id == "environ"
+
+
+def _check_env_reads(tree: ast.AST, path: str) -> list[Finding]:
+    if "repro/config" in Path(path).as_posix():
+        # The config package is the designated resolver; its env_default
+        # is the one legal reader.
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        key = None
+        how = None
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and _is_environ(node.value)
+        ):
+            key = _repro_key(node.slice)
+            how = "os.environ[...]"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and _is_environ(func.value)
+                and node.args
+            ):
+                key = _repro_key(node.args[0])
+                how = "os.environ.get(...)"
+            elif (
+                (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "getenv"
+                )
+                or (isinstance(func, ast.Name) and func.id == "getenv")
+            ) and node.args:
+                key = _repro_key(node.args[0])
+                how = "os.getenv(...)"
+        if key is None or how is None:
+            continue
+        findings.append(
+            Finding(
+                path,
+                node.lineno,
+                node.col_offset,
+                "SPMD006",
+                f"{how} read of {key} outside repro.config; resolve it "
+                f"through repro.config (resolve_config / default_for) so "
+                f"the knob is decided once at the run_spmd boundary and "
+                f"reaches pooled workers",
+            )
+        )
+    return findings
+
+
 # -- driver ------------------------------------------------------------------
 
 _CHECKS = {
@@ -541,6 +629,7 @@ _CHECKS = {
     "SPMD003": _check_requests,
     "SPMD004": _check_bare_except,
     "SPMD005": _check_mutable_defaults,
+    "SPMD006": _check_env_reads,
 }
 
 

@@ -41,6 +41,8 @@ import sys
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.config import default_for
+
 if TYPE_CHECKING:  # real imports happen lazily at the raise sites:
     # importing repro.mpi.errors at module load would run the repro.mpi
     # package __init__, which imports repro.mpi.comm, which imports this
@@ -69,16 +71,11 @@ _INTERNAL_FRAGMENTS = (
 
 
 def sanitize_level(override: int | None = None) -> int:
-    """Resolve the sanitizer level: explicit ``override`` or the
-    ``REPRO_SANITIZE`` environment variable (default 0)."""
+    """Resolve the sanitizer level: explicit ``override``, else the run's
+    resolved config (the ``REPRO_SANITIZE`` environment variable outside
+    a run; default 0)."""
     if override is None:
-        raw = os.environ.get(SANITIZE_ENV_VAR, "0").strip() or "0"
-        try:
-            level = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"invalid {SANITIZE_ENV_VAR} value {raw!r}: use 0, 1 or 2"
-            ) from None
+        level = int(default_for("sanitize"))
     else:
         level = int(override)
     if level not in SANITIZE_LEVELS:

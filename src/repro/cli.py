@@ -53,7 +53,7 @@ def _parse_selection(token: str, dim: int):
     return idx
 
 
-def _parallel_sthosvd_prog(comm, x, grid, tol, ranks, method):
+def _parallel_sthosvd_prog(comm, x, grid, tol, ranks, method, plan):
     """SPMD program behind ``compress --parallel``.
 
     Module-level (not a closure) so the process backend can pickle it by
@@ -64,7 +64,7 @@ def _parallel_sthosvd_prog(comm, x, grid, tol, ranks, method):
 
     g = CartGrid(comm, grid)
     dt = DistTensor.from_global(g, x)
-    t = dist_sthosvd(dt, tol=tol, ranks=ranks, method=method)
+    t = dist_sthosvd(dt, tol=tol, ranks=ranks, method=method, plan=plan)
     gathered = t.to_tucker()  # collective: every rank participates
     if comm.rank == 0:
         return gathered, t.error_estimate()
@@ -96,6 +96,7 @@ def _compress_parallel(
         args.tol,
         ranks,
         args.method,
+        args.plan,
         backend=backend,
         sanitize=args.sanitize,
         timeout=args.timeout,
@@ -151,6 +152,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     if args.timeout is not None and args.timeout <= 0:
         print("error: --timeout must be positive", file=sys.stderr)
         return 2
+    if args.plan is not None and not args.parallel:
+        print(
+            "error: --plan requires --parallel (plans tune the distributed "
+            "kernels)",
+            file=sys.stderr,
+        )
+        return 2
     metadata: dict = {"source": args.input}
     if args.species_mode is not None:
         x, info = center_and_scale(x, args.species_mode)
@@ -182,6 +190,61 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         f"{raw / disk:.1f}x on disk\n"
         f"  error (est.) : {error_estimate:.3e}"
     )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Print the autotuned execution plan for a problem, without running it.
+
+    Resolves a :class:`~repro.config.RuntimeConfig` exactly as
+    ``compress --parallel P --plan auto`` would, then shows every knob
+    (with its environment spelling and the layer it steers), the chosen
+    processor grid, the decision evidence, and the model's predicted
+    per-mode kernel costs.  ``--json`` emits the config alone, ready to
+    replay via ``--plan '<json>'`` or ``REPRO_PLAN``.
+    """
+    from repro.perfmodel import EDISON_CALIBRATED, plan_sthosvd
+
+    if (args.tol is None) == (args.ranks is None):
+        print("error: specify exactly one of --tol / --ranks", file=sys.stderr)
+        return 2
+    shape = tuple(args.shape)
+    ranks = tuple(args.ranks) if args.ranks else None
+    if ranks is not None and len(ranks) != len(shape):
+        print(
+            f"error: need {len(shape)} --ranks entries, got {len(ranks)}",
+            file=sys.stderr,
+        )
+        return 2
+    plan = plan_sthosvd(
+        shape,
+        ranks=ranks,
+        tol=args.tol,
+        n_ranks=args.parallel,
+        machine=EDISON_CALIBRATED,
+    )
+    if args.json:
+        print(plan.config.to_json())
+        return 0
+    print(
+        f"plan for {'x'.join(map(str, shape))} on {args.parallel} ranks "
+        f"(grid {'x'.join(map(str, plan.grid))}):"
+    )
+    print(f"  {'knob':<15}{'env var':<24}{'value':<12}layer")
+    for field, env, value, layer in plan.config.describe():
+        print(f"  {field:<15}{env:<24}{value:<12}{layer}")
+    print("decisions:")
+    for name, reason in plan.decisions.items():
+        print(f"  {name} = {getattr(plan.config, name)}: {reason}")
+    print("predicted per-mode costs:")
+    for kernel, mode, cost in plan.predicted.steps:
+        print(
+            f"  mode {mode} {kernel:<6}: {cost.time:.3e} s "
+            f"(flop {cost.flop_time:.2e}, bw {cost.bw_time:.2e}, "
+            f"lat {cost.lat_time:.2e})"
+        )
+    print(f"predicted total: {plan.predicted.time:.3e} s")
+    print(f"replay: --plan '{plan.config.to_json()}'")
     return 0
 
 
@@ -285,7 +348,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                    help="deadlock-detection timeout for --parallel runs "
                         "(default: $REPRO_SPMD_TIMEOUT or 120)")
+    p.add_argument("--plan", default=None, metavar="PLAN",
+                   help="execution plan for --parallel runs: 'auto' (pick "
+                        "kernel knobs from the perf model), 'default', or "
+                        "a RuntimeConfig JSON object (default: $REPRO_PLAN)")
     p.set_defaults(fn=_cmd_compress)
+
+    p = sub.add_parser(
+        "plan",
+        help="print the autotuned execution plan for a problem "
+             "(no data needed)",
+    )
+    p.add_argument("shape", type=int, nargs="+",
+                   help="global tensor dimensions, e.g. 672 672 33 626")
+    p.add_argument("--tol", type=float, default=None,
+                   help="relative error tolerance (exclusive with --ranks)")
+    p.add_argument("--ranks", type=int, nargs="+", default=None,
+                   help="target reduced dimensions per mode")
+    p.add_argument("--parallel", "-p", type=int, required=True, metavar="P",
+                   help="processor count to plan for")
+    p.add_argument("--json", action="store_true",
+                   help="emit only the RuntimeConfig JSON (for --plan/"
+                        "REPRO_PLAN replay)")
+    p.set_defaults(fn=_cmd_plan)
 
     p = sub.add_parser("info", help="describe a Tucker container")
     p.add_argument("model")

@@ -1,0 +1,32 @@
+"""Runtime configuration layer: typed knobs, one resolver, one env reader.
+
+See :mod:`repro.config.runtime`.  Every ``REPRO_*`` environment variable
+is resolved here and only here (repro-lint rule SPMD006 enforces it);
+the rest of the stack receives an explicit :class:`RuntimeConfig`.
+"""
+
+from repro.config.runtime import (
+    CONFIG_FIELDS,
+    PLAN_ENV_VAR,
+    ConfigField,
+    RuntimeConfig,
+    active_config,
+    default_for,
+    env_default,
+    resolve_config,
+    resolve_plan,
+    set_active_config,
+)
+
+__all__ = [
+    "CONFIG_FIELDS",
+    "PLAN_ENV_VAR",
+    "ConfigField",
+    "RuntimeConfig",
+    "active_config",
+    "default_for",
+    "env_default",
+    "resolve_config",
+    "resolve_plan",
+    "set_active_config",
+]

@@ -1,0 +1,425 @@
+"""Typed runtime configuration: every ``REPRO_*`` knob as one frozen object.
+
+Historically each runtime knob — backend, pool, arena, windows, overlap,
+TSQR tree, sanitize, faults, timeout, ... — was resolved ad hoc at its
+point of use by a scattered ``os.environ`` read, which meant there was no
+single object describing how a run would execute (and nothing an
+autotuner could decide).  This module is the fix:
+
+* :class:`RuntimeConfig` — a frozen dataclass holding every knob, with
+  the same defaults the environment switches have always had.
+* :func:`resolve_config` — the *only* place knob precedence lives:
+  explicit keyword > explicit config object > environment variable >
+  default, resolved **once** at the ``run_spmd`` boundary.
+* :func:`env_default` — the repository's single ``os.environ`` reader
+  for ``REPRO_*`` knobs (repro-lint rule SPMD006 enforces that no other
+  module reads them directly).  Environment variables remain the user
+  surface; this resolver is their only consumer.
+* :func:`set_active_config` / :func:`default_for` — the dispatch
+  mechanism that threads a resolved config through transport, kernels
+  and drivers without changing any public helper contract: ``run_spmd``
+  installs the resolved config for the duration of the run (and ships
+  it to pooled workers via the per-run dispatch), and every legacy
+  helper (``overlap_enabled``, ``tsqr_tree``, ``sanitize_level``, ...)
+  consults :func:`default_for` instead of the environment.
+
+The config is plain data (str/bool/int/float only), picklable and
+JSON-round-trippable, so it can ride the process backend's per-run
+dispatch and be printed, saved and replayed (``repro-tucker plan``,
+``dist_sthosvd(plan=...)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "RuntimeConfig",
+    "ConfigField",
+    "CONFIG_FIELDS",
+    "PLAN_ENV_VAR",
+    "resolve_config",
+    "resolve_plan",
+    "env_default",
+    "default_for",
+    "set_active_config",
+    "active_config",
+]
+
+#: Plan selector consulted by ``dist_sthosvd``/``dist_hooi`` when no
+#: ``plan=`` keyword is given: ``default`` (or unset) keeps the explicit
+#: config/environment, ``auto`` asks the perf model
+#: (:func:`repro.perfmodel.autotune.plan_sthosvd`), and a JSON object
+#: string replays a saved :class:`RuntimeConfig`.
+PLAN_ENV_VAR = "REPRO_PLAN"
+
+_TSQR_TREES = ("binary", "butterfly")
+_SANITIZE_LEVELS = (0, 1, 2)
+
+
+def _parse_bool(raw: str) -> bool:
+    # The historical semantics of every boolean switch: anything but "0"
+    # enables it.
+    return raw != "0"
+
+
+def _parse_timeout(raw: str) -> float:
+    raw = raw.strip()
+    if not raw:
+        return 120.0
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SPMD_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+
+
+def _parse_sanitize(raw: str) -> int:
+    raw = raw.strip() or "0"
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"invalid REPRO_SANITIZE value {raw!r}: use 0, 1 or 2"
+        ) from None
+
+
+def _parse_int(env: str) -> Callable[[str], int]:
+    def parse(raw: str) -> int:
+        raw = raw.strip()
+        try:
+            return int(raw or "0")
+        except ValueError:
+            raise ValueError(
+                f"{env} must be an integer, got {raw!r}"
+            ) from None
+
+    return parse
+
+
+@dataclass(frozen=True)
+class ConfigField:
+    """One runtime knob: its config field, env var, default and parser."""
+
+    name: str
+    env: str
+    default: Any
+    parse: Callable[[str], Any]
+    #: Which layer of the stack the knob steers (for the config table).
+    layer: str
+    help: str
+
+    def from_env_raw(self, raw: str | None) -> Any:
+        """Value for this field given the raw env string (None = unset)."""
+        if raw is None:
+            return self.default
+        return self.parse(raw)
+
+
+#: Every runtime knob, in resolution-table order.  Defaults are exactly
+#: the values the environment switches have always fallen back to.
+CONFIG_FIELDS: tuple[ConfigField, ...] = (
+    ConfigField(
+        "backend", "REPRO_SPMD_BACKEND", "thread", str, "executor",
+        "executor backend: 'thread' or 'process'",
+    ),
+    ConfigField(
+        "pool", "REPRO_SPMD_POOL", True, _parse_bool, "executor",
+        "persistent warm rank pool for the process backend",
+    ),
+    ConfigField(
+        "arena", "REPRO_SHM_ARENA", True, _parse_bool, "transport",
+        "shared-memory segment reuse (arena) in the process transport",
+    ),
+    ConfigField(
+        "windows", "REPRO_SPMD_WINDOWS", True, _parse_bool, "transport",
+        "collective windows fast path (off: point-to-point fallback)",
+    ),
+    ConfigField(
+        "window_slot", "REPRO_SPMD_WINDOW_SLOT", 0,
+        _parse_int("REPRO_SPMD_WINDOW_SLOT"), "transport",
+        "fixed initial per-rank window slot in bytes (0 = adaptive)",
+    ),
+    ConfigField(
+        "hugepages", "REPRO_SPMD_HUGEPAGES", "auto", lambda raw: raw.strip()
+        or "auto", "transport",
+        "huge-page backing: 'auto', '0', '1', or a directory path",
+    ),
+    ConfigField(
+        "overlap", "REPRO_SPMD_OVERLAP", True, _parse_bool, "kernels",
+        "communication/computation pipelining in the distributed kernels",
+    ),
+    ConfigField(
+        "tsqr_tree", "REPRO_TSQR_TREE", "binary", str, "kernels",
+        "TSQR reduction tree: 'binary' or 'butterfly'",
+    ),
+    ConfigField(
+        "ttm_batch_lead", "REPRO_TTM_BATCH_LEAD", 32,
+        _parse_int("REPRO_TTM_BATCH_LEAD"), "kernels",
+        "max leading block columns for the batched local TTM fast path "
+        "(0 disables batching)",
+    ),
+    ConfigField(
+        "sanitize", "REPRO_SANITIZE", 0, _parse_sanitize, "runtime",
+        "SPMD sanitizer level: 0 off, 1 protocol checks, 2 + window "
+        "generation checks",
+    ),
+    ConfigField(
+        "faults", "REPRO_FAULTS", "", lambda raw: raw.strip(), "runtime",
+        "deterministic fault-injection spec string ('' = off)",
+    ),
+    ConfigField(
+        "retry", "REPRO_SPMD_RETRY", 1, _parse_int("REPRO_SPMD_RETRY"),
+        "executor",
+        "max launch attempts on retryable failures (1 = no retry)",
+    ),
+    ConfigField(
+        "timeout", "REPRO_SPMD_TIMEOUT", 120.0, _parse_timeout, "runtime",
+        "deadlock-detection timeout for blocking receives, seconds",
+    ),
+)
+
+_FIELD_BY_NAME: dict[str, ConfigField] = {f.name: f for f in CONFIG_FIELDS}
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """A complete, validated execution plan for one SPMD run.
+
+    Field defaults match the environment-variable defaults exactly, so
+    ``RuntimeConfig()`` is the out-of-the-box configuration.  Instances
+    are immutable, hashable on their field tuple, picklable (they ride
+    the process backend's per-run dispatch to pooled workers) and
+    JSON-round-trippable via :meth:`to_json`/:meth:`from_json`.
+    """
+
+    backend: str = "thread"
+    pool: bool = True
+    arena: bool = True
+    windows: bool = True
+    window_slot: int = 0
+    hugepages: str = "auto"
+    overlap: bool = True
+    tsqr_tree: str = "binary"
+    ttm_batch_lead: int = 32
+    sanitize: int = 0
+    faults: str = ""
+    retry: int = 1
+    timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        # Normalize numeric types first (so env-parsed and user-passed
+        # values validate identically), then check every knob's grammar
+        # with the same messages the scattered resolvers always raised.
+        object.__setattr__(self, "backend", str(self.backend))
+        object.__setattr__(self, "pool", bool(self.pool))
+        object.__setattr__(self, "arena", bool(self.arena))
+        object.__setattr__(self, "windows", bool(self.windows))
+        object.__setattr__(self, "window_slot", int(self.window_slot))
+        object.__setattr__(self, "hugepages", str(self.hugepages))
+        object.__setattr__(self, "overlap", bool(self.overlap))
+        object.__setattr__(self, "tsqr_tree", str(self.tsqr_tree))
+        object.__setattr__(self, "ttm_batch_lead", int(self.ttm_batch_lead))
+        object.__setattr__(self, "sanitize", int(self.sanitize))
+        object.__setattr__(self, "faults", str(self.faults))
+        object.__setattr__(self, "retry", int(self.retry))
+        object.__setattr__(self, "timeout", float(self.timeout))
+        if self.window_slot < 0:
+            raise ValueError(
+                f"window_slot must be non-negative, got {self.window_slot}"
+            )
+        hp = self.hugepages
+        if hp not in ("auto", "0", "1") and not hp.startswith(("/", ".")):
+            raise ValueError(
+                f"invalid REPRO_SPMD_HUGEPAGES value {hp!r}: "
+                f"use 'auto', '0', or a directory path"
+            )
+        if self.tsqr_tree not in _TSQR_TREES:
+            raise ValueError(
+                f"unknown TSQR tree {self.tsqr_tree!r}; "
+                f"use one of {_TSQR_TREES}"
+            )
+        if self.ttm_batch_lead < 0:
+            raise ValueError(
+                f"ttm_batch_lead must be non-negative, got "
+                f"{self.ttm_batch_lead}"
+            )
+        if self.sanitize not in _SANITIZE_LEVELS:
+            raise ValueError(
+                f"sanitize level must be one of {_SANITIZE_LEVELS}, "
+                f"got {self.sanitize}"
+            )
+        if self.retry < 1:
+            raise ValueError(f"retry must be >= 1, got {self.retry}")
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RuntimeConfig":
+        if not isinstance(data, dict):
+            raise TypeError(
+                f"RuntimeConfig data must be a mapping, got "
+                f"{type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_FIELD_BY_NAME))
+        if unknown:
+            raise ValueError(
+                f"unknown RuntimeConfig key(s): {', '.join(unknown)}; "
+                f"known: {', '.join(f.name for f in CONFIG_FIELDS)}"
+            )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "RuntimeConfig":
+        try:
+            data = json.loads(blob)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid RuntimeConfig JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    def replace(self, **changes: Any) -> "RuntimeConfig":
+        """A copy with ``changes`` applied (validated like a fresh config)."""
+        unknown = sorted(set(changes) - set(_FIELD_BY_NAME))
+        if unknown:
+            raise ValueError(
+                f"unknown RuntimeConfig key(s): {', '.join(unknown)}; "
+                f"known: {', '.join(f.name for f in CONFIG_FIELDS)}"
+            )
+        return dataclasses.replace(self, **changes)
+
+    def to_env(self) -> dict[str, str]:
+        """The equivalent environment assignment (the user surface)."""
+        out: dict[str, str] = {}
+        for f in CONFIG_FIELDS:
+            value = getattr(self, f.name)
+            if isinstance(value, bool):
+                out[f.env] = "1" if value else "0"
+            else:
+                out[f.env] = str(value)
+        return out
+
+    def describe(self) -> list[tuple[str, str, str, str]]:
+        """Rows of ``(field, env var, value, layer)`` for display."""
+        rows = []
+        for f in CONFIG_FIELDS:
+            value = getattr(self, f.name)
+            shown = ("1" if value else "0") if isinstance(value, bool) else (
+                str(value) if value != "" else "''"
+            )
+            rows.append((f.name, f.env, shown, f.layer))
+        return rows
+
+
+# -- resolution ---------------------------------------------------------
+
+
+def env_default(name: str) -> Any:
+    """This knob's value from its environment variable (or its default).
+
+    The single place in the repository where a ``REPRO_*`` variable is
+    read (rule SPMD006 keeps it that way).  Raises ``ValueError`` with
+    the knob's historical message on an unparsable value.
+    """
+    field = _FIELD_BY_NAME[name]
+    raw = os.environ.get(field.env)
+    value = field.from_env_raw(raw)
+    if name == "timeout" and value <= 0:
+        raise ValueError(f"timeout must be positive, got {value}")
+    if name == "sanitize" and value not in _SANITIZE_LEVELS:
+        raise ValueError(
+            f"sanitize level must be one of {_SANITIZE_LEVELS}, got {value}"
+        )
+    if name == "tsqr_tree" and value not in _TSQR_TREES:
+        raise ValueError(
+            f"unknown TSQR tree {value!r}; use one of {_TSQR_TREES}"
+        )
+    return value
+
+
+def resolve_config(
+    config: RuntimeConfig | None = None, **overrides: Any
+) -> RuntimeConfig:
+    """The effective config: keyword > ``config`` object > env > default.
+
+    ``overrides`` are per-field keywords; ``None`` means "not specified"
+    (the field falls through to ``config`` or the environment).  Unknown
+    keys are rejected.  The returned config is fully validated.
+    """
+    unknown = sorted(set(overrides) - set(_FIELD_BY_NAME))
+    if unknown:
+        raise ValueError(
+            f"unknown RuntimeConfig key(s): {', '.join(unknown)}; "
+            f"known: {', '.join(f.name for f in CONFIG_FIELDS)}"
+        )
+    if config is None:
+        values = {f.name: env_default(f.name) for f in CONFIG_FIELDS}
+    elif isinstance(config, RuntimeConfig):
+        values = config.to_dict()
+    else:
+        raise TypeError(
+            f"config must be a RuntimeConfig or None, got "
+            f"{type(config).__name__}"
+        )
+    for key, value in overrides.items():
+        if value is not None:
+            values[key] = value
+    return RuntimeConfig(**values)
+
+
+def resolve_plan(override: str | None = None) -> str | None:
+    """Resolve the plan selector: kwarg > ``REPRO_PLAN`` > none.
+
+    Returns ``None`` for "no plan" (unset or ``"default"``), otherwise
+    the raw selector string (``"auto"`` or a JSON config).
+    """
+    raw = override if override is not None else os.environ.get(
+        PLAN_ENV_VAR, ""
+    ).strip()
+    if not raw or raw == "default":
+        return None
+    return raw
+
+
+# -- active-config dispatch ---------------------------------------------
+
+#: The config installed for the currently-executing run, if any.
+#: ``run_spmd`` installs the resolved config in the launching process
+#: (thread ranks and fork-per-run children see it directly) and the
+#: process backend ships it to pooled workers via the run dispatch.
+_ACTIVE: RuntimeConfig | None = None
+
+
+def set_active_config(config: RuntimeConfig | None) -> RuntimeConfig | None:
+    """Install ``config`` as the active run config; returns the previous
+    one so callers can restore it (always pair with a ``finally``)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = config
+    return previous
+
+
+def active_config() -> RuntimeConfig | None:
+    """The currently-installed run config (``None`` outside a run)."""
+    return _ACTIVE
+
+
+def default_for(name: str) -> Any:
+    """The value a knob helper should fall back to when its argument is
+    ``None``: the active run config if one is installed, else the
+    environment (then the built-in default)."""
+    if _ACTIVE is not None:
+        return getattr(_ACTIVE, name)
+    return env_default(name)

@@ -14,10 +14,15 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.config import RuntimeConfig
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.evecs import dist_evecs
 from repro.distributed.gram import dist_gram
-from repro.distributed.sthosvd import DistTucker, dist_sthosvd
+from repro.distributed.sthosvd import (
+    DistTucker,
+    _resolve_driver_config,
+    dist_sthosvd,
+)
 from repro.distributed.ttm import dist_ttm
 
 
@@ -50,6 +55,8 @@ def dist_hooi(
     init: DistTucker | None = None,
     ttm_strategy: str = "auto",
     method: str = "gram",
+    config: RuntimeConfig | None = None,
+    plan: str | None = None,
 ) -> DistHooiResult:
     """Parallel higher-order orthogonal iteration (Alg. 2).
 
@@ -58,7 +65,11 @@ def dist_hooi(
     the normalized fit improvement falls below ``improvement_tol`` or after
     ``max_iterations`` outer iterations.  ``method="svd"`` uses the
     TSQR-based factor kernel for both the initialization and the inner
-    updates (the Sec. IX numerical improvement).
+    updates (the Sec. IX numerical improvement).  ``config=``/``plan=``
+    pin or select the kernel tuning knobs exactly as in
+    :func:`~repro.distributed.sthosvd.dist_sthosvd` (and are forwarded
+    to the ST-HOSVD initialization); results are bit-identical across
+    plans on a fixed grid.
     """
     if max_iterations < 0:
         raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
@@ -68,10 +79,15 @@ def dist_hooi(
         raise ValueError(f"unknown method {method!r}; use 'gram' or 'svd'")
     comm = dt.comm
     n_modes = dt.ndim
+    cfg = _resolve_driver_config(dt, tol, ranks, None, config, plan)
+    overlap = cfg.overlap if cfg is not None else None
+    batch_lead = cfg.ttm_batch_lead if cfg is not None else None
+    tree = cfg.tsqr_tree if cfg is not None else None
 
     if init is None:
         init = dist_sthosvd(
-            dt, tol=tol, ranks=ranks, ttm_strategy=ttm_strategy, method=method
+            dt, tol=tol, ranks=ranks, ttm_strategy=ttm_strategy,
+            method=method, config=cfg,
         )
     target_ranks = init.ranks
     factors = [np.array(f, copy=True) for f in init.factors_local]
@@ -97,15 +113,19 @@ def dist_hooi(
                         m,
                         target_ranks[m],
                         strategy=ttm_strategy,
+                        overlap=overlap,
+                        batch_lead=batch_lead,
                     )
             if method == "svd":
                 from repro.distributed.tsqr import dist_mode_svd
 
                 with comm.section("svd"):
-                    u_local, eig = dist_mode_svd(y, n, rank=target_ranks[n])
+                    u_local, eig = dist_mode_svd(
+                        y, n, rank=target_ranks[n], overlap=overlap, tree=tree
+                    )
             else:
                 with comm.section("gram"):
-                    s_rows = dist_gram(y, n)
+                    s_rows = dist_gram(y, n, overlap=overlap)
                 with comm.section("evecs"):
                     u_local, eig = dist_evecs(y, s_rows, n, rank=target_ranks[n])
             factors[n] = u_local
@@ -119,6 +139,8 @@ def dist_hooi(
                 n_modes - 1,
                 target_ranks[n_modes - 1],
                 strategy=ttm_strategy,
+                overlap=overlap,
+                batch_lead=batch_lead,
             )
         iterations += 1
         history.append(max(0.0, x_norm_sq - core.norm_sq()))

@@ -23,13 +23,15 @@ benchmarking (``benchmarks/test_perf_kernels.py``) and for bisecting,
 not for correctness.
 
 Resolution order: an explicit ``overlap=`` keyword on the kernel wins;
-otherwise the ``REPRO_SPMD_OVERLAP`` environment variable decides
-(anything but ``"0"`` enables it; the default is on).
+otherwise the run's installed :class:`~repro.config.RuntimeConfig`
+decides (which itself resolved the ``REPRO_SPMD_OVERLAP`` environment
+variable at the ``run_spmd`` boundary — anything but ``"0"`` enables
+it; the default is on).
 """
 
 from __future__ import annotations
 
-import os
+from repro.config import default_for
 
 #: Environment switch: ``0`` disables communication/computation overlap
 #: in the distributed kernels (the pre-pipelining blocking schedule).
@@ -40,8 +42,9 @@ def overlap_enabled(override: bool | None = None) -> bool:
     """Whether the distributed kernels should pipeline communication.
 
     ``override`` is a kernel keyword (``True``/``False`` forces the
-    choice); ``None`` defers to ``REPRO_SPMD_OVERLAP``.
+    choice); ``None`` defers to the run's resolved config (the
+    ``REPRO_SPMD_OVERLAP`` environment variable outside a run).
     """
     if override is not None:
         return bool(override)
-    return os.environ.get(OVERLAP_ENV_VAR, "1") != "0"
+    return bool(default_for("overlap"))

@@ -16,6 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.config import RuntimeConfig, resolve_plan
 from repro.core.tucker import TuckerTensor
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.evecs import dist_evecs
@@ -231,6 +232,49 @@ def _checkpoint_commit(
     comm.barrier()
 
 
+def _resolve_driver_config(
+    dt: DistTensor,
+    tol: float | None,
+    ranks: Sequence[int] | None,
+    mode_order: Sequence[int] | None,
+    config: RuntimeConfig | None,
+    plan: str | None,
+) -> RuntimeConfig | None:
+    """The kernel-knob config a driver call should run under.
+
+    Precedence: explicit ``config=`` > explicit ``plan=`` > the
+    ``REPRO_PLAN`` selector > none (every kernel falls back to the run's
+    active config / environment).  ``plan="auto"`` asks the perf model
+    (:func:`repro.perfmodel.autotune.plan_sthosvd`) using this call's
+    actual shape, ranks/tol, grid and the ledger's machine constants —
+    a pure function of collectively-identical arguments, so every rank
+    selects the same plan without communicating.  Any other selector is
+    parsed as a saved :class:`RuntimeConfig` JSON object.
+    """
+    if config is not None:
+        if not isinstance(config, RuntimeConfig):
+            raise TypeError(
+                f"config must be a RuntimeConfig or None, got "
+                f"{type(config).__name__}"
+            )
+        return config
+    selector = resolve_plan(plan)
+    if selector is None:
+        return None
+    if selector == "auto":
+        from repro.perfmodel.autotune import plan_sthosvd
+
+        return plan_sthosvd(
+            dt.global_shape,
+            ranks=ranks,
+            tol=tol,
+            grid=dt.grid.dims,
+            machine=dt.comm.ledger.machine,
+            mode_order=mode_order,
+        ).config
+    return RuntimeConfig.from_json(selector)
+
+
 def dist_sthosvd(
     dt: DistTensor,
     tol: float | None = None,
@@ -240,6 +284,8 @@ def dist_sthosvd(
     method: str = "gram",
     tsqr_tree: str | None = None,
     checkpoint: str | os.PathLike | None = None,
+    config: RuntimeConfig | None = None,
+    plan: str | None = None,
 ) -> DistTucker:
     """Parallel ST-HOSVD (Alg. 1 on the Sec. V kernels).
 
@@ -261,6 +307,16 @@ def dist_sthosvd(
     resumes from the last committed mode instead of recomputing,
     producing bit-identical factors.  The store is validated against the
     call's parameters (digest) and cleared on successful completion.
+
+    ``config=`` pins the kernel tuning knobs (overlap, TSQR tree, TTM
+    batch threshold) to an explicit :class:`~repro.config.RuntimeConfig`
+    for this call; ``plan=`` selects one instead: ``"auto"`` asks the
+    perf model for this problem (see
+    :func:`repro.perfmodel.autotune.plan_sthosvd`), ``"default"``/None
+    keeps the run's active config, and any other string is parsed as a
+    saved config's JSON.  ``None`` consults ``REPRO_PLAN``.  Every knob
+    is pure tuning: factors and core are bit-identical across plans on a
+    fixed grid.  An explicit ``tsqr_tree=`` still wins over the plan.
     """
     n_modes = dt.ndim
     if (tol is None) == (ranks is None):
@@ -287,6 +343,11 @@ def dist_sthosvd(
     )
     if sorted(order) != list(range(n_modes)):
         raise ValueError(f"mode_order {mode_order} is not a permutation")
+    cfg = _resolve_driver_config(dt, tol, ranks, order, config, plan)
+    overlap = cfg.overlap if cfg is not None else None
+    batch_lead = cfg.ttm_batch_lead if cfg is not None else None
+    if tsqr_tree is None and cfg is not None:
+        tsqr_tree = cfg.tsqr_tree
 
     comm = dt.comm
     x_norm_sq = dt.norm_sq()
@@ -317,16 +378,17 @@ def dist_sthosvd(
                 if threshold is not None:
                     u_local, eig = dist_mode_svd(
                         y, n, threshold=threshold, min_rank=pn,
-                        tree=tsqr_tree,
+                        overlap=overlap, tree=tsqr_tree,
                     )
                 else:
                     u_local, eig = dist_mode_svd(
-                        y, n, rank=ranks[n], tree=tsqr_tree  # type: ignore[index]
+                        y, n, rank=ranks[n],  # type: ignore[index]
+                        overlap=overlap, tree=tsqr_tree,
                     )
                 rn = u_local.shape[1]
         else:
             with comm.section("gram"):
-                s_rows = dist_gram(y, n)
+                s_rows = dist_gram(y, n, overlap=overlap)
             with comm.section("evecs"):
                 if threshold is not None:
                     u_local, eig = dist_evecs(
@@ -336,7 +398,10 @@ def dist_sthosvd(
                     u_local, eig = dist_evecs(y, s_rows, n, rank=ranks[n])  # type: ignore[index]
                 rn = u_local.shape[1]
         with comm.section("ttm"):
-            y = dist_ttm(y, u_local.T.copy(), n, rn, strategy=ttm_strategy)
+            y = dist_ttm(
+                y, u_local.T.copy(), n, rn, strategy=ttm_strategy,
+                overlap=overlap, batch_lead=batch_lead,
+            )
         factors[n] = u_local
         eigenvalues[n] = eig.values
         if checkpoint is not None:

@@ -39,10 +39,9 @@ epsilon-truncation remains reliable down to machine precision.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
+from repro.config import default_for
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.layout import block_range
 from repro.distributed.overlap import overlap_enabled
@@ -61,9 +60,7 @@ _TREES = ("binary", "butterfly")
 
 def tsqr_tree(override: str | None = None) -> str:
     """Resolve the TSQR tree variant: kwarg > ``REPRO_TSQR_TREE`` > binary."""
-    tree = override if override is not None else os.environ.get(
-        TSQR_TREE_ENV_VAR, "binary"
-    )
+    tree = override if override is not None else default_for("tsqr_tree")
     if tree not in _TREES:
         raise ValueError(f"unknown TSQR tree {tree!r}; use one of {_TREES}")
     return tree

@@ -47,6 +47,7 @@ def dist_ttm(
     new_dim: int,
     strategy: str = "auto",
     overlap: bool | None = None,
+    batch_lead: int | None = None,
 ) -> DistTensor:
     """Parallel ``Z = Y x_n V`` (Alg. 3).
 
@@ -70,6 +71,11 @@ def dist_ttm(
         block-row reduce is posted non-blocking and completed only after
         the next block's local TTM, hiding the reduce fences behind the
         dgemms.  Results and charges are bit-identical either way.
+    batch_lead:
+        Skinny-block threshold for the local
+        :func:`~repro.tensor.ttm.ttm_blocked` kernels (default: the run's
+        resolved config, ``REPRO_TTM_BATCH_LEAD``).  Pure tuning — both
+        local paths are bit-identical.
 
     Returns
     -------
@@ -103,9 +109,11 @@ def dist_ttm(
         fits = new_dim <= max(1, dt.global_shape[mode] // pn)
         strategy = "reduce_scatter" if (even and fits) else "blocked"
     if strategy == "reduce_scatter":
-        return _ttm_reduce_scatter(dt, v_local, mode, new_dim)
+        return _ttm_reduce_scatter(dt, v_local, mode, new_dim, batch_lead)
     if strategy == "blocked":
-        return _ttm_blocked(dt, v_local, mode, new_dim, overlap=overlap)
+        return _ttm_blocked(
+            dt, v_local, mode, new_dim, overlap=overlap, batch_lead=batch_lead
+        )
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
@@ -121,6 +129,7 @@ def _ttm_blocked(
     mode: int,
     new_dim: int,
     overlap: bool | None = None,
+    batch_lead: int | None = None,
 ) -> DistTensor:
     """Alg. 3: P_n iterations of (local TTM block row, reduce to member l).
 
@@ -143,7 +152,7 @@ def _ttm_blocked(
     for ell, (start, stop) in enumerate(block_ranges(new_dim, pn)):
         # Local mode-n TTM with the ell-th block row of V (layout-respecting
         # dgemms, Sec. IV-C).
-        w = ttm_blocked(local, v_local[start:stop], mode)
+        w = ttm_blocked(local, v_local[start:stop], mode, batch_lead=batch_lead)
         dt.comm.add_flops(2 * (stop - start) * local.size)
         # M_TTM live set: local input + factor block + temporary + result,
         # plus — pipelined — the previous block row, which stays alive in
@@ -185,7 +194,11 @@ def _ttm_blocked(
 
 
 def _ttm_reduce_scatter(
-    dt: DistTensor, v_local: np.ndarray, mode: int, new_dim: int
+    dt: DistTensor,
+    v_local: np.ndarray,
+    mode: int,
+    new_dim: int,
+    batch_lead: int | None = None,
 ) -> DistTensor:
     """Sec. V-B fast path: one local multiply + one reduce-scatter.
 
@@ -200,7 +213,7 @@ def _ttm_reduce_scatter(
             f"reduce_scatter strategy requires {pn} | {new_dim}; use 'blocked'"
         )
     local = dt.local
-    w = ttm_blocked(local, v_local, mode)
+    w = ttm_blocked(local, v_local, mode, batch_lead=batch_lead)
     dt.comm.add_flops(2 * new_dim * local.size)
     # Reduce-scatter along the mode axis: move mode to front so equal blocks
     # along axis 0 correspond to the K partition.

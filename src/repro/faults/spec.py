@@ -46,9 +46,10 @@ module level so ``repro.mpi`` internals can import it without cycles.
 from __future__ import annotations
 
 import hashlib
-import os
 import struct
 from dataclasses import dataclass
+
+from repro.config import default_for
 
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 
@@ -223,9 +224,10 @@ def _parse_float(value: str, name: str, raw: str) -> float:
 
 
 def resolve_faults(override: "FaultSpec | str | None" = None) -> "FaultSpec | None":
-    """Resolve the effective fault spec: explicit override, else env, else None."""
+    """Resolve the effective fault spec: explicit override, else the run's
+    resolved config (``REPRO_FAULTS`` outside a run), else None."""
     if override is None:
-        raw = os.environ.get(FAULTS_ENV_VAR, "").strip()
+        raw = str(default_for("faults")).strip()
         return FaultSpec.parse(raw) if raw else None
     if isinstance(override, FaultSpec):
         return override

@@ -84,6 +84,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.analysis.sanitizer import Sanitizer
+from repro.config import RuntimeConfig, default_for, set_active_config
 from repro.faults import FaultInjector, FaultSpec, StatusBoard, describe_exitcode
 from repro.mpi.comm import Communicator
 from repro.mpi.errors import DeadlockError, RankDeadError, SpmdError
@@ -199,6 +200,7 @@ class ExecutorBackend(abc.ABC):
         sanitize: int = 0,
         faults: FaultSpec | None = None,
         attempt: int = 1,
+        config: RuntimeConfig | None = None,
     ) -> SpmdResult:
         """Execute ``fn(comm, *args[, *rank_args[rank]])`` on every rank.
 
@@ -213,6 +215,13 @@ class ExecutorBackend(abc.ABC):
         (advanced by ``run_spmd``'s retry loop): backends build one
         :class:`~repro.faults.FaultInjector` per rank from them and fire
         the ``dispatch`` site before the rank function runs.
+
+        ``config`` is the run's resolved
+        :class:`~repro.config.RuntimeConfig`.  ``run_spmd`` installs it
+        in the launching process (thread ranks and fork-per-run children
+        see it directly); the process backend additionally ships it on
+        the run dispatch so *pooled* workers — forked long before this
+        run — install the same configuration around the rank function.
         """
 
 
@@ -232,7 +241,10 @@ class ThreadBackend(ExecutorBackend):
         sanitize: int = 0,
         faults: FaultSpec | None = None,
         attempt: int = 1,
+        config: RuntimeConfig | None = None,
     ) -> SpmdResult:
+        # Thread ranks share the launching process, where run_spmd has
+        # already installed `config`; nothing to ship.
         transport = ThreadTransport(timeout=timeout)
         ledger = CostLedger(n_ranks, machine)
         values: list[Any] = [None] * n_ranks
@@ -371,65 +383,74 @@ def _run_one_rank(
 ) -> tuple[Any, BaseException | None, Any]:
     """Execute one rank against a fresh transport; always cleans up."""
     topts = dict(transport_opts or {})
-    # Fault-tolerance options ride the dispatch as picklable primitives;
-    # the live objects (injector, board) are built rank-side here.
-    spec: FaultSpec | None = topts.pop("faults", None)
-    attempt: int = topts.pop("attempt", 1)
-    board_name: str | None = topts.pop("status", None)
-    injector = (
-        FaultInjector(spec, rank, attempt, hard_crash=True)
-        if spec is not None
-        else None
-    )
-    board = None
-    if board_name is not None:
-        try:
-            board = StatusBoard.attach(board_name, n_ranks)
-        except FileNotFoundError:  # pragma: no cover - board already audited
-            board = None
-    transport = ProcessTransport(
-        rank, inboxes, abort_event, timeout=timeout, run_seq=run_seq,
-        faults=injector, status=board, **topts,
-    )
-    ledger = CostLedger(n_ranks, machine)
-    sanitizer = (
-        Sanitizer(level=transport.sanitize, world_rank=rank)
-        if transport.sanitize
-        else None
-    )
-    comm = Communicator(
-        transport,
-        ledger,
-        "world",
-        tuple(range(n_ranks)),
-        rank,
-        sanitizer=sanitizer,
-        faults=injector,
-    )
-    value: Any = None
-    failure: BaseException | None = None
+    # The run's resolved RuntimeConfig is installed around everything
+    # rank-side — pooled workers were forked long before this run, so
+    # the dispatch payload (not the environment) is the source of truth.
+    config: RuntimeConfig | None = topts.pop("config", None)
+    previous_config = set_active_config(config) if config is not None else None
     try:
-        if board is not None:
-            board.mark_running(rank, os.getpid())
-        if injector is not None:
-            injector.fire("dispatch")
-        value = fn(comm, *args, *extra)
-        if sanitizer is not None:
-            sanitizer.finalize()
-        if board is not None:
-            board.mark_done(rank)
-    except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
-        if sanitizer is not None and isinstance(exc, DeadlockError):
-            sanitizer.annotate(exc)
-        failure = exc
-        transport.abort(exc)
-    finally:
+        # Fault-tolerance options ride the dispatch as picklable primitives;
+        # the live objects (injector, board) are built rank-side here.
+        spec: FaultSpec | None = topts.pop("faults", None)
+        attempt: int = topts.pop("attempt", 1)
+        board_name: str | None = topts.pop("status", None)
+        injector = (
+            FaultInjector(spec, rank, attempt, hard_crash=True)
+            if spec is not None
+            else None
+        )
+        board = None
+        if board_name is not None:
+            try:
+                board = StatusBoard.attach(board_name, n_ranks)
+            except FileNotFoundError:  # pragma: no cover - board already audited
+                board = None
+        transport = ProcessTransport(
+            rank, inboxes, abort_event, timeout=timeout, run_seq=run_seq,
+            faults=injector, status=board, **topts,
+        )
+        ledger = CostLedger(n_ranks, machine)
+        sanitizer = (
+            Sanitizer(level=transport.sanitize, world_rank=rank)
+            if transport.sanitize
+            else None
+        )
+        comm = Communicator(
+            transport,
+            ledger,
+            "world",
+            tuple(range(n_ranks)),
+            rank,
+            sanitizer=sanitizer,
+            faults=injector,
+        )
+        value: Any = None
+        failure: BaseException | None = None
         try:
-            transport.end_run()
-        finally:
             if board is not None:
-                board.close()
-    return value, failure, ledger.rank_costs(rank)
+                board.mark_running(rank, os.getpid())
+            if injector is not None:
+                injector.fire("dispatch")
+            value = fn(comm, *args, *extra)
+            if sanitizer is not None:
+                sanitizer.finalize()
+            if board is not None:
+                board.mark_done(rank)
+        except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
+            if sanitizer is not None and isinstance(exc, DeadlockError):
+                sanitizer.annotate(exc)
+            failure = exc
+            transport.abort(exc)
+        finally:
+            try:
+                transport.end_run()
+            finally:
+                if board is not None:
+                    board.close()
+        return value, failure, ledger.rank_costs(rank)
+    finally:
+        if config is not None:
+            set_active_config(previous_config)
 
 
 def _process_worker(
@@ -862,7 +883,7 @@ class ProcessBackend(ExecutorBackend):
     def _pool_enabled(self) -> bool:
         if self._pool is not None:
             return self._pool
-        return os.environ.get(POOL_ENV_VAR, "1") != "0"
+        return bool(default_for("pool"))
 
     def run(
         self,
@@ -875,15 +896,16 @@ class ProcessBackend(ExecutorBackend):
         sanitize: int = 0,
         faults: FaultSpec | None = None,
         attempt: int = 1,
+        config: RuntimeConfig | None = None,
     ) -> SpmdResult:
         self._ensure_resource_tracker()
-        # The sanitize level (and fault spec/attempt) resolved in the
-        # parent ride the per-run dispatch (never the environment: warm
-        # pool workers were forked long ago and would not see an env
-        # change).
+        # The resolved RuntimeConfig (and sanitize level, fault spec,
+        # attempt) ride the per-run dispatch (never the environment:
+        # warm pool workers were forked long ago and would not see an
+        # env change).
         transport_opts = dict(
             self._transport_opts, sanitize=sanitize, faults=faults,
-            attempt=attempt,
+            attempt=attempt, config=config,
         )
         if self._pool_enabled():
             pool = _get_pool(n_ranks)
@@ -1190,14 +1212,13 @@ def available_backends() -> tuple[str, ...]:
 def resolve_backend(backend: str | ExecutorBackend | None) -> ExecutorBackend:
     """Turn a ``backend=`` argument into a backend instance.
 
-    ``None`` falls back to the ``REPRO_SPMD_BACKEND`` environment variable,
-    then to ``"thread"``.  Instances pass through unchanged.
+    ``None`` falls back to the run's resolved config (the
+    ``REPRO_SPMD_BACKEND`` environment variable outside a run), then to
+    ``"thread"``.  Instances pass through unchanged.
     """
     if isinstance(backend, ExecutorBackend):
         return backend
-    name = backend if backend is not None else os.environ.get(
-        BACKEND_ENV_VAR, ThreadBackend.name
-    )
+    name = backend if backend is not None else str(default_for("backend"))
     try:
         cls = _BACKENDS[name]
     except KeyError:
@@ -1205,4 +1226,27 @@ def resolve_backend(backend: str | ExecutorBackend | None) -> ExecutorBackend:
             f"unknown SPMD backend {name!r}; available: "
             f"{', '.join(available_backends())}"
         ) from None
+    return cls()
+
+
+def backend_from_config(cfg: RuntimeConfig) -> ExecutorBackend:
+    """Build the executor backend a resolved :class:`RuntimeConfig` names.
+
+    Unlike :func:`resolve_backend`, the backend is constructed from the
+    config's own knobs (pool, windows, window slot), so a run launched
+    with an explicit config never re-consults the environment.
+    """
+    try:
+        cls = _BACKENDS[cfg.backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown SPMD backend {cfg.backend!r}; available: "
+            f"{', '.join(available_backends())}"
+        ) from None
+    if cls is ProcessBackend:
+        return ProcessBackend(
+            pool=cfg.pool,
+            windows=cfg.windows,
+            window_slot=cfg.window_slot,
+        )
     return cls()

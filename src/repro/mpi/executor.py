@@ -22,17 +22,21 @@ instead of surfacing immediately.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import Any, Callable, Sequence
 
-from repro.analysis.sanitizer import sanitize_level
+from repro.config import (
+    RuntimeConfig,
+    default_for,
+    resolve_config,
+    set_active_config,
+)
 from repro.faults import FaultSpec, RetryPolicy, resolve_faults
 from repro.mpi.backends import (
     ExecutorBackend,
     SpmdResult,
     available_backends,
-    resolve_backend,
+    backend_from_config,
 )
 from repro.mpi.errors import SpmdError
 from repro.perfmodel.machine import EDISON, MachineSpec
@@ -54,17 +58,9 @@ DEFAULT_TIMEOUT = 120.0
 
 
 def resolve_timeout(override: float | None = None) -> float:
-    """Effective deadlock timeout: explicit override > env > default."""
+    """Effective deadlock timeout: explicit override > config/env > default."""
     if override is None:
-        raw = os.environ.get(TIMEOUT_ENV_VAR, "").strip()
-        if not raw:
-            return DEFAULT_TIMEOUT
-        try:
-            override = float(raw)
-        except ValueError:
-            raise ValueError(
-                f"{TIMEOUT_ENV_VAR} must be a number of seconds, got {raw!r}"
-            ) from None
+        return float(default_for("timeout"))
     if override <= 0:
         raise ValueError(f"timeout must be positive, got {override}")
     return float(override)
@@ -81,6 +77,7 @@ def run_spmd(
     sanitize: int | None = None,
     faults: FaultSpec | str | None = None,
     retry: RetryPolicy | None = None,
+    config: RuntimeConfig | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``n_ranks`` simulated MPI ranks.
 
@@ -123,7 +120,16 @@ def run_spmd(
         SPMD section (with exponential backoff) when it fails with a
         retryable error — by default a rank death.  Fault clauses apply
         to attempt 1 only unless they say ``attempt=``, so an injected
-        crash is not re-injected on the retry.
+        crash is not re-injected on the retry.  ``None`` consults the
+        resolved config's ``retry`` count (``REPRO_SPMD_RETRY``).
+    config:
+        A complete :class:`repro.config.RuntimeConfig` describing every
+        runtime knob (backend, pool, windows, overlap, ...).  Explicit
+        keywords above win over it; unspecified knobs fall back to the
+        environment, then to the defaults.  The resolved config is
+        installed for the duration of the run (and shipped to pooled
+        workers), so mid-library helpers see exactly one consistent
+        configuration per run.
 
     Returns
     -------
@@ -141,26 +147,47 @@ def run_spmd(
         raise ValueError(
             f"rank_args has {len(rank_args)} entries for {n_ranks} ranks"
         )
-    timeout = resolve_timeout(timeout)
-    spec = resolve_faults(faults)
-    level = sanitize_level(sanitize)
-    executor = resolve_backend(backend)
-    attempt = 1
-    while True:
-        try:
-            return executor.run(
-                n_ranks,
-                fn,
-                args,
-                machine,
-                timeout,
-                rank_args,
-                sanitize=level,
-                faults=spec,
-                attempt=attempt,
-            )
-        except SpmdError as exc:
-            if retry is None or not retry.should_retry(exc, attempt):
-                raise
-            time.sleep(retry.delay(attempt))
-            attempt += 1
+    # Resolve every knob ONCE, here at the boundary: explicit keyword >
+    # explicit config > environment > default.  Everything downstream
+    # receives the resolved config, never the environment.
+    cfg = resolve_config(
+        config,
+        backend=backend if isinstance(backend, str) else None,
+        sanitize=sanitize,
+        faults=faults if isinstance(faults, str) else None,
+        timeout=resolve_timeout(timeout) if timeout is not None else None,
+    )
+    if faults is None or isinstance(faults, str):
+        spec = FaultSpec.parse(cfg.faults) if cfg.faults else None
+    else:
+        spec = resolve_faults(faults)  # FaultSpec passthrough / TypeError
+    if retry is None and cfg.retry > 1:
+        retry = RetryPolicy(max_attempts=cfg.retry)
+    if isinstance(backend, ExecutorBackend):
+        executor = backend
+    else:
+        executor = backend_from_config(cfg)
+    previous = set_active_config(cfg)
+    try:
+        attempt = 1
+        while True:
+            try:
+                return executor.run(
+                    n_ranks,
+                    fn,
+                    args,
+                    machine,
+                    cfg.timeout,
+                    rank_args,
+                    sanitize=cfg.sanitize,
+                    faults=spec,
+                    attempt=attempt,
+                    config=cfg,
+                )
+            except SpmdError as exc:
+                if retry is None or not retry.should_retry(exc, attempt):
+                    raise
+                time.sleep(retry.delay(attempt))
+                attempt += 1
+    finally:
+        set_active_config(previous)

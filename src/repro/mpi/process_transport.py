@@ -70,6 +70,7 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from repro.config import default_for
 from repro.mpi.errors import DeadlockError
 from repro.mpi.transport import TransportBase
 
@@ -231,7 +232,7 @@ def _hugepage_mount(mode: str) -> str | None:
 
 
 def _hugepage_mode() -> str:
-    return os.environ.get(HUGEPAGES_ENV_VAR, "auto").strip() or "auto"
+    return str(default_for("hugepages")).strip() or "auto"
 
 
 def hugepage_dir() -> str | None:
@@ -507,7 +508,7 @@ class SegmentArena:
 
     def __init__(self, enabled: bool | None = None):
         if enabled is None:
-            enabled = os.environ.get(ARENA_ENV_VAR, "1") != "0"
+            enabled = bool(default_for("arena"))
         self.enabled = enabled
         self._free: dict[int, deque[shared_memory.SharedMemory]] = {}
         self._free_bytes = 0
@@ -1387,13 +1388,13 @@ class ProcessTransport(TransportBase):
         self._stash: dict[Hashable, deque[Any]] = {}
         self._windows: list[CollectiveWindow] = []
         if windows is None:
-            windows = os.environ.get(WINDOWS_ENV_VAR, "1") != "0"
+            windows = bool(default_for("windows"))
         self.windows_enabled = windows
         if sanitize is None:
-            sanitize = int(os.environ.get("REPRO_SANITIZE", "0") or 0)
+            sanitize = int(default_for("sanitize"))
         self.sanitize = sanitize
         if window_slot is None:
-            window_slot = int(os.environ.get(WINDOW_SLOT_ENV_VAR, "0") or 0)
+            window_slot = int(default_for("window_slot"))
         if window_slot < 0:
             raise ValueError(
                 f"window_slot must be non-negative, got {window_slot}"

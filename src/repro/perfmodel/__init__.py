@@ -44,6 +44,11 @@ from repro.perfmodel.scaling import (
     grid_sweep,
     mode_order_sweep,
 )
+from repro.perfmodel.autotune import (
+    ExecutionPlan,
+    plan_sthosvd,
+    refine_machine,
+)
 
 __all__ = [
     "MachineSpec",
@@ -72,4 +77,7 @@ __all__ = [
     "weak_scaling_curve",
     "grid_sweep",
     "mode_order_sweep",
+    "ExecutionPlan",
+    "plan_sthosvd",
+    "refine_machine",
 ]

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.config import default_for
 from repro.tensor.dense import Tensor, as_f_contiguous, as_ndarray
 from repro.util.validation import check_axis, prod
 
@@ -31,6 +32,9 @@ from repro.util.validation import check_axis, prod
 #: enough for the per-block Python and BLAS-dispatch overhead to matter.
 #: Wide blocks keep the loop: each dgemm is then large enough to amortize
 #: its dispatch, and the loop avoids the batched path's staging buffer.
+#: ``BATCH_MAX_LEAD`` is the built-in default; per-run values come from
+#: the resolved config (``REPRO_TTM_BATCH_LEAD``) or an explicit
+#: ``batch_lead=`` argument, e.g. from an autotuned execution plan.
 BATCH_MAX_LEAD = 32
 BATCH_MIN_TRAIL = 8
 
@@ -90,6 +94,7 @@ def ttm_blocked(
     mode: int,
     transpose: bool = False,
     batched: bool | None = None,
+    batch_lead: int | None = None,
 ) -> np.ndarray:
     """Layout-respecting TTM: per-sub-block dgemm as in paper Sec. IV-C.
 
@@ -106,7 +111,10 @@ def ttm_blocked(
     the Fortran layout already provides, and otherwise one stacked
     ``matmul`` runs the same per-block dgemms from C.  ``batched``
     overrides the gate (``None`` = auto) — the benchmark suite uses it to
-    measure loop vs. batched on equal shapes.
+    measure loop vs. batched on equal shapes.  ``batch_lead`` overrides
+    the skinny-block threshold (``None`` = the run's resolved config,
+    ``REPRO_TTM_BATCH_LEAD``, default :data:`BATCH_MAX_LEAD`); both
+    paths compute bit-identical results, so the knob is pure tuning.
     """
     arr = as_ndarray(x)
     mode = check_axis(mode, arr.ndim)
@@ -123,7 +131,12 @@ def ttm_blocked(
     # trailing axis.  Each trail slice is one contiguous sub-block.
     flat = np.reshape(as_f_contiguous(arr), (lead, shape[mode], trail), order="F")
     if batched is None:
-        batched = lead <= BATCH_MAX_LEAD and trail >= BATCH_MIN_TRAIL
+        lead_cap = (
+            int(default_for("ttm_batch_lead"))
+            if batch_lead is None
+            else int(batch_lead)
+        )
+        batched = lead <= lead_cap and trail >= BATCH_MIN_TRAIL
     if batched and trail > 1:
         if lead == 1:
             # All sub-blocks share their single row index, so the

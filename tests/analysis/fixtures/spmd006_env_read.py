@@ -1,0 +1,37 @@
+"""Fixture: direct REPRO_* environment reads outside repro.config (SPMD006)."""
+
+import os
+from os import getenv
+
+OVERLAP_ENV_VAR = "REPRO_SPMD_OVERLAP"
+
+
+def subscript_read():
+    return os.environ["REPRO_SPMD_BACKEND"]
+
+
+def get_read():
+    return os.environ.get("REPRO_SANITIZE", "0")
+
+
+def getenv_read():
+    return os.getenv("REPRO_FAULTS")
+
+
+def bare_getenv_read():
+    return getenv("REPRO_SPMD_POOL", "1")
+
+
+def constant_name_read():
+    return os.environ.get(OVERLAP_ENV_VAR, "1")
+
+
+def write_is_fine(monkeypatch_style_value):
+    # Stores and deletes are the legal test idiom: they set the user
+    # surface; only *reads* bypass the resolver.
+    os.environ["REPRO_SPMD_WINDOWS"] = monkeypatch_style_value
+    os.environ.pop("REPRO_SPMD_WINDOWS", None)
+
+
+def unrelated_read_is_fine():
+    return os.environ.get("HOME", "/")

@@ -79,6 +79,28 @@ class TestRules:
         assert found[0].line == line_of(fixture, "def list_default")
         assert found[1].line == line_of(fixture, "def ndarray_default")
 
+    def test_spmd006_env_read(self):
+        fixture = "spmd006_env_read.py"
+        found = findings_for(fixture)
+        assert [f.code for f in found] == ["SPMD006"] * 5
+        assert [f.line for f in found] == [
+            line_of(fixture, 'os.environ["REPRO_SPMD_BACKEND"]'),
+            line_of(fixture, 'os.environ.get("REPRO_SANITIZE", "0")'),
+            line_of(fixture, 'os.getenv("REPRO_FAULTS")'),
+            line_of(fixture, 'getenv("REPRO_SPMD_POOL", "1")'),
+            line_of(fixture, "os.environ.get(OVERLAP_ENV_VAR"),
+        ]
+        assert "REPRO_SPMD_BACKEND" in found[0].message
+        assert "repro.config" in found[0].message
+        assert "OVERLAP_ENV_VAR" in found[4].message
+
+    def test_spmd006_exempts_the_config_package(self):
+        src = 'import os\nLEVEL = os.environ.get("REPRO_SANITIZE", "0")\n'
+        assert lint_source(src, "src/repro/config/runtime.py") == []
+        assert [f.code for f in lint_source(src, "src/repro/other.py")] == [
+            "SPMD006"
+        ]
+
     def test_suppression_comments(self):
         assert findings_for("suppressed.py") == []
 

@@ -13,7 +13,12 @@ PUBLIC_API = {
         "TuckerTensor", "SthosvdResult", "HooiResult",
         "sthosvd", "hooi", "hosvd",
         "normalized_rms", "max_abs_error", "compression_ratio",
-        "__version__",
+        "RuntimeConfig", "__version__",
+    ],
+    "repro.config": [
+        "RuntimeConfig", "ConfigField", "CONFIG_FIELDS", "PLAN_ENV_VAR",
+        "resolve_config", "resolve_plan", "env_default", "default_for",
+        "set_active_config", "active_config",
     ],
     "repro.core": [
         "TuckerTensor", "sthosvd", "hooi", "hosvd",
@@ -45,6 +50,7 @@ PUBLIC_API = {
         "AlgorithmCost", "sthosvd_cost", "hooi_cost", "hooi_iteration_cost",
         "sthosvd_memory_bound", "strong_scaling_curve", "weak_scaling_curve",
         "grid_sweep", "mode_order_sweep",
+        "ExecutionPlan", "plan_sthosvd", "refine_machine",
     ],
     "repro.data": [
         "hcci_proxy", "tjlr_proxy", "sp_proxy", "load_dataset", "DATASETS",
