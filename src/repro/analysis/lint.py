@@ -22,6 +22,10 @@ SPMD005   mutable default argument (list/dict/set/ndarray — shared
 SPMD006   direct ``REPRO_*`` environment read outside
           :mod:`repro.config` (bypasses the one-shot config resolution
           at the ``run_spmd`` boundary; pooled workers never see it)
+SPMD007   shared-memory allocation outside the resources/transport
+          layers, or one guarded by an ``except OSError`` that does not
+          discriminate errno (bypasses the budget gate, or swallows the
+          ``ENOSPC``/``ENOMEM`` the degradation ladder must see)
 ========  ==============================================================
 
 Findings point at file:line:col.  Suppress a finding by putting
@@ -115,6 +119,11 @@ RULES: dict[str, str] = {
     "SPMD006": (
         "direct REPRO_* environment read outside repro.config — knobs "
         "must resolve once at the run_spmd boundary, not mid-library"
+    ),
+    "SPMD007": (
+        "shm allocation outside the resources/transport layers, or "
+        "guarded by a non-errno-discriminating OSError handler — it "
+        "bypasses the budget gate or swallows ENOSPC/ENOMEM"
     ),
 }
 
@@ -621,6 +630,160 @@ def _check_env_reads(tree: ast.AST, path: str) -> list[Finding]:
     return findings
 
 
+# -- SPMD007: shm allocation sites and their error handling -------------------
+
+#: Layers allowed to allocate shared memory directly: the transport's
+#: choke points (``create_segment`` runs the budget gate), the resources
+#: package (the gate itself and the accounting boards) and the fault
+#: status board.  Everything else must allocate *through* them so every
+#: segment is gated, charged and crash-audited.
+_SHM_ALLOC_EXEMPT = (
+    "repro/mpi/process_transport",
+    "repro/resources/",
+    "repro/faults/status",
+)
+
+#: Call spellings that allocate a shared segment.
+_SHM_ALLOC_CALLS = frozenset(
+    {"create_segment", "create_window", "SharedMemory", "HugePageSegment"}
+)
+
+#: ``except`` types that discriminate by construction — OSError
+#: subclasses narrower than the exhaustion set.
+_NARROW_OSERRORS = frozenset(
+    {
+        "FileNotFoundError",
+        "FileExistsError",
+        "PermissionError",
+        "NotADirectoryError",
+        "IsADirectoryError",
+        "InterruptedError",
+        "BrokenPipeError",
+        "ConnectionError",
+        "TimeoutError",
+    }
+)
+
+
+def _alloc_call_name(call: ast.Call) -> str | None:
+    func = call.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(
+        func, "id", None
+    )
+    if name not in _SHM_ALLOC_CALLS:
+        return None
+    if name == "create_window" and isinstance(func, ast.Attribute):
+        # ``transport.create_window(...)`` is the sanctioned protocol
+        # API (TransportBase); only a direct import of the constructor
+        # sidesteps the gated layer.
+        return None
+    if name == "SharedMemory":
+        # Attaching by name reserves nothing; only create=True allocates.
+        for kw in call.keywords:
+            if kw.arg == "create" and not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            ):
+                return name
+        return None
+    return name
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    """The exception-type spellings an ``except`` clause catches."""
+    node = handler.type
+    types = (
+        node.elts if isinstance(node, ast.Tuple) else [node]
+        if node is not None else []
+    )
+    out = set()
+    for t in types:
+        if isinstance(t, ast.Name):
+            out.add(t.id)
+        elif isinstance(t, ast.Attribute):
+            out.add(t.attr)
+    return out
+
+
+def _discriminates_errno(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body inspects which error actually happened:
+    an ``.errno`` read, or a call into the resources routing helpers."""
+    for sub in ast.walk(handler):
+        if isinstance(sub, ast.Attribute) and sub.attr == "errno":
+            return True
+        if isinstance(sub, ast.Call):
+            name = _method_name(sub) or getattr(sub.func, "id", None)
+            if name in ("is_exhaustion", "strerror"):
+                return True
+        if isinstance(sub, ast.Name) and sub.id in (
+            "EXHAUSTED_ERRNOS", "errno"
+        ):
+            return True
+    return False
+
+
+def _check_shm_alloc(tree: ast.AST, path: str) -> list[Finding]:
+    posix = Path(path).as_posix()
+    exempt = any(part in posix for part in _SHM_ALLOC_EXEMPT)
+    findings = []
+    if not exempt:
+        for call in (
+            sub for sub in ast.walk(tree) if isinstance(sub, ast.Call)
+        ):
+            name = _alloc_call_name(call)
+            if name is None:
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    call.lineno,
+                    call.col_offset,
+                    "SPMD007",
+                    f"direct shm allocation '{name}' outside the "
+                    f"resources/transport layers bypasses the budget "
+                    f"gate and the crash audit; allocate through "
+                    f"repro.mpi.process_transport.create_segment",
+                )
+            )
+    # Everywhere (exempt layers included): an allocation guarded by a
+    # broad OSError handler must route on errno, or exhaustion is
+    # swallowed instead of degrading.
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Try):
+            continue
+        allocs = sorted(
+            {
+                name
+                for call in _calls_in(node.body)
+                if (name := _alloc_call_name(call)) is not None
+            }
+        )
+        if not allocs:
+            continue
+        for handler in node.handlers:
+            caught = _handler_names(handler)
+            if "OSError" not in caught and "EnvironmentError" not in caught:
+                continue
+            if caught & _NARROW_OSERRORS and len(caught) == len(
+                caught & _NARROW_OSERRORS
+            ):
+                continue  # pragma: no cover - tuple of narrow subclasses
+            if _discriminates_errno(handler):
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    handler.lineno,
+                    handler.col_offset,
+                    "SPMD007",
+                    f"'except OSError' around shm allocation(s) "
+                    f"{', '.join(allocs)} does not discriminate errno; "
+                    f"check exc.errno (or resources.is_exhaustion) so "
+                    f"ENOSPC/ENOMEM degrade instead of being swallowed",
+                )
+            )
+    return findings
+
+
 # -- driver ------------------------------------------------------------------
 
 _CHECKS = {
@@ -630,6 +793,7 @@ _CHECKS = {
     "SPMD004": _check_bare_except,
     "SPMD005": _check_mutable_defaults,
     "SPMD006": _check_env_reads,
+    "SPMD007": _check_shm_alloc,
 }
 
 

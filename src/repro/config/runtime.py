@@ -102,6 +102,43 @@ def _parse_int(env: str) -> Callable[[str], int]:
     return parse
 
 
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+
+
+def _parse_bytes(env: str) -> Callable[[str], int]:
+    """Byte-count parser accepting K/M/G/T suffixes (``"64M"`` = 64 MiB)."""
+
+    def parse(raw: str) -> int:
+        raw = raw.strip()
+        if not raw:
+            return 0
+        scale = 1
+        if raw[-1].lower() in _SIZE_SUFFIXES:
+            scale = _SIZE_SUFFIXES[raw[-1].lower()]
+            raw = raw[:-1]
+        try:
+            return int(float(raw) * scale)
+        except ValueError:
+            raise ValueError(
+                f"{env} must be a byte count (integer, optionally with a "
+                f"K/M/G/T suffix), got {raw!r}"
+            ) from None
+
+    return parse
+
+
+def _parse_deadline(raw: str) -> float:
+    raw = raw.strip()
+    if not raw:
+        return 0.0
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_DEADLINE must be a number of seconds, got {raw!r}"
+        ) from None
+
+
 @dataclass(frozen=True)
 class ConfigField:
     """One runtime knob: its config field, env var, default and parser."""
@@ -182,6 +219,22 @@ CONFIG_FIELDS: tuple[ConfigField, ...] = (
         "timeout", "REPRO_SPMD_TIMEOUT", 120.0, _parse_timeout, "runtime",
         "deadlock-detection timeout for blocking receives, seconds",
     ),
+    ConfigField(
+        "shm_budget", "REPRO_SHM_BUDGET", 0,
+        _parse_bytes("REPRO_SHM_BUDGET"), "resources",
+        "total /dev/shm byte budget across live worlds (0 = unlimited); "
+        "over-budget allocations degrade to p2p/pickle paths",
+    ),
+    ConfigField(
+        "max_worlds", "REPRO_MAX_WORLDS", 0,
+        _parse_int("REPRO_MAX_WORLDS"), "resources",
+        "max concurrent SPMD worlds admitted (0 = unlimited)",
+    ),
+    ConfigField(
+        "deadline", "REPRO_DEADLINE", 0.0, _parse_deadline, "resources",
+        "cooperative wall-clock deadline for the whole run, seconds "
+        "(0 = none); shared across retry attempts",
+    ),
 )
 
 _FIELD_BY_NAME: dict[str, ConfigField] = {f.name: f for f in CONFIG_FIELDS}
@@ -211,6 +264,9 @@ class RuntimeConfig:
     faults: str = ""
     retry: int = 1
     timeout: float = 120.0
+    shm_budget: int = 0
+    max_worlds: int = 0
+    deadline: float = 0.0
 
     def __post_init__(self) -> None:
         # Normalize numeric types first (so env-parsed and user-passed
@@ -229,6 +285,9 @@ class RuntimeConfig:
         object.__setattr__(self, "faults", str(self.faults))
         object.__setattr__(self, "retry", int(self.retry))
         object.__setattr__(self, "timeout", float(self.timeout))
+        object.__setattr__(self, "shm_budget", int(self.shm_budget))
+        object.__setattr__(self, "max_worlds", int(self.max_worlds))
+        object.__setattr__(self, "deadline", float(self.deadline))
         if self.window_slot < 0:
             raise ValueError(
                 f"window_slot must be non-negative, got {self.window_slot}"
@@ -258,6 +317,18 @@ class RuntimeConfig:
             raise ValueError(f"retry must be >= 1, got {self.retry}")
         if self.timeout <= 0:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.shm_budget < 0:
+            raise ValueError(
+                f"shm_budget must be non-negative, got {self.shm_budget}"
+            )
+        if self.max_worlds < 0:
+            raise ValueError(
+                f"max_worlds must be non-negative, got {self.max_worlds}"
+            )
+        if self.deadline < 0:
+            raise ValueError(
+                f"deadline must be non-negative, got {self.deadline}"
+            )
 
     # -- serialization --------------------------------------------------
 

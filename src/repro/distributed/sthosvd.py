@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.config import RuntimeConfig, resolve_plan
 from repro.core.tucker import TuckerTensor
+from repro.resources import check_deadline
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.evecs import dist_evecs
 from repro.distributed.gram import dist_gram
@@ -170,6 +171,7 @@ def _checkpoint_resume(
     """
     from repro.io.tucker_io import load_checkpoint_state, read_checkpoint_meta
 
+    check_deadline("checkpoint resume")
     meta = read_checkpoint_meta(checkpoint)
     if meta is None:
         return 0, dt
@@ -213,6 +215,7 @@ def _checkpoint_commit(
     )
 
     comm = y.comm
+    check_deadline("checkpoint commit")
     save_checkpoint_state(
         checkpoint,
         step,

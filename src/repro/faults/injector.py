@@ -11,6 +11,7 @@ whether clauses apply at all.
 
 from __future__ import annotations
 
+import errno
 import os
 import signal
 import time
@@ -71,6 +72,17 @@ class FaultInjector:
         if clause.kind == "delay":
             time.sleep(clause.delay)
             return
+        if clause.kind == "enospc":
+            # Indistinguishable from real tmpfs exhaustion: the errno is
+            # what routes it into the degradation ladder.
+            raise OSError(
+                errno.ENOSPC,
+                f"injected enospc fault on rank {self._rank} at site "
+                f"{site!r} (hit #{hit}, attempt {self._attempt})",
+            )
+        if clause.kind == "stall":
+            self._stall(clause, site)
+            return
         if clause.kind == "crash" and self._hard_crash:
             # The point is an *abrupt* death: no teardown, no report.
             os.kill(os.getpid(), signal.SIGKILL)
@@ -81,3 +93,16 @@ class FaultInjector:
             f"injected {clause.kind} fault on rank {self._rank} at site "
             f"{site!r} (hit #{hit}, attempt {self._attempt}, clause {clause})"
         )
+
+    def _stall(self, clause: FaultClause, site: str) -> None:
+        """Hold the rank here: with a run deadline installed, sleep until
+        the deadline check raises (so the stalled rank itself reports
+        ``DeadlineExceededError`` promptly); otherwise act like a delay."""
+        from repro.resources.governor import active_deadline, check_deadline
+
+        if active_deadline() is None:
+            time.sleep(clause.delay)
+            return
+        while True:
+            check_deadline(f"injected stall at {site!r} on rank {self._rank}")
+            time.sleep(0.02)

@@ -14,8 +14,10 @@ Fields (all optional except ``kind``):
     Injection site name, or ``*`` for any site (default ``*``).  Sites
     are collective op names (``allreduce``, ``bcast``, ...), ``send`` /
     ``recv`` (process-transport point-to-point), ``fence`` (collective
-    window waits, process backend only), and ``dispatch`` (worker entry,
-    before the SPMD function runs).
+    window waits, process backend only), ``dispatch`` (worker entry,
+    before the SPMD function runs), and the resource-governor allocation
+    gates ``arena`` / ``window`` (fired before the nth matching shm
+    allocation, process backend only).
 ``nth``
     1-based hit count at which the clause fires: the clause triggers on
     the ``nth``-th time the matching rank reaches the matching site
@@ -23,8 +25,14 @@ Fields (all optional except ``kind``):
 ``kind``
     ``crash`` (SIGKILL the rank process; raises
     :class:`~repro.mpi.errors.FaultInjectedError` on the thread
-    backend), ``exception`` (raise ``FaultInjectedError``), or
-    ``delay`` (sleep ``delay`` seconds, then continue).
+    backend), ``exception`` (raise ``FaultInjectedError``), ``delay``
+    (sleep ``delay`` seconds, then continue), ``enospc`` (raise a
+    resource-exhaustion ``OSError`` — at the ``arena``/``window``
+    allocation gates this exercises the degradation-to-p2p path), or
+    ``stall`` (hold the rank at the site: sleep in small increments
+    checking the run deadline so a ``REPRO_DEADLINE`` run raises
+    :class:`~repro.mpi.errors.DeadlineExceededError`; without a
+    deadline, behaves like ``delay``).
 ``p``
     Probability in ``[0, 1]`` that the clause fires when it matches
     (default 1.0).  The draw is a deterministic hash of
@@ -53,7 +61,7 @@ from repro.config import default_for
 
 FAULTS_ENV_VAR = "REPRO_FAULTS"
 
-_KINDS = ("crash", "exception", "delay")
+_KINDS = ("crash", "exception", "delay", "enospc", "stall")
 _WILDCARD = "*"
 
 

@@ -69,10 +69,18 @@ from repro.mpi.process_transport import (
 from repro.mpi.reduce_ops import MAX, MIN, PROD, SUM, ReduceOp
 from repro.mpi.transport import ThreadTransport, Transport, TransportBase
 from repro.analysis.sanitizer import SANITIZE_ENV_VAR, Sanitizer
+from repro.resources import (
+    BudgetExceededError,
+    DegradationEvent,
+    ResourceReport,
+    estimate_world_shm,
+)
 from repro.mpi.errors import (
+    AdmissionError,
     BufferMismatchError,
     CollectiveMismatchError,
     CommunicatorError,
+    DeadlineExceededError,
     DeadlockError,
     FaultInjectedError,
     MpiError,
@@ -126,8 +134,14 @@ __all__ = [
     "resolve_faults",
     "resolve_timeout",
     "Sanitizer",
+    "ResourceReport",
+    "DegradationEvent",
+    "estimate_world_shm",
     "MpiError",
     "DeadlockError",
+    "DeadlineExceededError",
+    "AdmissionError",
+    "BudgetExceededError",
     "RankDeadError",
     "FaultInjectedError",
     "BufferMismatchError",

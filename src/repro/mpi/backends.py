@@ -83,12 +83,18 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro import resources as resources_mod
 from repro.analysis.sanitizer import Sanitizer
 from repro.config import RuntimeConfig, default_for, set_active_config
 from repro.faults import FaultInjector, FaultSpec, StatusBoard, describe_exitcode
 from repro.mpi.comm import Communicator
 from repro.mpi.errors import DeadlockError, RankDeadError, SpmdError
 from repro.mpi.ledger import CostLedger
+from repro.resources import (
+    ResourceBoard,
+    ResourceReport,
+    admission_controller,
+)
 from repro.mpi.process_transport import (
     ProcessTransport,
     decode_borrowed,
@@ -132,10 +138,17 @@ class _TaskLoadError(RuntimeError):
 
 @dataclass
 class SpmdResult:
-    """Return values of all ranks plus the run's cost ledger."""
+    """Return values of all ranks plus the run's cost ledger.
+
+    ``resources`` is the run's :class:`~repro.resources.ResourceReport`
+    (degradation events, byte totals, admission wait); backends fold the
+    per-rank governor summaries into it, and ``run_spmd`` fills in the
+    admission-control fields.
+    """
 
     values: list[Any]
     ledger: CostLedger
+    resources: ResourceReport | None = None
 
     def __iter__(self):
         return iter(self.values)
@@ -296,7 +309,11 @@ class ThreadBackend(ExecutorBackend):
             t.join()
 
         raise_spmd_failures(failures)
-        return SpmdResult(values=values, ledger=ledger)
+        # Thread ranks share one address space: no shm is allocated, so
+        # the report is empty by construction (never degraded).
+        return SpmdResult(
+            values=values, ledger=ledger, resources=ResourceReport()
+        )
 
 
 def _safe_report_blob(
@@ -305,15 +322,17 @@ def _safe_report_blob(
     value: Any,
     failure: BaseException | None,
     costs,
+    rsummary: dict | None = None,
 ) -> bytes:
     """Pickle a rank report, degrading gracefully on unpicklable contents.
 
     Pre-pickling in the worker matters: a pickling error inside the
     queue's feeder thread would silently drop the report and wedge the
-    parent.
+    parent.  ``rsummary`` is the rank governor's per-run resource summary
+    (plain dict, always picklable).
     """
     try:
-        return pickle.dumps((run_seq, rank, value, failure, costs))
+        return pickle.dumps((run_seq, rank, value, failure, costs, rsummary))
     except Exception as exc:
         if failure is None:
             failure = TypeError(
@@ -325,7 +344,7 @@ def _safe_report_blob(
             failure = RuntimeError(
                 f"rank {rank} raised an unpicklable exception: {failure!r}"
             )
-        return pickle.dumps((run_seq, rank, None, failure, costs))
+        return pickle.dumps((run_seq, rank, None, failure, costs, rsummary))
 
 
 def _drain_ready_reports(
@@ -380,7 +399,7 @@ def _run_one_rank(
     abort_event,
     run_seq: int,
     transport_opts: dict | None = None,
-) -> tuple[Any, BaseException | None, Any]:
+) -> tuple[Any, BaseException | None, Any, dict | None]:
     """Execute one rank against a fresh transport; always cleans up."""
     topts = dict(transport_opts or {})
     # The run's resolved RuntimeConfig is installed around everything
@@ -388,12 +407,19 @@ def _run_one_rank(
     # the dispatch payload (not the environment) is the source of truth.
     config: RuntimeConfig | None = topts.pop("config", None)
     previous_config = set_active_config(config) if config is not None else None
+    # The run deadline ships as an absolute monotonic timestamp (fork
+    # children share the parent's clock), so every rank — and every
+    # retry attempt — counts down the same wall-clock budget.
+    deadline = topts.pop("deadline", None)
+    previous_deadline = resources_mod.set_active_deadline(deadline)
     try:
         # Fault-tolerance options ride the dispatch as picklable primitives;
         # the live objects (injector, board) are built rank-side here.
         spec: FaultSpec | None = topts.pop("faults", None)
         attempt: int = topts.pop("attempt", 1)
         board_name: str | None = topts.pop("status", None)
+        rboard_name: str | None = topts.pop("rboard", None)
+        shm_budget: int = topts.pop("shm_budget", 0)
         injector = (
             FaultInjector(spec, rank, attempt, hard_crash=True)
             if spec is not None
@@ -405,50 +431,67 @@ def _run_one_rank(
                 board = StatusBoard.attach(board_name, n_ranks)
             except FileNotFoundError:  # pragma: no cover - board already audited
                 board = None
-        transport = ProcessTransport(
-            rank, inboxes, abort_event, timeout=timeout, run_seq=run_seq,
-            faults=injector, status=board, **topts,
-        )
-        ledger = CostLedger(n_ranks, machine)
-        sanitizer = (
-            Sanitizer(level=transport.sanitize, world_rank=rank)
-            if transport.sanitize
-            else None
-        )
-        comm = Communicator(
-            transport,
-            ledger,
-            "world",
-            tuple(range(n_ranks)),
-            rank,
-            sanitizer=sanitizer,
-            faults=injector,
-        )
-        value: Any = None
-        failure: BaseException | None = None
-        try:
-            if board is not None:
-                board.mark_running(rank, os.getpid())
-            if injector is not None:
-                injector.fire("dispatch")
-            value = fn(comm, *args, *extra)
-            if sanitizer is not None:
-                sanitizer.finalize()
-            if board is not None:
-                board.mark_done(rank)
-        except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
-            if sanitizer is not None and isinstance(exc, DeadlockError):
-                sanitizer.annotate(exc)
-            failure = exc
-            transport.abort(exc)
-        finally:
+        rboard = None
+        if rboard_name is not None:
             try:
-                transport.end_run()
-            finally:
+                rboard = ResourceBoard.attach(rboard_name, n_ranks + 1)
+            except FileNotFoundError:  # pragma: no cover - board already audited
+                rboard = None
+        gov = resources_mod.governor()
+        gov.configure(
+            budget=shm_budget, board=rboard, slot=rank, faults=injector
+        )
+        try:
+            transport = ProcessTransport(
+                rank, inboxes, abort_event, timeout=timeout, run_seq=run_seq,
+                faults=injector, status=board, **topts,
+            )
+            ledger = CostLedger(n_ranks, machine)
+            sanitizer = (
+                Sanitizer(level=transport.sanitize, world_rank=rank)
+                if transport.sanitize
+                else None
+            )
+            comm = Communicator(
+                transport,
+                ledger,
+                "world",
+                tuple(range(n_ranks)),
+                rank,
+                sanitizer=sanitizer,
+                faults=injector,
+            )
+            value: Any = None
+            failure: BaseException | None = None
+            try:
                 if board is not None:
-                    board.close()
-        return value, failure, ledger.rank_costs(rank)
+                    board.mark_running(rank, os.getpid())
+                if injector is not None:
+                    injector.fire("dispatch")
+                value = fn(comm, *args, *extra)
+                if sanitizer is not None:
+                    sanitizer.finalize()
+                if board is not None:
+                    board.mark_done(rank)
+            except BaseException as exc:  # noqa: BLE001 - reraised via SpmdError
+                if sanitizer is not None and isinstance(exc, DeadlockError):
+                    sanitizer.annotate(exc)
+                failure = exc
+                transport.abort(exc)
+            finally:
+                try:
+                    transport.end_run()
+                finally:
+                    if board is not None:
+                        board.close()
+            costs = ledger.rank_costs(rank)
+        finally:
+            rsummary = gov.deconfigure()
+            if rboard is not None:
+                rboard.close()
+        return value, failure, costs, rsummary
     finally:
+        resources_mod.set_active_deadline(previous_deadline)
         if config is not None:
             set_active_config(previous_config)
 
@@ -468,11 +511,11 @@ def _process_worker(
 ) -> None:
     """Fork-mode child body: run one rank, report (value, failure, costs)."""
     extra = rank_args[rank] if rank_args is not None else ()
-    value, failure, costs = _run_one_rank(
+    value, failure, costs, rsummary = _run_one_rank(
         rank, n_ranks, fn, args, extra, machine, timeout, inboxes,
         abort_event, run_seq=0, transport_opts=transport_opts,
     )
-    blob = _safe_report_blob(0, rank, value, failure, costs)
+    blob = _safe_report_blob(0, rank, value, failure, costs, rsummary)
     # Unlink pooled segments before reporting: once the parent has every
     # report it may immediately check /dev/shm hygiene.
     process_arena().teardown()
@@ -509,6 +552,7 @@ def _pool_worker(
             value: Any = None
             failure: BaseException | None = None
             costs = None
+            rsummary: dict | None = None
             try:
                 # Unpickle here, not in Queue.get(): the rank function is
                 # pickled by reference and may not resolve in a worker
@@ -527,12 +571,13 @@ def _pool_worker(
                 )
                 abort_event.set()
             else:
-                value, failure, costs = _run_one_rank(
+                value, failure, costs, rsummary = _run_one_rank(
                     rank, n_ranks, fn, args, extra, machine, timeout,
                     inboxes, abort_event, run_seq, transport_opts=topts,
                 )
             result_queue.put(
-                _safe_report_blob(run_seq, rank, value, failure, costs)
+                _safe_report_blob(run_seq, rank, value, failure, costs,
+                                  rsummary)
             )
             # Drop the report's references before the next item, and
             # break the exception<->frame reference cycle: traceback
@@ -544,7 +589,7 @@ def _pool_worker(
                 failure.__traceback__ = None
                 failure.__context__ = None
                 failure.__cause__ = None
-            del value, failure, costs
+            del value, failure, costs, rsummary
     finally:
         process_arena().teardown()
 
@@ -560,6 +605,8 @@ class _RankPool:
         self.run_seq = 0
         self.broken = False
         self.needs_recycle = False
+        self.busy = False
+        self.last_used = time.monotonic()
         self.inboxes = [self._ctx.Queue() for _ in range(n_ranks)]
         self.task_queues = [self._ctx.Queue() for _ in range(n_ranks)]
         # One result queue per rank (see _drain_ready_reports): a shared
@@ -571,6 +618,12 @@ class _RankPool:
         # collective, the parent's exit monitor records deaths on it so
         # survivors raise RankDeadError instead of deadlock-timing out.
         self.board = StatusBoard.create(n_ranks)
+        # Shared live-byte ledger: rank slots plus one parent slot, so
+        # the shm budget is enforced world-wide.  Registered with the
+        # admission controller so warm-pool free lists count against the
+        # budget between runs (and can be recycled back under pressure).
+        self.rboard = ResourceBoard.create(n_ranks + 1)
+        admission_controller().register_usage_source(self.rboard.ranks_live)
         self.procs = [self._spawn(rank) for rank in range(n_ranks)]
 
     def _spawn(self, rank: int):
@@ -627,7 +680,11 @@ class _RankPool:
         segments: list = []
         self.run_seq += 1
         self.board.reset()
-        topts = dict(transport_opts or {}, status=self.board.name)
+        topts = dict(
+            transport_opts or {},
+            status=self.board.name,
+            rboard=self.rboard.name,
+        )
         try:
             shared = encode_payload((fn, args, machine, timeout), segments, arena)
             for rank in range(self.n_ranks):
@@ -708,6 +765,12 @@ class _RankPool:
             reap_stale_segments(dead_pids)
         if not self._health_check(flush=bool(dead_pids)):
             return False
+        if dead_pids:
+            # The flush ping made every surviving worker tear down its
+            # arena (and the dead workers' segments were reaped above),
+            # so the rank slots' live-byte truth is now zero; clear them
+            # to hand those free-list bytes back to the budget.
+            self.rboard.reset_ranks()
         self.needs_recycle = False
         return True
 
@@ -780,10 +843,39 @@ class _RankPool:
                 pass
         self.board.close()
         self.board.unlink()
+        admission_controller().unregister_usage_source(self.rboard.ranks_live)
+        self.rboard.close()
+        self.rboard.unlink()
 
 
 _POOLS: dict[int, _RankPool] = {}
 _POOLS_LOCK = threading.Lock()
+
+
+def _recycle_idle_pools(needed: int) -> int:
+    """Admission recycler: shut down idle warm pools, LRU-first.
+
+    Returns the live bytes handed back to the budget.  Only pools with
+    no active run are eligible; each shutdown releases the pool's arena
+    free lists, pooled windows and boards.
+    """
+    freed = 0
+    while freed < needed:
+        with _POOLS_LOCK:
+            idle = [p for p in _POOLS.values() if not p.busy]
+            if not idle:
+                break
+            pool = min(idle, key=lambda p: p.last_used)
+            _POOLS.pop(pool.n_ranks, None)
+        worker_pids = [p.pid for p in pool.procs]
+        freed += pool.rboard.ranks_live()
+        pool.reclaim_staged()
+        pool.shutdown()
+        reap_stale_segments(worker_pids)
+    return freed
+
+
+admission_controller().register_recycler(_recycle_idle_pools)
 
 
 def shutdown_worker_pools() -> None:
@@ -903,22 +995,43 @@ class ProcessBackend(ExecutorBackend):
         # attempt) ride the per-run dispatch (never the environment:
         # warm pool workers were forked long ago and would not see an
         # env change).
+        shm_budget = config.shm_budget if config is not None else 0
         transport_opts = dict(
             self._transport_opts, sanitize=sanitize, faults=faults,
-            attempt=attempt, config=config,
+            attempt=attempt, config=config, shm_budget=shm_budget,
+            # The run deadline (installed by the executor) ships as an
+            # absolute monotonic timestamp: fork children share the
+            # parent's clock, so every rank counts down the same budget.
+            deadline=resources_mod.active_deadline(),
         )
         if self._pool_enabled():
             pool = _get_pool(n_ranks)
-            run_seq = pool.dispatch(
-                fn, args, rank_args, machine, timeout,
-                transport_opts=transport_opts,
+            pool.busy = True
+            # The parent stages dispatch payloads through its arena:
+            # govern those allocations against the same world budget,
+            # mirrored onto the pool's board at the parent slot.
+            gov = resources_mod.governor()
+            gov.configure(
+                budget=shm_budget, board=pool.rboard, slot=n_ranks
             )
-            if run_seq is not None:
-                result = self._collect_pooled(pool, run_seq, n_ranks, machine)
-                if result is not None:
-                    return result
-                # Every worker reported _TaskLoadError: the function is
-                # newer than the (now retired) pool; fork inherits it.
+            try:
+                run_seq = pool.dispatch(
+                    fn, args, rank_args, machine, timeout,
+                    transport_opts=transport_opts,
+                )
+                if run_seq is not None:
+                    result = self._collect_pooled(
+                        pool, run_seq, n_ranks, machine
+                    )
+                    if result is not None:
+                        return result
+                    # Every worker reported _TaskLoadError: the function
+                    # is newer than the (now retired) pool; fork inherits
+                    # it.
+            finally:
+                gov.deconfigure()
+                pool.busy = False
+                pool.last_used = time.monotonic()
         return self._run_forked(
             n_ranks, fn, args, machine, timeout, rank_args, transport_opts
         )
@@ -956,6 +1069,7 @@ class ProcessBackend(ExecutorBackend):
         values: list[Any] = [None] * n_ranks
         failures: dict[int, BaseException] = {}
         ledger = CostLedger(n_ranks, machine)
+        rsummaries: dict[int, dict | None] = {}
         pending = set(range(n_ranks))
         drain_deadline: float | None = None
         while pending:
@@ -994,12 +1108,13 @@ class ProcessBackend(ExecutorBackend):
                 continue
             for blob in blobs:
                 report = pickle.loads(blob)
-                if not (isinstance(report, tuple) and len(report) == 5):
+                if not (isinstance(report, tuple) and len(report) == 6):
                     continue  # stray health-check pong from a recycle
-                msg_seq, rank, value, failure, costs = report
+                msg_seq, rank, value, failure, costs, rsummary = report
                 if msg_seq != run_seq:  # pragma: no cover - straggler report
                     continue
                 pending.discard(rank)
+                rsummaries[rank] = rsummary
                 if costs is not None:
                     ledger.install_rank(rank, costs)
                 if failure is not None:
@@ -1031,7 +1146,14 @@ class ProcessBackend(ExecutorBackend):
         else:
             pool.drain_inboxes()
         raise_spmd_failures(failures)
-        return SpmdResult(values=values, ledger=ledger)
+        # The parent's staging governor is still configured here (the
+        # caller deconfigures it); snapshot its summary as the -1 slot.
+        rsummaries[-1] = resources_mod.governor().summary()
+        return SpmdResult(
+            values=values,
+            ledger=ledger,
+            resources=ResourceReport.from_rank_summaries(rsummaries),
+        )
 
     def _run_forked(
         self,
@@ -1054,11 +1176,13 @@ class ProcessBackend(ExecutorBackend):
         result_queues = [ctx.Queue() for _ in range(n_ranks)]
         abort_event = ctx.Event()
         board = StatusBoard.create(n_ranks)
+        rboard = ResourceBoard.create(n_ranks + 1)
         topts = dict(
             transport_opts if transport_opts is not None
             else self._transport_opts
         )
         topts["status"] = board.name
+        topts["rboard"] = rboard.name
         procs = [
             ctx.Process(
                 target=_process_worker,
@@ -1080,14 +1204,23 @@ class ProcessBackend(ExecutorBackend):
             )
             for rank in range(n_ranks)
         ]
+        # Govern the parent side (drained payload releases) against the
+        # same world budget the forked ranks see, at the parent slot.
+        gov = resources_mod.governor()
+        gov.configure(
+            budget=topts.get("shm_budget", 0), board=rboard, slot=n_ranks
+        )
         try:
             return self._collect_forked(
                 n_ranks, machine, procs, inboxes, result_queues, abort_event,
                 board,
             )
         finally:
+            gov.deconfigure()
             board.close()
             board.unlink()
+            rboard.close()
+            rboard.unlink()
 
     def _collect_forked(
         self,
@@ -1105,6 +1238,7 @@ class ProcessBackend(ExecutorBackend):
         values: list[Any] = [None] * n_ranks
         failures: dict[int, BaseException] = {}
         ledger = CostLedger(n_ranks, machine)
+        rsummaries: dict[int, dict | None] = {}
         pending = set(range(n_ranks))
         # No cap on healthy execution: like the thread backend's join, the
         # parent waits as long as ranks are alive and making progress —
@@ -1161,8 +1295,11 @@ class ProcessBackend(ExecutorBackend):
                     pending.clear()
                 continue
             for blob in blobs:
-                _seq, rank, value, failure, costs = pickle.loads(blob)
+                _seq, rank, value, failure, costs, rsummary = (
+                    pickle.loads(blob)
+                )
                 pending.discard(rank)
+                rsummaries[rank] = rsummary
                 if costs is not None:
                     ledger.install_rank(rank, costs)
                 if failure is not None:
@@ -1178,7 +1315,12 @@ class ProcessBackend(ExecutorBackend):
         self._reclaim(inboxes)
         reap_stale_segments(p.pid for p in procs)
         raise_spmd_failures(failures)
-        return SpmdResult(values=values, ledger=ledger)
+        rsummaries[-1] = resources_mod.governor().summary()
+        return SpmdResult(
+            values=values,
+            ledger=ledger,
+            resources=ResourceReport.from_rank_summaries(rsummaries),
+        )
 
     @staticmethod
     def _reclaim(inboxes) -> None:

@@ -35,6 +35,7 @@ from typing import Any, Callable, Hashable, Sequence
 
 import numpy as np
 
+from repro import resources
 from repro.analysis.sanitizer import CollectiveCall, Sanitizer
 from repro.mpi.errors import BufferMismatchError, CommunicatorError
 from repro.mpi.ledger import CostLedger
@@ -266,10 +267,12 @@ class Communicator:
         run the symmetric signature exchange immediately.
 
         Also the per-collective fault/liveness hook (it runs at the top
-        of *every* blocking collective, sanitizer on or off): the status
-        board note makes this op the rank's last-known context for death
-        post-mortems, and the injector fires the op-name site.
+        of *every* blocking collective, sanitizer on or off): the run
+        deadline is checked cooperatively, the status board note makes
+        this op the rank's last-known context for death post-mortems,
+        and the injector fires the op-name site.
         """
+        resources.check_deadline(op)
         self._transport.note_collective(op, seq)
         if self._faults is not None:
             self._faults.fire(op)
@@ -561,19 +564,41 @@ class Communicator:
         Uncharged, like ``split`` — window setup is out of band in the
         paper's model.  The creator's ``slot_bytes`` wins (it is sized
         from rank 0's first payload); a later size fence grows the
-        window if another rank's payload does not fit."""
+        window if another rank's payload does not fit.
+
+        Degrades gracefully under exhaustion: when the creator cannot
+        allocate the segment — tmpfs ``ENOSPC``/``ENOMEM``, a
+        ``REPRO_SHM_BUDGET`` denial, or an injected ``enospc`` fault at
+        the ``window`` site — it publishes a denial sentinel on the same
+        name-exchange tag and *every* member returns ``None``, so the
+        whole group falls back to the point-to-point relay for that
+        collective in lockstep (a later collective simply tries again —
+        degradation is per allocation, and the budget may have freed).
+        """
         tag = ("win", self._win_gen)
         self._win_gen += 1
         if self._rank == 0:
-            win = self._transport.create_window(
-                self.size, 0, slot_bytes, matrix=matrix
-            )
+            try:
+                win = self._transport.create_window(
+                    self.size, 0, slot_bytes, matrix=matrix
+                )
+            except OSError as exc:
+                if not resources.is_exhaustion(exc):
+                    raise
+                resources.governor().note_degradation(
+                    "window", "p2p", slot_bytes * self.size, str(exc)
+                )
+                for dst in range(1, self.size):
+                    self._put_key(0, dst, tag, ("", 0))
+                return None
             for dst in range(1, self.size):
                 self._put_key(0, dst, tag, (win.name, win.slot_bytes))
         else:
             name, slot_bytes = self._transport.get(
                 self._key(0, self._rank, tag)
             )
+            if not name:  # creator's denial sentinel
+                return None
             win = self._transport.attach_window(
                 name, self.size, self._rank, slot_bytes, matrix=matrix
             )
@@ -585,10 +610,15 @@ class Communicator:
         Every member reaches the same growth decision from the shared
         size exchange, so this is collective.  The old window is released
         immediately: all members attached it at creation, so the owner's
-        unlink only removes the name.
+        unlink only removes the name.  A denied growth (see
+        :meth:`_open_window`) keeps the old window installed and returns
+        ``None``; the caller retires the opened round and falls back to
+        the point-to-point path.
         """
         slot = self._transport.window_slot(needed)
         new = self._open_window(slot, matrix=matrix)
+        if new is None:
+            return None
         if matrix:
             old, self._mwin = self._mwin, new
         else:
@@ -600,9 +630,12 @@ class Communicator:
     def _fence_round(self, win, needed: int, words: int, matrix: bool):
         """Open the next exchange on ``win``, growing it until ``needed``
         fits; returns the (possibly replaced) window after the size
-        fence, ready to be written.  When the sanitizer is active the
-        current collective's digest rides the size fence and is verified
-        before the growth decision."""
+        fence, ready to be written, or ``None`` when growth was denied by
+        resource exhaustion (the opened round is retired in lockstep —
+        nobody wrote a slot yet — and the caller runs point-to-point).
+        When the sanitizer is active the current collective's digest
+        rides the size fence and is verified before the growth
+        decision."""
         sig = self._san_sig if self._san is not None else None
         digest = sig.digest if sig is not None else 0
         while True:
@@ -612,7 +645,12 @@ class Communicator:
                 self._san_check_window(win, sig)
             if largest <= win.slot_bytes:
                 return win
-            win = self._grow_window(largest, matrix=matrix)
+            grown = self._grow_window(largest, matrix=matrix)
+            if grown is None:
+                win.commit()
+                win.finish()
+                return None
+            win = grown
 
     def _window_round(
         self, contribution: Any, contribute: bool = True, words: int = 0
@@ -635,7 +673,11 @@ class Communicator:
             prefix, payload, needed = b"", None, 0
         if self._win is None:
             self._win = self._open_window(self._transport.window_slot(needed))
+            if self._win is None:
+                return None
         win = self._fence_round(self._win, needed, words, matrix=False)
+        if win is None:
+            return None
         if contribute:
             win.write(prefix, payload)
         win.commit()
@@ -660,7 +702,11 @@ class Communicator:
         )
         if self._win is None:
             self._win = self._open_window(self._transport.window_slot(needed))
+            if self._win is None:
+                return None
         win = self._fence_round(self._win, needed, total_words, matrix=False)
+        if win is None:
+            return None
         for dst, (prefix, payload) in packed:
             win.write_to(dst, prefix, payload)
         win.commit()
@@ -684,7 +730,11 @@ class Communicator:
             self._mwin = self._open_window(
                 self._transport.window_slot(needed), matrix=True
             )
+            if self._mwin is None:
+                return None
         win = self._fence_round(self._mwin, needed, words, matrix=True)
+        if win is None:
+            return None
         for dst, (prefix, payload) in packed:
             win.write_pair(dst, prefix, payload)
         win.commit()
@@ -703,6 +753,7 @@ class Communicator:
         seq = self._advance_coll()
         self._san_enter("barrier", seq)
         if self.size > 1:
+            fenced = False
             if self._transport.windows_enabled:
                 if self._san is not None:
                     # The plain fence publishes its done flag before
@@ -712,7 +763,9 @@ class Communicator:
                     # (contribution-less) window round, whose size fence
                     # orders the digest check correctly.
                     win = self._window_round(None, contribute=False)
-                    win.finish()
+                    if win is not None:
+                        win.finish()
+                        fenced = True
                 else:
                     # Zero-byte window fence: one shared rendezvous — no
                     # slot is written, read, or committed (and barriers
@@ -722,8 +775,10 @@ class Communicator:
                         self._win = self._open_window(
                             self._transport.window_slot(0)
                         )
-                    self._win.fence()
-            else:
+                    if self._win is not None:
+                        self._win.fence()
+                        fenced = True
+            if not fenced:
                 # Point-to-point fallback: fan a token into group rank 0
                 # and fan one back out.
                 tag_in = ("coll", seq, 0)
@@ -1225,6 +1280,24 @@ class Communicator:
         prefix, payload = pack_collective(value)
         needed = packed_nbytes(prefix, payload)
         win = self._nb_window(buf, needed)
+        if win is None:
+            # Window denied by resource exhaustion (collectively — every
+            # member saw the sentinel): run this round exactly like a
+            # windows-off transport.  The toggle already advanced on all
+            # members, so double buffering stays in step.
+            if sig is not None:
+                self._san_put_sigs(sig)
+            value_tx = self._tx(value)
+            nb_sig = sig
+
+            def complete_degraded() -> Any:
+                if nb_sig is not None:
+                    self._san_collect_sigs(nb_sig)
+                return self._nb_complete_p2p(
+                    kind, value_tx, op, root, seq, my_words
+                )
+
+            return self._make_request(op_name, complete_degraded)
         win.begin()
         win.post_size_nowait(
             needed, my_words, sig.digest if sig is not None else 0
@@ -1238,10 +1311,21 @@ class Communicator:
             # on a grown window and these bytes are simply abandoned.
             win.write(prefix, payload)
             win.commit_nowait()
+        value_tx = self._tx(value)
         req = self._make_request(
             op_name,
             lambda: self._nb_complete_window(
-                buf, kind, op, root, my_words, prefix, payload, written, sig
+                buf,
+                kind,
+                op,
+                root,
+                my_words,
+                prefix,
+                payload,
+                written,
+                sig,
+                seq=seq,
+                value_tx=value_tx,
             ),
         )
         self._nb_pending[buf] = req
@@ -1294,6 +1378,8 @@ class Communicator:
         payload: np.ndarray | None,
         written: bool,
         sig: CollectiveCall | None = None,
+        seq: int = 0,
+        value_tx: Any = None,
     ) -> Any:
         """Window completion: finish the deferred fences, read, charge."""
         self._nb_pending[buf] = None
@@ -1313,6 +1399,14 @@ class Communicator:
                 win.commit_nowait()
             win.finish()
             win = self._grow_nb_window(buf, largest)
+            if win is None:
+                # Growth denied by resource exhaustion — collectively, so
+                # every member replays the round point-to-point on the
+                # tags reserved at post time.  The sanitizer already
+                # verified this round's digests on the size fence above.
+                return self._nb_complete_p2p(
+                    kind, value_tx, op, root, seq, my_words
+                )
             win.begin()
             win.post_size(
                 packed_nbytes(prefix, payload),

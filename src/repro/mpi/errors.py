@@ -47,6 +47,38 @@ class RankDeadError(MpiError):
         return (type(self), (self.args[0], self.dead_rank, self.exitcode))
 
 
+class DeadlineExceededError(MpiError):
+    """The run blew past its cooperative deadline (``REPRO_DEADLINE``).
+
+    Checked at fences, blocking collectives/receives and checkpoint steps:
+    every rank that reaches a check after the deadline raises promptly,
+    naming the operation it was in and the elapsed time, so a stalled
+    world converges to a clean multi-rank failure within seconds instead
+    of burning the full deadlock timeout.  The deadline is an absolute
+    monotonic timestamp shared by every retry attempt, so a relaunched
+    attempt only gets the remaining budget.
+    """
+
+
+class AdmissionError(MpiError):
+    """A launch was refused by admission control.
+
+    Raised at the ``run_spmd`` boundary — before any rank starts — when
+    the world cannot be admitted within the configured budget after
+    bounded backoff.  ``reason`` is machine-readable: ``"max_worlds"``
+    (too many concurrent worlds, ``REPRO_MAX_WORLDS``) or
+    ``"shm_budget"`` (the estimated footprint cannot fit the live
+    ``REPRO_SHM_BUDGET`` even after recycling idle pools).
+    """
+
+    def __init__(self, message: str, reason: str):
+        super().__init__(message)
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.reason))
+
+
 class FaultInjectedError(MpiError):
     """An injected fault fired (``REPRO_FAULTS`` / ``run_spmd(faults=)``).
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Sequence
 
+from repro import resources
 from repro.config import (
     RuntimeConfig,
     default_for,
@@ -78,6 +79,8 @@ def run_spmd(
     faults: FaultSpec | str | None = None,
     retry: RetryPolicy | None = None,
     config: RuntimeConfig | None = None,
+    deadline: float | None = None,
+    shm_estimate: int | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``n_ranks`` simulated MPI ranks.
 
@@ -130,6 +133,25 @@ def run_spmd(
         installed for the duration of the run (and shipped to pooled
         workers), so mid-library helpers see exactly one consistent
         configuration per run.
+    deadline:
+        Cooperative wall-clock deadline for the whole run, in seconds
+        (``None`` consults ``REPRO_DEADLINE``; ``0`` = no deadline).
+        The budget starts counting *before* the first attempt and is
+        shared across retries: ranks check it at fences, blocking
+        receives and checkpoint steps, and every rank raises
+        :class:`~repro.mpi.errors.DeadlineExceededError` — naming the
+        operation it was in — within seconds of expiry, with
+        ``/dev/shm`` left clean.
+    shm_estimate:
+        Optional up-front shared-memory footprint estimate (bytes) for
+        admission control, for drivers that can model their launch
+        better than the default
+        :func:`repro.resources.estimate_world_shm` geometry.  With
+        ``REPRO_SHM_BUDGET`` / ``REPRO_MAX_WORLDS`` configured,
+        over-budget launches wait briefly for running worlds to finish
+        (idle warm pools are recycled LRU-first), then raise
+        :class:`~repro.mpi.errors.AdmissionError`; the sole world is
+        always admitted and degrades per allocation instead.
 
     Returns
     -------
@@ -156,6 +178,7 @@ def run_spmd(
         sanitize=sanitize,
         faults=faults if isinstance(faults, str) else None,
         timeout=resolve_timeout(timeout) if timeout is not None else None,
+        deadline=deadline,
     )
     if faults is None or isinstance(faults, str):
         spec = FaultSpec.parse(cfg.faults) if cfg.faults else None
@@ -167,12 +190,31 @@ def run_spmd(
         executor = backend
     else:
         executor = backend_from_config(cfg)
+    # Admission control: one gate per launch, before any rank starts.
+    # The footprint estimate is reconciled against actual allocations by
+    # the controller's registered usage sources; AdmissionError (after a
+    # bounded wait) is raised here, never mid-run.
+    estimate = (
+        int(shm_estimate)
+        if shm_estimate is not None
+        else resources.estimate_world_shm(n_ranks, cfg)
+    )
+    controller = resources.admission_controller()
+    ticket, admission_wait = controller.admit(n_ranks, estimate, cfg)
+    # The deadline is an *absolute* timestamp fixed before attempt 1, so
+    # a retried attempt inherits only the remaining budget.
+    deadline_info = (
+        (time.monotonic() + cfg.deadline, cfg.deadline)
+        if cfg.deadline > 0
+        else None
+    )
     previous = set_active_config(cfg)
+    previous_deadline = resources.set_active_deadline(deadline_info)
     try:
         attempt = 1
         while True:
             try:
-                return executor.run(
+                result = executor.run(
                     n_ranks,
                     fn,
                     args,
@@ -184,10 +226,20 @@ def run_spmd(
                     attempt=attempt,
                     config=cfg,
                 )
+                if result.resources is not None:
+                    result.resources.admission_wait = admission_wait
+                    result.resources.estimate_bytes = estimate
+                    result.resources.budget_bytes = cfg.shm_budget
+                return result
             except SpmdError as exc:
                 if retry is None or not retry.should_retry(exc, attempt):
                     raise
+                resources.check_deadline(
+                    f"retry backoff before attempt {attempt + 1}"
+                )
                 time.sleep(retry.delay(attempt))
                 attempt += 1
     finally:
+        resources.set_active_deadline(previous_deadline)
         set_active_config(previous)
+        controller.release(ticket)

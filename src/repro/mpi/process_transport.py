@@ -55,6 +55,7 @@ spinning on a window fence) notices within one poll interval and raises
 
 from __future__ import annotations
 
+import errno
 import mmap
 import os
 import pickle
@@ -70,6 +71,7 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from repro import resources
 from repro.config import default_for
 from repro.mpi.errors import DeadlockError
 from repro.mpi.transport import TransportBase
@@ -293,7 +295,7 @@ class HugePageSegment:
             if create:
                 try:
                     os.unlink(self._path)
-                except OSError:  # pragma: no cover - raced unlink
+                except FileNotFoundError:  # pragma: no cover - raced unlink
                     pass
             raise
         os.close(fd)
@@ -319,11 +321,14 @@ class HugePageSegment:
             pass  # the mapping is reclaimed when the last view dies
 
     def unlink(self) -> None:
-        """Remove the backing file; mappings stay valid until closed."""
-        try:
-            os.unlink(self._path)
-        except FileNotFoundError:
-            pass
+        """Remove the backing file; mappings stay valid until closed.
+
+        Raises ``FileNotFoundError`` when the file is already gone —
+        matching ``SharedMemory.unlink`` so the accounting in
+        :func:`_close_and_unlink` treats both substrates identically
+        (the process that actually removed the file released its bytes).
+        """
+        os.unlink(self._path)
 
     def __del__(self):  # pragma: no cover - exercised via GC
         try:
@@ -332,8 +337,29 @@ class HugePageSegment:
             pass
 
 
-def create_segment(nbytes: int):
+#: Huge-page creation failures that mean "this substrate cannot back the
+#: mapping here and now" and warrant the transparent POSIX-shm fallback:
+#: no reservable pages (ENOMEM), mount full (ENOSPC), or a mount this
+#: user cannot write after all (EACCES/EPERM).  Anything else — EINVAL,
+#: EMFILE, ... — is a real bug and must surface, not be swallowed as a
+#: silent fallback.
+_HUGE_FALLBACK_ERRNOS = frozenset(
+    {errno.ENOMEM, errno.ENOSPC, errno.EACCES, errno.EPERM}
+)
+
+
+def create_segment(nbytes: int, purpose: str = "segment"):
     """A fresh shared segment of at least ``nbytes``.
+
+    The resource governor gates every creation first: the ``purpose``
+    site (``"arena"``/``"window"``/...) fires any injected resource
+    faults, and a configured ``REPRO_SHM_BUDGET`` denies the request
+    with :class:`~repro.resources.BudgetExceededError` (an
+    ``errno.ENOSPC`` ``OSError``) *before* touching ``/dev/shm`` — the
+    caller's degradation handler routes either denial or a real tmpfs
+    ``ENOSPC`` to the p2p/pickle path.  Successful creations are charged
+    to the governor by their actual (page-rounded) size and released on
+    unlink.
 
     Large requests — at least :data:`HUGE_MIN_BYTES` *and* one page of
     the backing mount (sizes are rounded up to whole pages, so smaller
@@ -341,29 +367,38 @@ def create_segment(nbytes: int):
     are tried on the huge-page substrate first when :func:`hugepage_dir`
     provides one, cutting TLB pressure on the multi-MiB windows and
     arena buckets the distributed kernels exchange, and fall back
-    transparently to POSIX shm when the mmap fails;
+    transparently to POSIX shm when the mmap hits a resource limit;
     :data:`HUGEPAGE_STATS` records which mapping each request got.
     """
+    gov = resources.governor()
+    gov.gate(purpose, nbytes)
     if nbytes >= HUGE_MIN_BYTES:
         directory = hugepage_dir()
         if directory is not None and nbytes >= hugepage_size(directory):
             name = f"{_HUGE_PREFIX}{os.getpid()}_{secrets.token_hex(8)}"
             try:
                 seg = HugePageSegment(name, create=True, size=nbytes)
-            except OSError:
+            except OSError as exc:
+                if exc.errno not in _HUGE_FALLBACK_ERRNOS:
+                    raise
                 HUGEPAGE_STATS["fallbacks"] += 1
             else:
                 HUGEPAGE_STATS["mapped"] += 1
+                gov.charge(seg.size)
                 return seg
     for _ in range(3):
         name = f"{_SHM_PREFIX}{os.getpid()}_{secrets.token_hex(8)}"
         try:
-            return shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+            shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
         except FileExistsError:  # pragma: no cover - 64-bit token collision
             continue
+        gov.charge(shm.size)
+        return shm
     # Astronomically unlikely; fall back to an auto-generated psm_ name
     # (invisible to the crash audit but still tracker-reclaimed).
-    return shared_memory.SharedMemory(create=True, size=nbytes)  # pragma: no cover
+    shm = shared_memory.SharedMemory(create=True, size=nbytes)  # pragma: no cover
+    gov.charge(shm.size)  # pragma: no cover
+    return shm  # pragma: no cover
 
 
 def attach_segment(name: str):
@@ -407,8 +442,8 @@ def reap_stale_hugepage_segments(creator_pids) -> list[str]:
     removed = []
     try:
         names = os.listdir(mount)
-    except OSError:  # pragma: no cover - mount vanished
-        return []
+    except (FileNotFoundError, NotADirectoryError):  # pragma: no cover
+        return []  # mount vanished
     for name in names:
         if not name.startswith(_HUGE_PREFIX):
             continue
@@ -424,9 +459,9 @@ def reap_stale_hugepage_segments(creator_pids) -> list[str]:
             try:
                 os.unlink(os.path.join(mount, name))
                 removed.append(name)
-            except OSError:  # pragma: no cover - raced removal
+            except FileNotFoundError:  # pragma: no cover - raced removal
                 pass
-        except OSError:  # pragma: no cover - reused pid, other user
+        except PermissionError:  # pragma: no cover - reused pid, other user
             pass
     return removed
 
@@ -452,8 +487,8 @@ def reap_stale_segments(creator_pids) -> list[str]:
         return removed
     try:
         names = os.listdir(_SHM_DIR)
-    except OSError:  # no /dev/shm on this host: nothing to sweep
-        return removed
+    except (FileNotFoundError, NotADirectoryError):
+        return removed  # no /dev/shm on this host: nothing to sweep
     for name in names:
         if not name.startswith(_SHM_PREFIX):
             continue
@@ -474,7 +509,7 @@ def reap_stale_segments(creator_pids) -> list[str]:
                 continue
             _close_and_unlink(shm)
             removed.append(name)
-        except OSError:  # pragma: no cover - reused pid, other user
+        except PermissionError:  # pragma: no cover - reused pid, other user
             pass
     return removed
 
@@ -532,7 +567,7 @@ class SegmentArena:
             self._free_bytes -= bucket
             return box.popleft()
         self.created += 1
-        return create_segment(bucket)
+        return create_segment(bucket, purpose="arena")
 
     def recycle(self, shm: shared_memory.SharedMemory) -> None:
         """Return an owned segment to the free list (or unlink it)."""
@@ -571,6 +606,7 @@ class SegmentArena:
 
 
 def _close_and_unlink(shm: shared_memory.SharedMemory) -> None:
+    nbytes = int(getattr(shm, "size", 0))
     try:
         shm.close()
     except BufferError:  # pragma: no cover - a view still exports the buffer
@@ -578,7 +614,11 @@ def _close_and_unlink(shm: shared_memory.SharedMemory) -> None:
     try:
         shm.unlink()
     except FileNotFoundError:  # pragma: no cover - already reclaimed
-        pass
+        return  # whoever unlinked it released its bytes
+    # Release by the unlinker, not the creator: ownership of a segment is
+    # transferable between a world's processes, and the resource board
+    # sums per-process ledgers, so the world total nets out correctly.
+    resources.governor().release(nbytes)
 
 
 _ARENA: SegmentArena | None = None
@@ -715,6 +755,13 @@ def encode_payload(
     are appended to ``segments`` so the caller can recycle them if the
     send fails mid-way; a completed send transfers their ownership to the
     receiver.
+
+    Degrades gracefully under exhaustion: when the segment cannot be
+    created — tmpfs ``ENOSPC``/``ENOMEM``, a budget denial, or an
+    injected ``enospc`` fault at the ``arena`` site — the array is left
+    in place so it rides the pickle stream instead, bit-identically; the
+    fallback is recorded on the resource governor.  Any other ``OSError``
+    still propagates.
     """
     if (
         isinstance(obj, np.ndarray)
@@ -725,10 +772,18 @@ def encode_payload(
     ):
         order = _layout_order(obj)
         src = np.asarray(obj, order=order)
-        if arena is not None:
-            shm = arena.acquire(src.nbytes)
-        else:
-            shm = create_segment(src.nbytes)
+        try:
+            if arena is not None:
+                shm = arena.acquire(src.nbytes)
+            else:
+                shm = create_segment(src.nbytes, purpose="arena")
+        except OSError as exc:
+            if not resources.is_exhaustion(exc):
+                raise
+            resources.governor().note_degradation(
+                "arena", "pickle", src.nbytes, str(exc)
+            )
+            return obj
         segments.append(shm)
         np.ndarray(src.shape, dtype=src.dtype, buffer=shm.buf, order=order)[
             ...
@@ -1003,7 +1058,7 @@ class CollectiveWindow:
         # Multi-MiB windows ask for huge-page backing (transparent shm
         # fallback); fresh segments of either substrate are zero-filled by
         # the OS, so all flags start at 0 — exactly "sequence 0 complete".
-        shm = create_segment(total)
+        shm = create_segment(total, purpose="window")
         return cls(
             shm,
             size,
@@ -1081,6 +1136,7 @@ class CollectiveWindow:
         yield_deadline = time.monotonic() + _FENCE_YIELD_SECONDS
         last_progress = int((flags >= threshold).sum())
         while True:
+            resources.check_deadline(f"window {what} fence")
             if self._abort is not None and self._abort.is_set():
                 exc = self._dead_sibling(f"waiting on window {what}")
                 if exc is not None:
@@ -1259,10 +1315,13 @@ class CollectiveWindow:
         except BufferError:  # pragma: no cover - lingering export
             pass
         if self.owner:
+            nbytes = int(getattr(self._shm, "size", 0))
             try:
                 self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
+            except FileNotFoundError:  # pragma: no cover - reclaimed
+                pass  # whoever unlinked it released its bytes
+            else:
+                resources.governor().release(nbytes)
 
 
 class MatrixWindow(CollectiveWindow):
@@ -1442,6 +1501,7 @@ class ProcessTransport(TransportBase):
         deadline = time.monotonic() + self.timeout
         interval = _POLL_MIN_INTERVAL
         while True:
+            resources.check_deadline(f"receive on {key!r}")
             if self._abort.is_set():
                 exc = self._dead_sibling(f"waiting on {key!r}")
                 if exc is not None:

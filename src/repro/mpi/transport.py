@@ -27,6 +27,7 @@ import threading
 from collections import defaultdict, deque
 from typing import Any, Hashable
 
+from repro import resources
 from repro.mpi.errors import DeadlockError
 
 
@@ -152,6 +153,7 @@ class ThreadTransport(TransportBase):
     def get(self, key: Hashable) -> Any:
         with self._cond:
             while True:
+                resources.check_deadline(f"receive on {key!r}")
                 if self._aborted is not None:
                     raise DeadlockError(
                         f"transport aborted while waiting on {key!r}: "
@@ -164,7 +166,14 @@ class ThreadTransport(TransportBase):
                         # Keep the dict small across long runs.
                         del self._boxes[key]
                     return payload
-                if not self._cond.wait(self.timeout):
+                # A run deadline shortens the wait so the cooperative
+                # check above fires promptly; only an *un*-shortened wait
+                # expiring means the transport itself went silent.
+                interval = self.timeout
+                left = resources.remaining_deadline()
+                if left is not None:
+                    interval = min(interval, max(left, 0.0) + 0.005)
+                if not self._cond.wait(interval) and interval >= self.timeout:
                     raise DeadlockError(
                         f"receive on {key!r} timed out after "
                         f"{self.timeout:g}s (likely mismatched send/recv or "

@@ -26,13 +26,16 @@ def codes_and_lines(findings: list[Finding]) -> list[tuple[str, int]]:
     return [(f.code, f.line) for f in findings]
 
 
-def line_of(fixture: str, needle: str) -> int:
+def line_of(fixture: str, needle: str, occurrence: int = 1) -> int:
+    hits = 0
     for lineno, text in enumerate(
         (FIXTURES / fixture).read_text().splitlines(), start=1
     ):
         if needle in text:
-            return lineno
-    raise AssertionError(f"{needle!r} not in {fixture}")
+            hits += 1
+            if hits == occurrence:
+                return lineno
+    raise AssertionError(f"{needle!r} (#{occurrence}) not in {fixture}")
 
 
 class TestRules:
@@ -100,6 +103,55 @@ class TestRules:
         assert [f.code for f in lint_source(src, "src/repro/other.py")] == [
             "SPMD006"
         ]
+
+    def test_spmd007_shm_alloc(self):
+        fixture = "spmd007_shm_alloc.py"
+        found = findings_for(fixture)
+        assert [f.code for f in found] == ["SPMD007"] * 6
+        # Every create-spelled allocation in a non-exempt file is a
+        # location finding; the errno-blind handler adds one more.  The
+        # errno-routed and narrow-subclass handlers add none, and
+        # attaching by name is never flagged.
+        assert [f.line for f in found] == [
+            line_of(fixture, "shared_memory.SharedMemory(create=True"),
+            line_of(fixture, "return create_segment(nbytes)"),
+            line_of(fixture, "return create_segment(nbytes)", 2),
+            line_of(fixture, "except OSError:"),
+            line_of(fixture, "return create_segment(nbytes)", 3),
+            line_of(fixture, "shared_memory.SharedMemory(name=name, create"),
+        ]
+        assert "budget gate" in found[0].message
+        assert "errno" in found[3].message
+
+    def test_spmd007_exempts_the_gated_layers(self):
+        src = (
+            "from multiprocessing import shared_memory\n"
+            "def alloc(n):\n"
+            "    return shared_memory.SharedMemory(create=True, size=n)\n"
+        )
+        for exempt in (
+            "src/repro/mpi/process_transport.py",
+            "src/repro/resources/board.py",
+            "src/repro/faults/status.py",
+        ):
+            assert lint_source(src, exempt) == []
+        assert [f.code for f in lint_source(src, "src/repro/driver.py")] == [
+            "SPMD007"
+        ]
+
+    def test_spmd007_errno_blind_handler_flagged_inside_layers(self):
+        # The handler half of the rule applies everywhere, gated layers
+        # included: exhaustion must never be silently swallowed.
+        src = (
+            "from multiprocessing import shared_memory\n"
+            "def alloc(n):\n"
+            "    try:\n"
+            "        return shared_memory.SharedMemory(create=True, size=n)\n"
+            "    except OSError:\n"
+            "        return None\n"
+        )
+        found = lint_source(src, "src/repro/resources/board.py")
+        assert [f.code for f in found] == ["SPMD007"]
 
     def test_suppression_comments(self):
         assert findings_for("suppressed.py") == []

@@ -112,3 +112,58 @@ class TestRetryIntegration:
     def test_no_retry_without_policy(self):
         with pytest.raises(SpmdError):
             spmd(2, _allreduce_prog, faults="rank=0:kind=exception")
+
+
+class TestResourceFaults:
+    """The ``enospc``/``stall`` kinds at the injector level (SPMD-level
+    degradation behaviour lives in tests/resources)."""
+
+    def test_enospc_raises_real_errno_at_nth_hit(self):
+        import errno
+
+        from repro.faults import FaultInjector, FaultSpec
+
+        inj = FaultInjector(
+            FaultSpec.parse("rank=0:site=arena:nth=2:kind=enospc"), rank=0
+        )
+        inj.fire("arena")  # hit #1: armed for the next one
+        with pytest.raises(OSError) as exc_info:
+            inj.fire("arena")
+        assert exc_info.value.errno == errno.ENOSPC
+        inj.fire("arena")  # hit #3: nth=2 is one-shot
+
+    def test_enospc_respects_rank_and_site(self):
+        from repro.faults import FaultInjector, FaultSpec
+
+        spec = FaultSpec.parse("rank=1:site=window:kind=enospc")
+        other_rank = FaultInjector(spec, rank=0)
+        other_rank.fire("window")  # clause targets rank 1: no-op
+        hit_rank = FaultInjector(spec, rank=1)
+        hit_rank.fire("arena")  # wrong site: hits counted, nothing fires
+        with pytest.raises(OSError):
+            hit_rank.fire("window")
+
+    def test_stall_without_deadline_degrades_to_delay(self):
+        from repro.faults import FaultInjector, FaultSpec
+
+        inj = FaultInjector(
+            FaultSpec.parse("rank=0:site=fence:kind=stall:delay=0.05"), rank=0
+        )
+        t0 = time.monotonic()
+        inj.fire("fence")
+        assert time.monotonic() - t0 >= 0.05
+
+    def test_stall_with_deadline_raises_deadline_error(self):
+        from repro.faults import FaultInjector, FaultSpec
+        from repro.mpi.errors import DeadlineExceededError
+        from repro.resources import set_active_deadline
+
+        inj = FaultInjector(
+            FaultSpec.parse("rank=0:site=fence:kind=stall"), rank=0
+        )
+        previous = set_active_deadline((time.monotonic() + 0.1, 0.1))
+        try:
+            with pytest.raises(DeadlineExceededError, match="injected stall"):
+                inj.fire("fence")
+        finally:
+            set_active_deadline(previous)

@@ -69,6 +69,15 @@ class TestGrammar:
         assert [c.kind for c in spec.clauses_for(2, 1)] == ["delay"]
         assert spec.clauses_for(0, 1) == []
 
+    def test_resource_kinds_parse_and_roundtrip(self):
+        spec = FaultSpec.parse(
+            "rank=0:site=arena:nth=2:kind=enospc,"
+            "rank=1:site=allreduce:kind=stall"
+        )
+        assert [c.kind for c in spec.clauses] == ["enospc", "stall"]
+        assert spec.clauses[0].site == "arena"
+        assert FaultSpec.parse(str(spec)) == spec
+
     def test_attempt_gating_defaults_to_first(self):
         spec = FaultSpec.parse("rank=0:kind=crash")
         assert spec.clauses_for(0, 1)

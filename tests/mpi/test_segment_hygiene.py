@@ -130,6 +130,8 @@ class TestSegmentHygiene:
         # A rank SIGKILLed while its siblings are inside a collective
         # window fence: survivors must fail fast with RankDeadError and
         # the parent must reclaim the dead rank's segments + the window.
+        from repro.config import RuntimeConfig
+
         x = np.random.default_rng(3).standard_normal(4096)
         with pytest.raises(SpmdError) as exc_info:
             run_spmd(
@@ -138,6 +140,9 @@ class TestSegmentHygiene:
                 x,
                 backend="process",
                 faults="rank=1:site=fence:kind=crash",
+                # The fence site only exists on the windowed path: pin
+                # windows on even when the environment turns them off.
+                config=RuntimeConfig(),
             )
         assert any(
             isinstance(e, RankDeadError)
@@ -164,6 +169,59 @@ class TestSegmentHygiene:
         )
         res = run_spmd(3, _unmatched_sender, backend="process")
         assert res.values == [0, 1, 2]
+
+    def test_budget_exhausted_run_leaks_nothing(self):
+        # A budget small enough that every window/arena allocation is
+        # denied: the run degrades to the p2p/pickle paths and still
+        # must leave /dev/shm exactly as it found it.
+        from repro.config import RuntimeConfig
+
+        x = np.random.default_rng(4).standard_normal(4096)
+        res = run_spmd(
+            4,
+            _healthy,
+            x,
+            backend="process",
+            config=RuntimeConfig(shm_budget=4096),
+        )
+        assert res.resources is not None and res.resources.degraded
+
+    def test_sigkill_mid_degradation_leaks_nothing(self):
+        # A rank dies while the world is running degraded (tiny budget):
+        # the crash audit must sweep whatever the denied-then-degraded
+        # allocation path did manage to create.
+        from repro.config import RuntimeConfig
+
+        x = np.random.default_rng(5).standard_normal(4096)
+        with pytest.raises(SpmdError) as exc_info:
+            run_spmd(
+                4,
+                _healthy,
+                x,
+                backend="process",
+                config=RuntimeConfig(shm_budget=4096),
+                faults="rank=1:site=allreduce:kind=crash",
+            )
+        assert any(
+            isinstance(e, RankDeadError)
+            for e in exc_info.value.failures.values()
+        )
+        res = run_spmd(4, _healthy, x, backend="process")
+        assert np.isfinite(res.values[0])
+
+    def test_deadline_abort_leaks_nothing(self):
+        # Deadline blown mid-collective on every rank: teardown still
+        # reclaims windows and staged segments.
+        x = np.random.default_rng(6).standard_normal(4096)
+        with pytest.raises(SpmdError):
+            run_spmd(
+                4,
+                _healthy,
+                x,
+                backend="process",
+                faults="rank=1:site=allreduce:kind=stall",
+                deadline=1.0,
+            )
 
     def test_pool_teardown_reaps_workers(self):
         # Force pooling: the claim under test is that *warm workers* are

@@ -458,7 +458,11 @@ class TestHugePages:
 
         class ExhaustedSegment:
             def __init__(self, *args, **kwargs):
-                raise OSError("Cannot allocate memory")
+                # Real mmap failures carry an errno; the fallback routes
+                # on it (anything else is a bug and must re-raise).
+                import errno
+
+                raise OSError(errno.ENOMEM, "Cannot allocate memory")
 
         monkeypatch.setattr(pt, "HugePageSegment", ExhaustedSegment)
         before = HUGEPAGE_STATS["fallbacks"]

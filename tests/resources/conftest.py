@@ -1,0 +1,9 @@
+"""Resource-governance tests pick their backend explicitly per test."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def spmd_backend():
+    """Shadow the package sweep: backends are chosen per test here."""
+    return None
