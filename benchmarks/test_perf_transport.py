@@ -10,7 +10,11 @@ the perf trajectory is visible across PRs:
 * ``allgather`` — collective throughput with the shared-memory windows vs.
   the point-to-point relay path (windows must not be slower);
 * ``p2p``      — small-message ping-pong latency (adaptive poll backoff)
-  and large-array bandwidth over the segment arena.
+  and large-array bandwidth over the segment arena;
+* ``dtype_rounds`` — float32 vs float64 allgather+allreduce rounds on
+  the window path at a bandwidth-bound payload: window slots and arena
+  buckets are sized by actual nbytes, so half-width elements must buy a
+  real round-time win (>= 1.3x asserted; measured ~2-3x).
 
 Wall-clock numbers, so absolute values depend on the machine; the asserted
 claims are the *ratios* the fast path exists to deliver.
@@ -24,6 +28,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.mpi import (
+    SUM,
     ProcessBackend,
     WINDOWS_ENV_VAR,
     run_spmd,
@@ -198,6 +203,81 @@ def test_allgather_windows_vs_p2p(benchmark):
     )
     # The single-copy window exchange must beat the O(P) relay at P >= 4.
     assert gain > 1.0
+
+
+def _dtype_rounds_timed(comm, n, iters):
+    """One float64 and one float32 round (allgather + allreduce) per
+    iteration, paired inside the same launch: both sides see the same
+    windows, pool warmth and machine drift."""
+    rng = np.random.default_rng(40 + comm.rank)
+    wide = rng.standard_normal(n)
+    narrow = wide.astype(np.float32)
+    elapsed = []
+    for x in (wide, narrow):
+        comm.allgather(x)  # warm (windows sized for this payload)
+        comm.allreduce(x, SUM)
+        comm.barrier()
+        start = time.perf_counter()
+        for _ in range(iters):
+            comm.allgather(x)
+            comm.allreduce(x, SUM)
+        elapsed.append(time.perf_counter() - start)
+    return elapsed[0], elapsed[1]
+
+
+def test_dtype_rounds_float32_vs_float64(benchmark):
+    # Bandwidth-bound collective rounds: 4 MiB float64 per rank, windows
+    # on.  Slots and arena buckets are sized by the payload's actual
+    # nbytes, so float32 elements genuinely move half the bytes through
+    # shared memory — and the allreduce folds run on half-width words
+    # too.  The dtype knob exists for this ratio; it must stay >= 1.3x.
+    p, iters, n, launches = 4, 6, 524_288, 5
+    volume_mb = n * 8 / 1e6
+
+    shutdown_worker_pools()
+    os.environ[WINDOWS_ENV_VAR] = "1"
+    try:
+        run_spmd(p, _dtype_rounds_timed, n, 1, backend="process")  # prime
+
+        def sweep():
+            wide, narrow = [], []
+            for _ in range(launches):
+                res = run_spmd(
+                    p, _dtype_rounds_timed, n, iters, backend="process",
+                    timeout=120.0,
+                )
+                wide.append(max(v[0] for v in res.values))
+                narrow.append(max(v[1] for v in res.values))
+            return wide, narrow
+
+        wide, narrow = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    finally:
+        os.environ.pop(WINDOWS_ENV_VAR, None)
+        shutdown_worker_pools()
+
+    ratios = sorted(w / nr for w, nr in zip(wide, narrow))
+    gain = float(np.median(ratios))
+    wide_sec = float(np.median(wide)) / iters
+    narrow_sec = float(np.median(narrow)) / iters
+    table(
+        f"allgather+allreduce round, {p} ranks, {volume_mb:.0f} MB/rank "
+        f"float64 (median of {launches} x {iters}, paired)",
+        ["dtype", "sec/round", "gain"],
+        [["float64", wide_sec, 1.0], ["float32", narrow_sec, gain]],
+    )
+    _record(
+        "dtype_rounds",
+        {"ranks": p, "elements": n, "mbytes_per_rank_f64": volume_mb,
+         "float64": wide_sec, "float32": narrow_sec, "gain": gain,
+         "gain_min": ratios[0], "gain_max": ratios[-1]},
+    )
+    # Half the bytes through the windows must buy a real win at
+    # bandwidth-bound sizes (measured 2-3x; 1.3x is the floor).
+    assert gain >= 1.3, (
+        f"dtype_rounds: median paired gain {gain:.3f} < 1.3; spread "
+        f"{ratios[0]:.3f}..{ratios[-1]:.3f}, per-launch ratios "
+        f"{[round(r, 3) for r in ratios]}"
+    )
 
 
 def _coll_timed(comm, op, x, iters):

@@ -26,6 +26,10 @@ SPMD007   shared-memory allocation outside the resources/transport
           layers, or one guarded by an ``except OSError`` that does not
           discriminate errno (bypasses the budget gate, or swallows the
           ``ENOSPC``/``ENOMEM`` the degradation ladder must see)
+SPMD008   dtype-less NumPy allocation or literal conversion in the
+          kernel/distributed layers (implicitly float64 — silently
+          upcasts a float32 pipeline's buffers and doubles its wire
+          words)
 ========  ==============================================================
 
 Findings point at file:line:col.  Suppress a finding by putting
@@ -124,6 +128,10 @@ RULES: dict[str, str] = {
         "shm allocation outside the resources/transport layers, or "
         "guarded by a non-errno-discriminating OSError handler — it "
         "bypasses the budget gate or swallows ENOSPC/ENOMEM"
+    ),
+    "SPMD008": (
+        "dtype-less NumPy allocation/conversion in kernel or distributed "
+        "code — implicitly float64, silently upcasting a float32 pipeline"
     ),
 }
 
@@ -784,6 +792,82 @@ def _check_shm_alloc(tree: ast.AST, path: str) -> list[Finding]:
     return findings
 
 
+# -- SPMD008: implicit float64 in dtype-following layers ----------------------
+
+#: Layers whose kernels follow the working tensor's dtype (the mixed-
+#: precision contract, see :mod:`repro.core.precision`): a dtype-less
+#: allocation there silently upcasts a float32 pipeline to float64 —
+#: results stay right, but the narrow-word compute and communication the
+#: mode was selected for is quietly lost.  Other layers (config, io,
+#: perfmodel...) carry no working dtype and are not checked.
+_DTYPE_SCOPED = ("repro/tensor/", "repro/distributed/")
+
+#: Allocators whose default dtype is float64.
+_DTYPE_ALLOC_CALLS = frozenset({"empty", "zeros", "ones", "full"})
+
+#: Converters that default literal (list/tuple) input to float64.
+_DTYPE_CONVERT_CALLS = frozenset({"array", "asarray", "asfortranarray"})
+
+
+def _np_call_name(call: ast.Call) -> str | None:
+    """The function name of a ``np.xxx(...)``/``numpy.xxx(...)`` call."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+    ):
+        return func.attr
+    return None
+
+
+def _check_implicit_dtype(tree: ast.AST, path: str) -> list[Finding]:
+    posix = Path(path).as_posix()
+    if not any(part in posix for part in _DTYPE_SCOPED):
+        return []
+    findings = []
+    for call in (n for n in ast.walk(tree) if isinstance(n, ast.Call)):
+        name = _np_call_name(call)
+        if name is None:
+            continue
+        if any(kw.arg == "dtype" for kw in call.keywords):
+            continue
+        if name in _DTYPE_ALLOC_CALLS:
+            # A positional dtype also counts: np.zeros(shape, np.float32),
+            # np.full(shape, fill, np.float32).
+            if len(call.args) >= (3 if name == "full" else 2):
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    call.lineno,
+                    call.col_offset,
+                    "SPMD008",
+                    f"np.{name} without dtype= allocates float64 in a "
+                    f"dtype-following layer; pass the working dtype "
+                    f"(e.g. arr.dtype or match_dtype(...)) so float32 "
+                    f"pipelines stay narrow",
+                )
+            )
+        elif (
+            name in _DTYPE_CONVERT_CALLS
+            and len(call.args) == 1
+            and isinstance(call.args[0], (ast.List, ast.Tuple, ast.ListComp))
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    call.lineno,
+                    call.col_offset,
+                    "SPMD008",
+                    f"np.{name} of a literal without dtype= defaults to "
+                    f"float64 in a dtype-following layer; state the "
+                    f"intended dtype explicitly",
+                )
+            )
+    return findings
+
+
 # -- driver ------------------------------------------------------------------
 
 _CHECKS = {
@@ -794,6 +878,7 @@ _CHECKS = {
     "SPMD005": _check_mutable_defaults,
     "SPMD006": _check_env_reads,
     "SPMD007": _check_shm_alloc,
+    "SPMD008": _check_implicit_dtype,
 }
 
 

@@ -59,6 +59,17 @@ PLAN_ENV_VAR = "REPRO_PLAN"
 
 _TSQR_TREES = ("binary", "butterfly")
 _SANITIZE_LEVELS = (0, 1, 2)
+_COMPUTE_DTYPES = ("float64", "float32", "mixed")
+
+
+def _parse_dtype(raw: str) -> str:
+    value = raw.strip() or "float64"
+    if value not in _COMPUTE_DTYPES:
+        raise ValueError(
+            f"unknown REPRO_DTYPE value {value!r}; "
+            f"use one of {_COMPUTE_DTYPES}"
+        )
+    return value
 
 
 def _parse_bool(raw: str) -> bool:
@@ -202,6 +213,18 @@ CONFIG_FIELDS: tuple[ConfigField, ...] = (
         "(0 disables batching)",
     ),
     ConfigField(
+        "compute_dtype", "REPRO_DTYPE", "float64", _parse_dtype, "kernels",
+        "kernel compute precision: 'float64', 'float32', or 'mixed' "
+        "(float32 kernels + float64 refinement against the split error "
+        "budget)",
+    ),
+    ConfigField(
+        "compress_wire", "REPRO_WIRE_COMPRESS", False, _parse_bool,
+        "transport",
+        "downcast float64 ring-hop payloads to float32 on the wire "
+        "(lossy; bit-identity suites pin it off)",
+    ),
+    ConfigField(
         "sanitize", "REPRO_SANITIZE", 0, _parse_sanitize, "runtime",
         "SPMD sanitizer level: 0 off, 1 protocol checks, 2 + window "
         "generation checks",
@@ -260,6 +283,8 @@ class RuntimeConfig:
     overlap: bool = True
     tsqr_tree: str = "binary"
     ttm_batch_lead: int = 32
+    compute_dtype: str = "float64"
+    compress_wire: bool = False
     sanitize: int = 0
     faults: str = ""
     retry: int = 1
@@ -281,6 +306,8 @@ class RuntimeConfig:
         object.__setattr__(self, "overlap", bool(self.overlap))
         object.__setattr__(self, "tsqr_tree", str(self.tsqr_tree))
         object.__setattr__(self, "ttm_batch_lead", int(self.ttm_batch_lead))
+        object.__setattr__(self, "compute_dtype", str(self.compute_dtype))
+        object.__setattr__(self, "compress_wire", bool(self.compress_wire))
         object.__setattr__(self, "sanitize", int(self.sanitize))
         object.__setattr__(self, "faults", str(self.faults))
         object.__setattr__(self, "retry", int(self.retry))
@@ -307,6 +334,11 @@ class RuntimeConfig:
             raise ValueError(
                 f"ttm_batch_lead must be non-negative, got "
                 f"{self.ttm_batch_lead}"
+            )
+        if self.compute_dtype not in _COMPUTE_DTYPES:
+            raise ValueError(
+                f"unknown REPRO_DTYPE value {self.compute_dtype!r}; "
+                f"use one of {_COMPUTE_DTYPES}"
             )
         if self.sanitize not in _SANITIZE_LEVELS:
             raise ValueError(
@@ -416,6 +448,11 @@ def env_default(name: str) -> Any:
     if name == "tsqr_tree" and value not in _TSQR_TREES:
         raise ValueError(
             f"unknown TSQR tree {value!r}; use one of {_TSQR_TREES}"
+        )
+    if name == "compute_dtype" and value not in _COMPUTE_DTYPES:
+        raise ValueError(
+            f"unknown REPRO_DTYPE value {value!r}; "
+            f"use one of {_COMPUTE_DTYPES}"
         )
     return value
 

@@ -35,6 +35,16 @@ from repro.core.errors import (
     relative_error,
 )
 from repro.core.diagnostics import ValidationReport, validate_tucker
+from repro.core.precision import (
+    COMPUTE_DTYPES,
+    FLOAT32_NOISE_FLOOR,
+    MIXED_TRUNC_SHARE,
+    float32_error_budget,
+    kernel_dtype,
+    match_dtype,
+    resolve_compute_dtype,
+    split_tolerance,
+)
 from repro.core.streaming import StreamingTucker
 
 __all__ = [
@@ -55,4 +65,12 @@ __all__ = [
     "ValidationReport",
     "validate_tucker",
     "StreamingTucker",
+    "COMPUTE_DTYPES",
+    "FLOAT32_NOISE_FLOOR",
+    "MIXED_TRUNC_SHARE",
+    "resolve_compute_dtype",
+    "kernel_dtype",
+    "match_dtype",
+    "split_tolerance",
+    "float32_error_budget",
 ]

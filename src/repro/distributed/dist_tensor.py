@@ -25,7 +25,7 @@ from repro.distributed.layout import local_block, local_shape
 from repro.mpi.cart import CartGrid
 from repro.mpi.errors import CommunicatorError
 from repro.mpi.reduce_ops import SUM
-from repro.tensor.dense import unfold
+from repro.tensor.dense import match_dtype, unfold
 from repro.util.validation import check_shape_like
 
 
@@ -58,14 +58,18 @@ class DistTensor:
             )
         self._grid = grid
         self._global_shape = global_shape
-        self._local = np.asfortranarray(np.asarray(local, dtype=np.float64))
+        # float32 blocks stay float32 (the mixed-precision working
+        # representation); everything else is coerced to float64 as always.
+        self._local = np.asfortranarray(
+            np.asarray(local, dtype=match_dtype(np.asarray(local).dtype))
+        )
 
     # -- constructors -----------------------------------------------------------
 
     @classmethod
     def from_global(cls, grid: CartGrid, array: np.ndarray) -> "DistTensor":
         """Each rank slices its own block from a replicated global array."""
-        array = np.asarray(array, dtype=np.float64)
+        array = np.asarray(array, dtype=match_dtype(np.asarray(array).dtype))
         slices = local_block(array.shape, grid.dims, grid.coords)
         return cls(grid, array.shape, np.array(array[slices], copy=True))
 
@@ -87,7 +91,7 @@ class DistTensor:
         if shape is None:
             raise CommunicatorError("scatter root passed array=None")
         if comm.rank == root:
-            arr = np.asarray(array, dtype=np.float64)
+            arr = np.asarray(array, dtype=match_dtype(np.asarray(array).dtype))
             blocks = [
                 np.array(arr[local_block(shape, grid.dims, grid.coords_of(r))],
                          copy=True)
@@ -144,8 +148,16 @@ class DistTensor:
     # -- global reductions -------------------------------------------------------------
 
     def norm_sq(self) -> float:
-        """``||X||^2`` via local sum-of-squares + all-reduce."""
-        local = float(np.dot(self._local.reshape(-1), self._local.reshape(-1)))
+        """``||X||^2`` via local sum-of-squares + all-reduce.
+
+        Always accumulated in float64 — the norm feeds tolerance
+        thresholds, and a float32 running sum would lose the very digits
+        the error budget accounts for.
+        """
+        flat = self._local.reshape(-1)
+        if flat.dtype == np.float32:
+            flat = flat.astype(np.float64)
+        local = float(np.dot(flat, flat))
         self.comm.add_flops(2 * self._local.size)
         return float(self.comm.allreduce(local, SUM))
 
@@ -160,7 +172,7 @@ class DistTensor:
         """
         comm = self.comm
         pieces = comm.allgather((self._grid.coords, self._local))
-        out = np.zeros(self._global_shape, order="F")
+        out = np.zeros(self._global_shape, dtype=self._local.dtype, order="F")
         for coords, block in pieces:
             out[local_block(self._global_shape, self._grid.dims, coords)] = block
         return out

@@ -145,7 +145,7 @@ def dist_gram(
 
     # Assemble the (my rows) x J_n slab, ordering peer blocks by their global
     # row ranges, then sum contributions over the processor row.
-    slab = np.empty((my_unf.shape[0], jn))
+    slab = np.empty((my_unf.shape[0], jn), dtype=my_unf.dtype)
     for k, (start, stop) in enumerate(ranges):
         slab[:, start:stop] = blocks[k]
     # M_GRAM live set: local tensor + in-flight peer tensors + V + S.  The

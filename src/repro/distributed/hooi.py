@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.config import RuntimeConfig
+from repro.core.precision import resolve_compute_dtype
 from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.evecs import dist_evecs
 from repro.distributed.gram import dist_gram
@@ -57,6 +58,7 @@ def dist_hooi(
     method: str = "gram",
     config: RuntimeConfig | None = None,
     plan: str | None = None,
+    compute_dtype: str | None = None,
 ) -> DistHooiResult:
     """Parallel higher-order orthogonal iteration (Alg. 2).
 
@@ -70,6 +72,16 @@ def dist_hooi(
     :func:`~repro.distributed.sthosvd.dist_sthosvd` (and are forwarded
     to the ST-HOSVD initialization); results are bit-identical across
     plans on a fixed grid.
+
+    ``compute_dtype=`` selects the kernel precision (default the resolved
+    config's ``compute_dtype`` / ``REPRO_DTYPE``).  ``"mixed"`` runs the
+    ST-HOSVD initialization in float32 and the outer iterations in
+    float64: the HOOI sweeps against the original tensor *are* iterative
+    refinement, so no separate refinement pass is needed (the cheap init
+    only has to land the right ranks and a good starting subspace).
+    ``"float32"`` runs the iterations narrow as well; outputs are always
+    returned as float64.  ``"float64"`` is bit-identical to the historical
+    behavior.
     """
     if max_iterations < 0:
         raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
@@ -83,15 +95,25 @@ def dist_hooi(
     overlap = cfg.overlap if cfg is not None else None
     batch_lead = cfg.ttm_batch_lead if cfg is not None else None
     tree = cfg.tsqr_tree if cfg is not None else None
+    if compute_dtype is None and cfg is not None:
+        compute_dtype = cfg.compute_dtype
+    compute = resolve_compute_dtype(compute_dtype)
+    # Mixed precision: float32 init, float64 iterations (the sweeps against
+    # the original tensor are the refinement); pure float32 iterates narrow.
+    init_compute = "float32" if compute in ("float32", "mixed") else "float64"
+    iter_dtype = np.dtype(np.float32 if compute == "float32" else np.float64)
 
     if init is None:
         init = dist_sthosvd(
             dt, tol=tol, ranks=ranks, ttm_strategy=ttm_strategy,
-            method=method, config=cfg,
+            method=method, config=cfg, compute_dtype=init_compute,
         )
     target_ranks = init.ranks
-    factors = [np.array(f, copy=True) for f in init.factors_local]
+    factors = [np.array(f, dtype=iter_dtype, copy=True) for f in init.factors_local]
     eigenvalues = list(init.eigenvalues)
+    xwork = dt
+    if iter_dtype == np.float32 and dt.local.dtype != np.float32:
+        xwork = dt.with_local(np.asarray(dt.local, dtype=np.float32))
 
     x_norm_sq = init.x_norm**2
     core = init.core
@@ -102,7 +124,7 @@ def dist_hooi(
     for _ in range(max_iterations):
         y: DistTensor | None = None
         for n in range(n_modes):
-            y = dt
+            y = xwork
             with comm.section("ttm"):
                 for m in range(n_modes):
                     if m == n:
@@ -148,6 +170,10 @@ def dist_hooi(
             converged = True
             break
 
+    # Deliverables are always float64, whatever the iteration dtype.
+    if core.local.dtype != np.float64:
+        core = core.with_local(np.asarray(core.local, dtype=np.float64))
+    factors = [np.asarray(f, dtype=np.float64) for f in factors]
     decomposition = DistTucker(
         core=core,
         factors_local=factors,

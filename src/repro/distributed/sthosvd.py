@@ -17,6 +17,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.config import RuntimeConfig, resolve_plan
+from repro.core.precision import (
+    FLOAT32_NOISE_FLOOR,
+    kernel_dtype,
+    resolve_compute_dtype,
+    split_tolerance,
+)
 from repro.core.tucker import TuckerTensor
 from repro.resources import check_deadline
 from repro.distributed.dist_tensor import DistTensor
@@ -24,6 +30,7 @@ from repro.distributed.evecs import dist_evecs
 from repro.distributed.gram import dist_gram
 from repro.distributed.layout import block_range
 from repro.distributed.ttm import dist_ttm
+from repro.mpi.reduce_ops import SUM
 from repro.util.validation import check_shape_like
 
 
@@ -139,6 +146,7 @@ def _checkpoint_digest(
     ranks: Sequence[int] | None,
     order: Sequence[int],
     method: str,
+    compute: str = "float64",
 ) -> str:
     from repro.io.tucker_io import checkpoint_digest
 
@@ -151,6 +159,7 @@ def _checkpoint_digest(
             "ranks": None if ranks is None else [int(r) for r in ranks],
             "order": [int(n) for n in order],
             "method": method,
+            "compute": compute,
         }
     )
 
@@ -235,6 +244,86 @@ def _checkpoint_commit(
     comm.barrier()
 
 
+def _orthonormality_defect(grid, factors: Sequence[np.ndarray]) -> float:
+    """Measured float32 precision loss: ``sqrt(sum_n ||U_n^T U_n - I||_F^2)``.
+
+    Each factor is held as a block row distributed over its mode column,
+    so every ``U^T U`` is one small ``R_n x R_n`` all-reduce.  Computed in
+    float64 regardless of the factors' dtype — this is the *measurement*
+    of the float32 sweep's defect, and must not itself drown in float32
+    roundoff.  Identical on all ranks (the all-reduce results are).
+    """
+    total = 0.0
+    for n, u in enumerate(factors):
+        col = grid.mode_column(n)
+        u64 = np.asarray(u, dtype=np.float64)
+        g = np.asarray(col.allreduce(u64.T @ u64, SUM))
+        g = g - np.eye(g.shape[0])
+        total += float(np.sum(g * g))
+    return float(np.sqrt(total))
+
+
+def _refine_sweep_f64(
+    dt: DistTensor,
+    order: Sequence[int],
+    target_ranks: Sequence[int],
+    factors: list,
+    eigenvalues: list,
+    ttm_strategy: str,
+    method: str,
+    tsqr_tree: str | None,
+    overlap: bool | None,
+    batch_lead: int | None,
+) -> DistTensor:
+    """One float64 HOOI-style sweep against the original tensor slabs.
+
+    For each mode (in the driver's order): project the *original* float64
+    tensor onto every other mode's current factor, recompute this mode's
+    factor at its fixed rank, and update it in place.  The final mode's
+    projection yields the refined core.  This is exactly the
+    :func:`~repro.distributed.hooi.dist_hooi` inner iteration, run once —
+    the classic mixed-precision pattern: cheap narrow sweep for the
+    subspaces and ranks, one wide sweep to restore accuracy.
+
+    After refinement each ``eigenvalues[n]`` is the spectrum seen while
+    *re*-solving mode ``n`` on the projected tensor, so the sum-of-tails
+    error estimate becomes an upper estimate rather than exact (the
+    ST-HOSVD identity no longer applies); it is never smaller than the
+    true residual.
+    """
+    y = dt
+    for n in order:
+        z = dt
+        for m in order:
+            if m == n:
+                continue
+            u64 = np.asarray(factors[m], dtype=np.float64)
+            z = dist_ttm(
+                z, u64.T.copy(), m, target_ranks[m], strategy=ttm_strategy,
+                overlap=overlap, batch_lead=batch_lead,
+            )
+        if method == "svd":
+            from repro.distributed.tsqr import dist_mode_svd
+
+            u_local, eig = dist_mode_svd(
+                z, n, rank=target_ranks[n], overlap=overlap, tree=tsqr_tree
+            )
+        else:
+            s_rows = dist_gram(z, n, overlap=overlap)
+            u_local, eig = dist_evecs(z, s_rows, n, rank=target_ranks[n])
+        factors[n] = u_local
+        eigenvalues[n] = eig.values
+        if n == order[-1]:
+            # The last projection chain already carries every other mode's
+            # refined factor, so one more TTM yields the refined core.
+            y = dist_ttm(
+                z, u_local.T.copy(), n, target_ranks[n],
+                strategy=ttm_strategy, overlap=overlap,
+                batch_lead=batch_lead,
+            )
+    return y
+
+
 def _resolve_driver_config(
     dt: DistTensor,
     tol: float | None,
@@ -289,6 +378,7 @@ def dist_sthosvd(
     checkpoint: str | os.PathLike | None = None,
     config: RuntimeConfig | None = None,
     plan: str | None = None,
+    compute_dtype: str | None = None,
 ) -> DistTucker:
     """Parallel ST-HOSVD (Alg. 1 on the Sec. V kernels).
 
@@ -317,9 +407,24 @@ def dist_sthosvd(
     perf model for this problem (see
     :func:`repro.perfmodel.autotune.plan_sthosvd`), ``"default"``/None
     keeps the run's active config, and any other string is parsed as a
-    saved config's JSON.  ``None`` consults ``REPRO_PLAN``.  Every knob
-    is pure tuning: factors and core are bit-identical across plans on a
-    fixed grid.  An explicit ``tsqr_tree=`` still wins over the plan.
+    saved config's JSON.  ``None`` consults ``REPRO_PLAN``.  Every
+    *scheduling* knob is pure tuning: factors and core are bit-identical
+    across plans on a fixed grid.  An explicit ``tsqr_tree=`` still wins
+    over the plan.
+
+    ``compute_dtype=`` selects the kernel precision (default the
+    resolved config's ``compute_dtype`` / ``REPRO_DTYPE``): ``"float64"``
+    is the historical bit-exact pipeline; ``"float32"`` runs
+    Gram/TSQR/TTM narrow end to end (half the bytes on every ring hop,
+    allgather and reduce) and delivers the requested truncation error
+    plus a single-precision noise floor
+    (:func:`repro.core.precision.float32_error_budget`); ``"mixed"``
+    splits ``tol`` into truncation and precision shares (see
+    :mod:`repro.core.precision`), truncates against the tighter share,
+    and — only when the measured float32 defect exceeds the precision
+    share — runs one float64 refinement sweep against the original
+    tensor slabs, so the delivered relative error still meets ``tol``.
+    Outputs (core and factors) are always returned in float64.
     """
     n_modes = dt.ndim
     if (tol is None) == (ranks is None):
@@ -351,21 +456,40 @@ def dist_sthosvd(
     batch_lead = cfg.ttm_batch_lead if cfg is not None else None
     if tsqr_tree is None and cfg is not None:
         tsqr_tree = cfg.tsqr_tree
+    if compute_dtype is None and cfg is not None:
+        compute_dtype = cfg.compute_dtype
+    compute = resolve_compute_dtype(compute_dtype)
+    work = kernel_dtype(compute)
 
     comm = dt.comm
     x_norm_sq = dt.norm_sq()
-    threshold = (tol**2) * x_norm_sq / n_modes if tol is not None else None
+    # Mixed mode truncates against the tighter share of the split budget;
+    # the rest of the budget is reserved for float32 precision loss.
+    tol_trunc = tol
+    prec_share = 0.0
+    if tol is not None and compute == "mixed":
+        tol_trunc, prec_share = split_tolerance(tol)
+    threshold = (
+        (tol_trunc**2) * x_norm_sq / n_modes if tol_trunc is not None
+        else None
+    )
 
     y = dt
+    if work == np.float32:
+        # One cast at the driver boundary; every kernel below follows the
+        # working dtype, so rings, allgathers and reduces all ship narrow
+        # words from here on.
+        y = dt.with_local(np.asarray(dt.local, dtype=np.float32))
     factors: list[np.ndarray | None] = [None] * n_modes
     eigenvalues: list[np.ndarray | None] = [None] * n_modes
     completed = 0
     ckpt_digest = ""
     if checkpoint is not None:
-        ckpt_digest = _checkpoint_digest(dt, tol, ranks, order, method)
+        ckpt_digest = _checkpoint_digest(dt, tol, ranks, order, method,
+                                         compute)
         with comm.section("checkpoint"):
             completed, y = _checkpoint_resume(
-                checkpoint, ckpt_digest, dt, factors, eigenvalues
+                checkpoint, ckpt_digest, y, factors, eigenvalues
             )
     for step, n in enumerate(order):
         if step < completed:
@@ -413,6 +537,29 @@ def dist_sthosvd(
                     checkpoint, ckpt_digest, step, order, y,
                     factors, eigenvalues,
                 )
+
+    if compute == "mixed" and tol is not None:
+        # Precision-share gate: the float32 sweep's residual estimate is
+        # the single-precision noise floor plus the measured
+        # orthonormality defect of the computed factors.  Only when it
+        # exceeds the reserved share does the float64 refinement sweep
+        # run — loose tolerances keep the full bandwidth win.
+        with comm.section("refine"):
+            est_prec = FLOAT32_NOISE_FLOOR + _orthonormality_defect(
+                dt.grid, factors  # type: ignore[arg-type]
+            )
+            if est_prec > prec_share:
+                y = _refine_sweep_f64(
+                    dt, order, y.global_shape, factors, eigenvalues,
+                    ttm_strategy, method, tsqr_tree, overlap, batch_lead,
+                )
+    if work == np.float32:
+        # Outputs are always float64: the compressed object is tiny, and
+        # downstream consumers (reconstruction, I/O, error accounting)
+        # expect the historical dtype.
+        factors = [np.asarray(f, dtype=np.float64) for f in factors]
+        if y.local.dtype != np.float64:
+            y = y.with_local(np.asarray(y.local, dtype=np.float64))
 
     if checkpoint is not None:
         # The run is complete; restart files are transient by design —

@@ -171,7 +171,7 @@ class DistStreamingTucker:
         if slab_energy == 0.0:
             if all(b is not None for b in self._bases_local):
                 self._core_slabs.append(
-                    np.zeros(self.current_ranks + (arr.shape[-1],))
+                    np.zeros(self.current_ranks + (arr.shape[-1],), dtype=np.float64)
                 )
             else:
                 self._pending_zero += arr.shape[-1]
@@ -180,15 +180,20 @@ class DistStreamingTucker:
         budget = (self._tol**2) * slab_energy / 2.0
 
         if any(b is None for b in self._bases_local):
+            # The streamer does its own error-budget accounting, so the
+            # inner factorizations run full precision: letting REPRO_DTYPE
+            # split the per-slab budget again would double-count it, and
+            # the float32 noise floor can swamp the tiny slab tolerances.
             res = dist_sthosvd(
                 slab,
                 tol=float(np.sqrt(budget / slab_energy)),
+                compute_dtype="float64",
             )
             for n in range(self._n_spatial):
                 self._bases_local[n] = res.factors_local[n]
             if self._pending_zero:
                 self._core_slabs.append(
-                    np.zeros(self.current_ranks + (self._pending_zero,))
+                    np.zeros(self.current_ranks + (self._pending_zero,), dtype=np.float64)
                 )
                 self._pending_zero = 0
             self._core_slabs.append(self._project(slab).to_global())
@@ -210,7 +215,8 @@ class DistStreamingTucker:
         if res_norm_sq == 0.0:
             return
         res = dist_sthosvd(
-            residual, tol=float(np.sqrt(budget / res_norm_sq))
+            residual, tol=float(np.sqrt(budget / res_norm_sq)),
+            compute_dtype="float64",  # see update(): budget already split
         )
         grew = False
         for n in range(self._n_spatial):
@@ -249,7 +255,7 @@ class DistStreamingTucker:
         # global positions exactly.
         new_ranks = self.current_ranks
         for i, slab_global in enumerate(self._core_slabs):
-            padded = np.zeros(new_ranks + (slab_global.shape[-1],))
+            padded = np.zeros(new_ranks + (slab_global.shape[-1],), dtype=np.float64)
             padded[tuple(slice(0, s) for s in slab_global.shape)] = slab_global
             self._core_slabs[i] = padded
 

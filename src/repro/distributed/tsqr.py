@@ -47,6 +47,7 @@ from repro.distributed.layout import block_range
 from repro.distributed.overlap import overlap_enabled
 from repro.distributed.ring import mode_ring_hops, ring_exchange, unfold_peer
 from repro.mpi.comm import Communicator
+from repro.tensor.dense import match_dtype
 from repro.tensor.eig import EigResult, _fix_signs, rank_from_tolerance
 from repro.util.validation import check_axis
 
@@ -205,7 +206,7 @@ def tsqr_r(
     each node's flop charge is ``2 (m_a + m_b) n^2`` for the rows it
     actually factorizes; only the final factor is padded to ``n x n``.
     """
-    local = np.asarray(local, dtype=np.float64)
+    local = np.asarray(local, dtype=match_dtype(np.asarray(local).dtype))
     if local.ndim != 2:
         raise ValueError(f"tsqr_r expects a matrix, got ndim={local.ndim}")
     variant = tsqr_tree(tree)
@@ -223,7 +224,7 @@ def tsqr_r(
     # Every rank now holds the same global R in its true shape; pad to
     # n x n so downstream consumers always see the full triangle.
     if r.shape[0] < n:
-        r = np.vstack([r, np.zeros((n - r.shape[0], n))])
+        r = np.vstack([r, np.zeros((n - r.shape[0], n), dtype=r.dtype)])
     # Deterministic sign convention: make the diagonal non-negative.
     signs = np.sign(np.diag(r))
     signs[signs == 0] = 1.0
@@ -253,7 +254,7 @@ def _assemble_slab_t(
     unfold/scatter overlaps the hops still in flight.
     """
     col = dt.grid.mode_column(mode)
-    slab_t = np.zeros((jn, keep.stop - keep.start))
+    slab_t = np.zeros((jn, keep.stop - keep.start), dtype=local_unf.dtype)
     exchanges = ring_exchange(
         col, dt.local, mode_ring_hops(pn, my_pn, tag="svd"), pipelined
     ) if pn > 1 else iter(())
@@ -323,8 +324,11 @@ def dist_mode_svd(
     dt.comm.note_memory((1 + inflight) * dt.local.size + slab_t.size)
     r = tsqr_r(dt.comm, slab_t.T, tree=tree, overlap=overlap)
     # SVD of R (J_n x J_n, small): Y_(n)^T = Q R  =>  right singular
-    # vectors of R are the left singular vectors of Y_(n).
-    _, sing, vt = np.linalg.svd(r)
+    # vectors of R are the left singular vectors of Y_(n).  Like the
+    # eigensolve on the Gram path, the small SVD always runs in float64
+    # (a no-op cast on the float64 path) — only the bandwidth-carrying
+    # QR folds run narrow.
+    _, sing, vt = np.linalg.svd(np.asarray(r, dtype=np.float64))
     dt.comm.add_flops((10 * jn**3) // 3)
     values = sing**2
     vectors = _fix_signs(vt.T)
@@ -335,4 +339,6 @@ def dist_mode_svd(
     else:
         rn = max(min_rank, rank_from_tolerance(values, threshold))  # type: ignore[arg-type]
     u_full = eig.leading(rn)
-    return np.array(u_full[row_start:row_stop], copy=True), eig
+    # Block row in the pipeline's working dtype (cf. dist_evecs).
+    return np.array(u_full[row_start:row_stop], dtype=local_unf.dtype,
+                    copy=True), eig

@@ -29,6 +29,7 @@ from repro.distributed.dist_tensor import DistTensor
 from repro.distributed.layout import block_range, block_ranges
 from repro.distributed.overlap import overlap_enabled
 from repro.mpi.reduce_ops import SUM
+from repro.tensor.dense import match_dtype
 from repro.tensor.ttm import ttm_blocked
 from repro.util.validation import check_axis
 
@@ -84,7 +85,9 @@ def dist_ttm(
         dimension ``K`` is partitioned over the same ``P_n`` processors.
     """
     mode = check_axis(mode, dt.ndim)
-    v_local = np.asarray(v_local, dtype=np.float64)
+    # The factor block follows the tensor's working dtype: a float32
+    # pipeline multiplies and reduces narrow blocks end to end.
+    v_local = np.asarray(v_local, dtype=match_dtype(dt.local.dtype))
     if v_local.ndim != 2:
         raise ValueError(f"v_local must be a matrix, got ndim={v_local.ndim}")
     if v_local.shape[0] != new_dim:

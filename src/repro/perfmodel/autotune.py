@@ -49,6 +49,18 @@ DISPATCH_CUTOFF_SECONDS = 2.0e-6
 #: loop's per-block dgemms are wide enough to amortize dispatch anyway.
 MAX_BATCH_LEAD = 4096
 
+#: A planned tolerance at or above this keeps the mixed pipeline's
+#: precision share comfortably above the float32 noise floor (see
+#: :mod:`repro.core.precision`), so float32 kernels meet the budget
+#: without usually paying the float64 refinement sweep.
+MIXED_TOL_FLOOR = 1.0e-3
+
+#: Modeled communication volume (8-byte words) below which the halved
+#: wire width cannot matter: latency and Python overheads dominate, and
+#: test-sized tensors planned with ``plan="auto"`` must keep the
+#: bit-identical float64 path.
+MIXED_WORDS_FLOOR = 1 << 20
+
 
 @dataclass(frozen=True)
 class ExecutionPlan:
@@ -177,6 +189,48 @@ def _batch_lead_decision(
     )
 
 
+def _dtype_decision(
+    cost: AlgorithmCost, tol: float | None, machine: MachineSpec
+) -> tuple[str, str]:
+    """Choose the compute dtype from the error budget and modeled traffic.
+
+    Every *scheduling* knob (overlap, tree, batch lead) is pure tuning —
+    bit-identical results whatever the plan picks.  The dtype knob is
+    not: it changes the numbers, so it is chosen conservatively.  The
+    plan stays ``float64`` unless a tolerance was planned for and is
+    loose enough (>= ``MIXED_TOL_FLOOR``) that the float32 noise floor
+    fits inside the error split's precision share, AND the modeled
+    communication volume is large enough (>= ``MIXED_WORDS_FLOOR``
+    words) for half-width payloads to buy real bandwidth.  Fixed-rank
+    plans have no error budget to spend and always stay ``float64``.
+    """
+    words = cost.words
+    if tol is None:
+        return "float64", (
+            "fixed-rank plan has no error budget to spend on narrow words"
+        )
+    if tol < MIXED_TOL_FLOOR:
+        return "float64", (
+            f"tol {tol:.1e} leaves no room above the float32 noise floor "
+            f"(mixed needs >= {MIXED_TOL_FLOOR:.0e})"
+        )
+    if words < MIXED_WORDS_FLOOR:
+        return "float64", (
+            f"modeled traffic {words:.2e} words is below the "
+            f"{float(MIXED_WORDS_FLOOR):.1e}-word floor where half-width "
+            f"payloads pay"
+        )
+    bw_saving = 0.5 * sum(
+        step.bw_time for _kernel, _mode, step in cost.steps
+    )
+    return "mixed", (
+        f"tol {tol:.1e} funds float32 kernels over {words:.2e} words; "
+        f"half-width payloads save ~{bw_saving:.2e} s of bandwidth "
+        f"(beta32 = {machine.beta_for_itemsize(4):.1e} s/elem), float64 "
+        f"refinement guards the budget"
+    )
+
+
 def plan_sthosvd(
     shape: Sequence[int],
     ranks: Sequence[int] | None = None,
@@ -207,7 +261,8 @@ def plan_sthosvd(
     base:
         Config to start from (default ``RuntimeConfig()``); the plan only
         changes the knobs it actually decides (overlap, tsqr_tree,
-        ttm_batch_lead), so executor/transport settings are preserved.
+        ttm_batch_lead, compute_dtype), so executor/transport settings
+        are preserved.
     mode_order:
         Mode processing order (default increasing).
 
@@ -256,8 +311,12 @@ def plan_sthosvd(
     lead, lead_why = _batch_lead_decision(
         shape, planned_ranks, grid, machine, order, base_cfg.ttm_batch_lead
     )
+    dtype, dtype_why = _dtype_decision(cost, tol, machine)
     config = base_cfg.replace(
-        overlap=overlap, tsqr_tree=tree, ttm_batch_lead=lead
+        overlap=overlap,
+        tsqr_tree=tree,
+        ttm_batch_lead=lead,
+        compute_dtype=dtype,
     )
     return ExecutionPlan(
         config=config,
@@ -267,6 +326,7 @@ def plan_sthosvd(
             "overlap": overlap_why,
             "tsqr_tree": tree_why,
             "ttm_batch_lead": lead_why,
+            "compute_dtype": dtype_why,
         },
     )
 
@@ -309,4 +369,6 @@ __all__ = [
     "refine_machine",
     "DISPATCH_CUTOFF_SECONDS",
     "MAX_BATCH_LEAD",
+    "MIXED_TOL_FLOOR",
+    "MIXED_WORDS_FLOOR",
 ]

@@ -78,7 +78,10 @@ class Tensor:
 
     @classmethod
     def zeros(cls, shape: Sequence[int]) -> "Tensor":
-        return cls(np.zeros(check_shape_like(shape), order="F"), copy=False)
+        return cls(
+            np.zeros(check_shape_like(shape), dtype=np.float64, order="F"),
+            copy=False,
+        )
 
     @classmethod
     def from_unfolding(
@@ -160,8 +163,31 @@ class Tensor:
 
 
 def as_ndarray(x: "Tensor | np.ndarray") -> np.ndarray:
-    """Accept either a Tensor or a raw ndarray and return the ndarray."""
-    return x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+    """Accept either a Tensor or a raw ndarray and return the ndarray.
+
+    float32 arrays pass through unwidened — they are the mixed-precision
+    kernels' working representation — while everything else (including
+    integer arrays and nested lists) is coerced to float64 exactly as
+    before.
+    """
+    if isinstance(x, Tensor):
+        return x.data
+    if isinstance(x, np.ndarray) and x.dtype == np.float32:
+        return x
+    return np.asarray(x, dtype=np.float64)
+
+
+def match_dtype(dtype: "np.dtype | type") -> np.dtype:
+    """Kernel working dtype for an input array dtype.
+
+    float32 inputs stay float32 (the mixed-precision narrow path);
+    everything else computes in float64, exactly as the kernels always
+    have.  Kernels use this to coerce secondary operands (factor
+    matrices, received blocks) so a float32 tensor is never silently
+    re-widened by a float64 operand.
+    """
+    return np.dtype(np.float32 if np.dtype(dtype) == np.float32
+                    else np.float64)
 
 
 def as_f_contiguous(arr: np.ndarray) -> np.ndarray:

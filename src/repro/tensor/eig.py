@@ -50,7 +50,7 @@ class EigResult:
         ``tail[r]`` is the squared error of truncating to rank ``r``.
         """
         n = self.values.shape[0]
-        tail = np.zeros(n + 1)
+        tail = np.zeros(n + 1, dtype=np.float64)
         tail[:n] = np.cumsum(self.values[::-1])[::-1]
         return tail
 
@@ -64,11 +64,20 @@ def _fix_signs(vectors: np.ndarray) -> np.ndarray:
 
 
 def eigendecompose(s: np.ndarray) -> EigResult:
-    """Full symmetric eigendecomposition, sorted by decreasing eigenvalue."""
-    s = np.asarray(s, dtype=np.float64)
+    """Full symmetric eigendecomposition, sorted by decreasing eigenvalue.
+
+    Always solved in float64: the eigenproblem is rank-local and cheap, so
+    even the float32 kernel path upcasts its Gram matrix here (the
+    mixed-precision contract narrows only the bandwidth-carrying kernels).
+    The symmetry gate scales with the *input* precision — a float32 Gram
+    matrix is symmetric only to float32 roundoff.
+    """
+    s_in = np.asarray(s)
+    sym_atol = 1e-4 if s_in.dtype == np.float32 else 1e-8
+    s = np.asarray(s_in, dtype=np.float64)
     if s.ndim != 2 or s.shape[0] != s.shape[1]:
         raise ValueError(f"expected a square matrix, got shape {s.shape}")
-    if not np.allclose(s, s.T, atol=1e-8 * max(1.0, float(np.abs(s).max(initial=0.0)))):
+    if not np.allclose(s, s.T, atol=sym_atol * max(1.0, float(np.abs(s).max(initial=0.0)))):
         raise ValueError("matrix is not symmetric")
     values, vectors = scipy.linalg.eigh(s)
     order = np.argsort(values)[::-1]
@@ -90,7 +99,7 @@ def rank_from_tolerance(values: np.ndarray, threshold: float) -> int:
     if threshold < 0:
         raise ValueError(f"threshold must be non-negative, got {threshold}")
     n = values.shape[0]
-    tail = np.zeros(n + 1)
+    tail = np.zeros(n + 1, dtype=np.float64)
     tail[:n] = np.cumsum(values[::-1])[::-1]
     # tail[r] = error of keeping r leading eigenvalues; find smallest r with
     # tail[r] <= threshold.

@@ -44,7 +44,7 @@ def gram_blocked(x: "Tensor | np.ndarray", mode: int) -> np.ndarray:
     trail = prod(shape[mode + 1 :])
     flat = np.reshape(as_f_contiguous(arr), (lead, shape[mode], trail), order="F")
     n = shape[mode]
-    s = np.zeros((n, n))
+    s = np.zeros((n, n), dtype=arr.dtype)
     if trail == 1:
         block = flat[:, :, 0]
         np.matmul(block.T, block, out=s)
@@ -52,7 +52,7 @@ def gram_blocked(x: "Tensor | np.ndarray", mode: int) -> np.ndarray:
         # One preallocated product buffer, accumulated in place: the
         # historical ``s += block.T @ block`` allocated a fresh n x n
         # temporary per sub-block, which dominated for skinny blocks.
-        tmp = np.empty((n, n))
+        tmp = np.empty((n, n), dtype=arr.dtype)
         for b in range(trail):
             block = flat[:, :, b]  # lead x I_n; the unfolding block is its transpose
             np.matmul(block.T, block, out=tmp)

@@ -23,7 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.config import default_for
-from repro.tensor.dense import Tensor, as_f_contiguous, as_ndarray
+from repro.tensor.dense import Tensor, as_f_contiguous, as_ndarray, match_dtype
 from repro.util.validation import check_axis, prod
 
 #: Batched fast-path gate for :func:`ttm_blocked`: collapse the
@@ -80,7 +80,7 @@ def ttm(
     """
     arr = as_ndarray(x)
     mode = check_axis(mode, arr.ndim)
-    v = np.asarray(v, dtype=np.float64)
+    v = np.asarray(v, dtype=match_dtype(arr.dtype))
     _check_ttm_shapes(arr.shape, v, mode, transpose)
     contract_axis = 0 if transpose else 1
     # tensordot puts v's surviving axis first; move it back to `mode`.
@@ -118,7 +118,7 @@ def ttm_blocked(
     """
     arr = as_ndarray(x)
     mode = check_axis(mode, arr.ndim)
-    v = np.asarray(v, dtype=np.float64)
+    v = np.asarray(v, dtype=match_dtype(arr.dtype))
     k = _check_ttm_shapes(arr.shape, v, mode, transpose)
     shape = arr.shape
     lead = prod(shape[:mode])  # columns per sub-block
@@ -143,21 +143,21 @@ def ttm_blocked(
             # (I_n, trail) Fortran view is one matrix and the whole TTM
             # is one dgemm written straight into the F-ordered output.
             flat2 = np.reshape(flat, (shape[mode], trail), order="F")
-            out2 = np.empty((k, trail), order="F")
+            out2 = np.empty((k, trail), dtype=arr.dtype, order="F")
             np.matmul(vmat, flat2, out=out2)
             return np.reshape(out2, new_shape, order="F")
         # Stacked matmul: the identical per-block dgemm (same operand
         # layouts as the loop below, so the bits match exactly), batched
         # in C and written straight into the F-ordered output through its
         # (trail, lead, k) transpose view.
-        out = np.empty((lead, k, trail), order="F")
+        out = np.empty((lead, k, trail), dtype=arr.dtype, order="F")
         np.matmul(
             flat.transpose(2, 0, 1),
             np.ascontiguousarray(vmat.T),
             out=out.transpose(2, 0, 1),
         )
         return np.reshape(out, new_shape, order="F")
-    out = np.empty((lead, k, trail), order="F")
+    out = np.empty((lead, k, trail), dtype=arr.dtype, order="F")
     vt = np.ascontiguousarray(vmat.T)
     for b in range(trail):
         # One dgemm per contiguous sub-block: out_block = block @ V^T, i.e.

@@ -1,0 +1,31 @@
+"""SPMD008 fixture: implicit float64 allocations in a dtype-following layer.
+
+Linted by the test suite under a synthetic ``src/repro/distributed/`` path
+(the rule is scoped to the kernel and distributed trees); at its real
+fixtures path it must produce nothing.
+"""
+
+import numpy as np
+
+
+def bad_allocations(shape):
+    a = np.empty(shape)  # flagged: dtype-less np.empty
+    b = np.zeros(shape)  # flagged: dtype-less np.zeros
+    c = np.ones(shape)  # flagged: dtype-less np.ones
+    d = np.full(shape, 1.0)  # flagged: dtype-less np.full
+    return a, b, c, d
+
+
+def bad_literal_conversions():
+    weights = np.array([0.25, 0.5, 0.25])  # flagged: literal without dtype
+    pair = np.asarray((1.0, 2.0))  # flagged: literal without dtype
+    return weights, pair
+
+
+def clean_allocations(shape, arr):
+    a = np.empty(shape, dtype=arr.dtype)  # dtype= keyword: clean
+    b = np.zeros(shape, np.float32)  # positional dtype: clean
+    c = np.full(shape, 0.0, np.float32)  # positional dtype: clean
+    d = np.asarray(arr)  # conversion of a variable follows it: clean
+    e = np.array([1.0, 2.0])  # repro-lint: disable=SPMD008
+    return a, b, c, d, e

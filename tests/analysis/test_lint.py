@@ -153,6 +153,38 @@ class TestRules:
         found = lint_source(src, "src/repro/resources/board.py")
         assert [f.code for f in found] == ["SPMD007"]
 
+    def test_spmd008_implicit_dtype(self):
+        # The rule is scoped to the kernel and distributed trees, so the
+        # fixture is linted under a synthetic in-scope path.
+        fixture = "spmd008_implicit_dtype.py"
+        src = (FIXTURES / fixture).read_text()
+        found = lint_source(src, f"src/repro/distributed/{fixture}")
+        assert [f.code for f in found] == ["SPMD008"] * 6
+        assert [f.line for f in found] == [
+            line_of(fixture, "np.empty(shape)  # flagged"),
+            line_of(fixture, "np.zeros(shape)  # flagged"),
+            line_of(fixture, "np.ones(shape)  # flagged"),
+            line_of(fixture, "np.full(shape, 1.0)  # flagged"),
+            line_of(fixture, "np.array([0.25, 0.5, 0.25])"),
+            line_of(fixture, "np.asarray((1.0, 2.0))"),
+        ]
+        assert "float64" in found[0].message
+        assert "match_dtype" in found[0].message
+
+    def test_spmd008_fires_only_inside_scoped_trees(self):
+        src = "import numpy as np\nbuf = np.zeros((4, 4))\n"
+        for scoped in (
+            "src/repro/distributed/gram.py",
+            "src/repro/tensor/ttm.py",
+        ):
+            assert [f.code for f in lint_source(src, scoped)] == ["SPMD008"]
+        for outside in (
+            "src/repro/perfmodel/machine.py",
+            "benchmarks/test_perf_kernels.py",
+            str(FIXTURES / "spmd008_implicit_dtype.py"),
+        ):
+            assert lint_source(src, outside) == []
+
     def test_suppression_comments(self):
         assert findings_for("suppressed.py") == []
 
@@ -160,6 +192,15 @@ class TestRules:
         fired = set()
         for fixture in FIXTURES.glob("spmd*.py"):
             fired.update(f.code for f in findings_for(fixture.name))
+            # Path-scoped rules (SPMD008) only fire inside the kernel and
+            # distributed trees; lint each fixture there as well.
+            fired.update(
+                f.code
+                for f in lint_source(
+                    fixture.read_text(),
+                    f"src/repro/distributed/{fixture.name}",
+                )
+            )
         assert fired == set(RULES)
 
 

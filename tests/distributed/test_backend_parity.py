@@ -14,6 +14,7 @@ from repro.core import sthosvd
 from repro.distributed import OVERLAP_ENV_VAR, DistTensor, dist_sthosvd
 from repro.mpi import SUM, CartGrid, run_spmd, shutdown_worker_pools
 from repro.tensor import low_rank_tensor
+from tests.conftest import recon_atol
 
 GRID = (1, 2, 2)
 N_RANKS = 4
@@ -76,7 +77,10 @@ class TestBitIdenticalResults:
             from repro.core import TuckerTensor
 
             recon = TuckerTensor(core=core, factors=factors).reconstruct()
-            np.testing.assert_allclose(recon, seq, atol=1e-8)
+            # Backends stay bit-identical to each other under every
+            # dtype; agreement with the float64 sequential reference
+            # loosens when the suite runs narrow.
+            np.testing.assert_allclose(recon, seq, atol=recon_atol())
 
 
 def _nine_collectives(comm, x):

@@ -7,7 +7,7 @@ from repro.core import sthosvd
 from repro.distributed import DistTensor, dist_sthosvd
 from repro.mpi import CartGrid, SpmdError
 from repro.tensor import low_rank_tensor
-from tests.conftest import spmd
+from tests.conftest import recon_atol, spmd, suite_compute_dtype
 
 
 def _run(x, grid_dims, **kwargs):
@@ -34,7 +34,7 @@ class TestAgreementWithSequential:
             np.testing.assert_allclose(
                 tucker.reconstruct(),
                 seq.decomposition.reconstruct(),
-                atol=1e-8,
+                atol=recon_atol(),
             )
 
     def test_tolerance_based_ranks_match(self):
@@ -42,8 +42,16 @@ class TestAgreementWithSequential:
         seq = sthosvd(x, tol=0.1)
         res = _run(x, (2, 3, 2), tol=0.1)
         for tucker, est, ranks in res:
-            assert ranks == seq.ranks
-            assert est == pytest.approx(seq.error_estimate(), rel=1e-6)
+            if suite_compute_dtype() == "float64":
+                assert ranks == seq.ranks
+                assert est == pytest.approx(seq.error_estimate(), rel=1e-6)
+            else:
+                # A narrowed sweep truncates against the tighter share of
+                # the split budget (mixed) or float32-noisy tails, so it
+                # may keep more directions — never fewer — and must still
+                # meet the requested tolerance.
+                assert all(r >= rs for r, rs in zip(ranks, seq.ranks))
+                assert est <= 0.1
 
     def test_mode_order_respected(self):
         x = low_rank_tensor((8, 6, 4), (3, 3, 2), seed=3, noise=0.02)
@@ -59,7 +67,8 @@ class TestAgreementWithSequential:
         for tucker, mode_order in spmd(4, prog):
             assert mode_order == order
             np.testing.assert_allclose(
-                tucker.reconstruct(), seq.decomposition.reconstruct(), atol=1e-8
+                tucker.reconstruct(), seq.decomposition.reconstruct(),
+                atol=recon_atol(),
             )
 
     def test_uneven_distribution(self):
@@ -68,7 +77,8 @@ class TestAgreementWithSequential:
         res = _run(x, (3, 1, 2), ranks=(3, 2, 3))
         for tucker, _, _ in res:
             np.testing.assert_allclose(
-                tucker.reconstruct(), seq.decomposition.reconstruct(), atol=1e-8
+                tucker.reconstruct(), seq.decomposition.reconstruct(),
+                atol=recon_atol(),
             )
 
     def test_4way(self):
@@ -77,7 +87,8 @@ class TestAgreementWithSequential:
         res = _run(x, (2, 1, 2, 1), ranks=(2, 2, 2, 2))
         for tucker, _, _ in res:
             np.testing.assert_allclose(
-                tucker.reconstruct(), seq.decomposition.reconstruct(), atol=1e-8
+                tucker.reconstruct(), seq.decomposition.reconstruct(),
+                atol=recon_atol(),
             )
 
     @pytest.mark.parametrize("strategy", ["blocked", "reduce_scatter"])
@@ -87,7 +98,8 @@ class TestAgreementWithSequential:
         seq = sthosvd(x, ranks=(4, 2, 2))
         for tucker, _, _ in res:
             np.testing.assert_allclose(
-                tucker.reconstruct(), seq.decomposition.reconstruct(), atol=1e-8
+                tucker.reconstruct(), seq.decomposition.reconstruct(),
+                atol=recon_atol(),
             )
 
 
@@ -123,12 +135,15 @@ class TestDistTuckerObject:
     def test_factor_global_assembly(self):
         x = low_rank_tensor((8, 6, 4), (3, 3, 2), seed=9, noise=0.02)
 
+        # float32/mixed factors are orthonormal to single precision only.
+        orth_atol = 1e-9 if suite_compute_dtype() == "float64" else 1e-6
+
         def prog(comm):
             g = CartGrid(comm, (2, 3, 1))
             dt = DistTensor.from_global(g, x)
             t = dist_sthosvd(dt, ranks=(3, 3, 2))
             u0 = t.factor_global(0)
-            return u0.shape, np.allclose(u0.T @ u0, np.eye(3), atol=1e-9)
+            return u0.shape, np.allclose(u0.T @ u0, np.eye(3), atol=orth_atol)
 
         for shape, orth in spmd(6, prog):
             assert shape == (8, 3)

@@ -16,7 +16,7 @@ from repro.mpi import CartGrid
 from repro.tensor import gram, ttm
 from repro.util.seeding import rng_for
 from repro.util.validation import prod
-from tests.conftest import spmd
+from tests.conftest import recon_atol, spmd
 
 
 @st.composite
@@ -94,7 +94,8 @@ def test_dist_sthosvd_matches_sequential(problem, seed):
 
     tucker = spmd(prod(grid), prog)[0]
     np.testing.assert_allclose(
-        tucker.reconstruct(), seq.decomposition.reconstruct(), atol=1e-7
+        tucker.reconstruct(), seq.decomposition.reconstruct(),
+        atol=recon_atol(1e-7),
     )
 
 

@@ -10,7 +10,7 @@ from repro.distributed.tsqr import tsqr_tree
 from repro.mpi import CartGrid, SpmdError
 from repro.tensor import gram, low_rank_tensor, unfold
 from repro.tensor.eig import _fix_signs, eigendecompose
-from tests.conftest import spmd
+from tests.conftest import recon_atol, spmd, suite_compute_dtype
 
 
 class TestTsqrR:
@@ -247,7 +247,8 @@ class TestSvdSthosvd:
         seq = sthosvd(x, ranks=(3, 3, 2))
         for tucker in spmd(6, prog):
             np.testing.assert_allclose(
-                tucker.reconstruct(), seq.decomposition.reconstruct(), atol=1e-8
+                tucker.reconstruct(), seq.decomposition.reconstruct(),
+                atol=recon_atol(),
             )
 
     def test_matches_sequential_svd_method_ranks(self):
@@ -261,7 +262,13 @@ class TestSvdSthosvd:
             return t.ranks
 
         for ranks in spmd(4, prog):
-            assert ranks == seq.ranks
+            if suite_compute_dtype() == "float64":
+                assert ranks == seq.ranks
+            else:
+                # tol=1e-8 sits far below the float32 noise floor: the
+                # narrow sweep cannot resolve tails that small and keeps
+                # extra (noise-level) directions rather than dropping any.
+                assert all(r >= rs for r, rs in zip(ranks, seq.ranks))
 
     def test_ledger_uses_svd_section(self):
         x = low_rank_tensor((8, 6, 4), (3, 3, 2), seed=13, noise=0.02)

@@ -356,6 +356,59 @@ def test_butterfly_overlap_does_not_move_charges(p):
         )
 
 
+def _allgather_f32(comm):
+    comm.allgather(np.full(8, float(comm.rank), dtype=np.float32))
+
+
+def _allreduce_f32(comm):
+    comm.allreduce(np.full(8, float(comm.rank), dtype=np.float32), SUM)
+
+
+def _ring_f32(comm):
+    from repro.distributed import mode_ring_hops, ring_exchange
+
+    hops = mode_ring_hops(comm.size, comm.rank, tag="ring32")
+    payload = (np.arange(8.0) + comm.rank).astype(np.float32)
+    for _hop, _w in ring_exchange(comm, payload, hops, pipelined=True):
+        pass
+
+
+NARROW_COLLECTIVES = [_allgather_f32, _allreduce_f32, _ring_f32]
+
+
+@pytest.mark.parametrize(
+    "prog", NARROW_COLLECTIVES, ids=lambda f: f.__name__.strip("_")
+)
+@pytest.mark.parametrize("p", [3, 4])
+def test_narrowed_word_charges_are_rank_independent(prog, p):
+    # float32 payloads ship half-width words through windows and relays
+    # alike; the tree-cost charge must stay identical on every member.
+    res = spmd_unit(p, prog)
+    rows = [res.ledger.rank_costs(r) for r in range(p)]
+    reference = (rows[0].time, rows[0].words_sent, rows[0].messages)
+    for rank, row in enumerate(rows):
+        assert (row.time, row.words_sent, row.messages) == pytest.approx(
+            reference
+        ), f"rank {rank} charged {row} != rank 0's {reference} in {prog.__name__}"
+
+
+def _allgather_f64_8(comm):
+    comm.allgather(np.full(8, float(comm.rank)))
+
+
+def test_narrowed_words_charge_half_of_float64():
+    # 8 float32 elements are 4 words (ceil(32 bytes / 8)); the same count
+    # of float64 elements is 8.  Latency and message counts are identical,
+    # so on the unit machine only the word charge moves.
+    narrow = spmd_unit(4, _allgather_f32)
+    wide = spmd_unit(4, _allgather_f64_8)
+    for rank in range(4):
+        n = narrow.ledger.rank_costs(rank)
+        w = wide.ledger.rank_costs(rank)
+        assert n.messages == w.messages
+        assert 2 * n.words_sent == w.words_sent
+
+
 def _sub_communicator_battery(comm):
     # Collectives on split-off communicators must stay symmetric within
     # each group as well (each group has its own window generation).

@@ -1,0 +1,127 @@
+"""Compressed-communication knob: ``REPRO_WIRE_COMPRESS`` ring-hop downcast.
+
+When enabled, float64 point-to-point payloads (``sendrecv``/``isendrecv``
+— the Gram and TSQR ring hops) travel the wire as float32 and are upcast
+on arrival: half the charged words, a deliberate ~1e-7 relative loss.
+The knob is off by default, never touches collectives or non-float64
+payloads, and both peers must charge the narrowed words identically.
+
+The flag is resolved once per communicator (at ``run_spmd`` construction,
+like every config knob), so each test sets the environment and recycles
+the worker pools before launching.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SUM, shutdown_worker_pools
+from tests.conftest import spmd_unit
+
+
+@pytest.fixture(params=["0", "1"], ids=["off", "on"])
+def wire_mode(request, monkeypatch):
+    shutdown_worker_pools()  # drop workers forked under the old env
+    monkeypatch.setenv("REPRO_WIRE_COMPRESS", request.param)
+    yield request.param
+    shutdown_worker_pools()
+
+
+def _ring_f64(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    payload = np.pi * (np.arange(8.0) + 1.0) + comm.rank
+    received = comm.sendrecv(payload, dest=right, source=left)
+    expected_exact = np.pi * (np.arange(8.0) + 1.0) + left
+    return (
+        str(received.dtype),
+        bool(np.array_equal(received, expected_exact)),
+        float(np.max(np.abs(received - expected_exact))),
+    )
+
+
+def _iring_f64(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    payload = np.pi * (np.arange(8.0) + 1.0) + comm.rank
+    received = comm.isendrecv(payload, dest=right, source=left).wait()
+    expected_exact = np.pi * (np.arange(8.0) + 1.0) + left
+    return (
+        str(received.dtype),
+        bool(np.array_equal(received, expected_exact)),
+        float(np.max(np.abs(received - expected_exact))),
+    )
+
+
+def _ring_nonfloat64(comm):
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    ints = comm.sendrecv(
+        np.arange(6, dtype=np.int64) + comm.rank, dest=right, source=left
+    )
+    narrow = comm.sendrecv(
+        (np.arange(6.0) + comm.rank).astype(np.float32),
+        dest=right, source=left,
+    )
+    return (
+        bool(np.array_equal(ints, np.arange(6, dtype=np.int64) + left)),
+        str(narrow.dtype),
+        bool(
+            np.array_equal(
+                narrow, (np.arange(6.0) + left).astype(np.float32)
+            )
+        ),
+    )
+
+
+def _allreduce_f64(comm):
+    total = comm.allreduce(np.pi * (np.arange(5.0) + comm.rank), SUM)
+    return total.tobytes()
+
+
+class TestOffByDefault:
+    def test_round_trip_is_bit_exact_without_the_knob(self):
+        for dtype, exact, _err in spmd_unit(4, _ring_f64):
+            assert dtype == "float64"
+            assert exact
+
+
+@pytest.mark.usefixtures("wire_mode")
+class TestWireCompression:
+    def test_round_trip_loss_matches_float32(self, wire_mode):
+        for prog in (_ring_f64, _iring_f64):
+            for dtype, exact, err in spmd_unit(4, prog):
+                # Received payloads are always float64 for the caller.
+                assert dtype == "float64"
+                if wire_mode == "0":
+                    assert exact
+                else:
+                    # Lossy by design, at exactly float32 resolution.
+                    assert not exact
+                    assert 0 < err < 1e-5
+
+    def test_charges_halve_and_stay_symmetric(self, wire_mode):
+        res = spmd_unit(4, _ring_f64)
+        rows = [res.ledger.rank_costs(r) for r in range(4)]
+        reference = (rows[0].time, rows[0].words_sent, rows[0].messages)
+        for row in rows:
+            assert (row.time, row.words_sent, row.messages) == pytest.approx(
+                reference
+            )
+        # Both exchange legs are charged: 8 float64 elements in and out
+        # are 16 words wide, 8 words narrowed.
+        per_rank_words = rows[0].words_sent
+        assert per_rank_words == (8 if wire_mode == "1" else 16)
+
+    def test_non_float64_payloads_are_untouched(self):
+        for ints_ok, narrow_dtype, narrow_ok in spmd_unit(4, _ring_nonfloat64):
+            assert ints_ok
+            assert narrow_dtype == "float32"
+            assert narrow_ok
+
+    def test_collectives_stay_bit_exact(self):
+        blobs = spmd_unit(4, _allreduce_f64).values
+        assert len(set(blobs)) == 1
+        expected = sum(
+            np.pi * (np.arange(5.0) + r) for r in range(4)
+        ).tobytes()
+        assert blobs[0] == expected

@@ -33,6 +33,26 @@ class TestValidateCommand:
         assert "core residual" in out
         assert "relative error" in out
 
+    def test_narrowed_dtype_model_held_to_float32_bar(
+        self, tmp_path, capsys
+    ):
+        # A model compressed under --dtype mixed carries float32-level
+        # orthonormality defect; validate reads the recorded dtype and
+        # widens the bar instead of flagging a correct model.
+        x = low_rank_tensor((10, 8, 6), (3, 3, 2), seed=41, noise=0.01)
+        src = tmp_path / "x.npy"
+        np.save(src, x)
+        model = tmp_path / "m32.npz"
+        assert main([
+            "compress", str(src), str(model), "--ranks", "3", "3", "2",
+            "--parallel", "2", "--dtype", "mixed",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(model), "--against", str(src)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "dtype bar" in out and "mixed" in out
+
     def test_broken_model_fails(self, clean_model, tmp_path, capsys):
         _, _, t = clean_model
         broken = TuckerTensor(
